@@ -1,0 +1,125 @@
+// Ablation A1 (DESIGN.md): how much of CQ's result comes from the
+// class-based score definition? The same threshold search is run with
+// (a) class-based scores (CQ), (b) per-filter weight-magnitude scores,
+// (c) random scores, and (d) layer-uniform allocation (no search), all
+// at the same average bit budget and with identical refinement.
+
+#include <cstdio>
+
+#include "baselines/allocators.h"
+#include "baselines/apn.h"
+#include "baselines/loss_aware.h"
+#include "core/pipeline.h"
+#include "harness.h"
+#include "util/csv.h"
+#include "util/table.h"
+
+int main(int argc, char** argv) {
+  using namespace cq;
+  const util::Cli cli(argc, argv);
+  const bench::BenchScale scale = bench::BenchScale::from_cli(cli);
+  const double bits = cli.get_double("bits", 2.0);
+  const int abits = static_cast<int>(bits);
+
+  const data::DataSplit split = bench::dataset_c10(scale);
+  auto fp_model = bench::make_vgg_small(10);
+  const double fp_acc = bench::train_fp_cached(*fp_model, split, "vgg_c10", scale);
+
+  util::Table table({"allocator", "avg bits", "acc pre-refine", "acc refined"});
+  util::CsvWriter csv(cli.get("csv", "ablation_allocators.csv"),
+                      {"allocator", "avg_bits", "acc_pre", "acc_post"});
+
+  auto run_with_scores = [&](const std::string& label,
+                             const std::vector<core::LayerScores>& scores) {
+    auto model = fp_model->clone();
+    auto teacher = model->clone();
+    model->calibrate_activations(split.train.images);
+    model->set_activation_bits(abits);
+
+    core::SearchConfig cfg;
+    cfg.max_bits = 4;
+    cfg.desired_avg_bits = bits;
+    cfg.t1 = 0.5;
+    cfg.decay = 0.8;
+    cfg.step_fraction = 0.0625;
+    cfg.eval_samples = scale.eval_samples;
+    core::ThresholdSearch search(cfg);
+    const core::SearchResult result = search.run(*model, scores, split.val);
+    const double pre = nn::Trainer::evaluate(*model, split.test.images, split.test.labels);
+
+    core::Refiner refiner(bench::make_refine_config(scale));
+    const core::RefineResult refined = refiner.run(*model, *teacher, split.train, split.test);
+
+    table.add_row({label, util::Table::num(result.achieved_avg_bits, 2),
+                   util::Table::num(pre * 100, 2),
+                   util::Table::num(refined.accuracy_after * 100, 2)});
+    csv.add_row({label, util::Table::num(result.achieved_avg_bits, 3),
+                 util::Table::num(pre, 4), util::Table::num(refined.accuracy_after, 4)});
+    std::printf("[%s] avg %.2f bits, refined acc %.3f\n", label.c_str(),
+                result.achieved_avg_bits, refined.accuracy_after);
+  };
+
+  // (a) Class-based scores.
+  {
+    auto scoring_model = fp_model->clone();
+    core::ImportanceCollector collector({1e-50, scale.importance_samples});
+    run_with_scores("class-based (CQ)", collector.collect(*scoring_model, split.val));
+  }
+  // (b) Weight magnitude.
+  {
+    auto scoring_model = fp_model->clone();
+    run_with_scores("weight magnitude", baselines::magnitude_scores(*scoring_model));
+  }
+  // (c) Random scores.
+  {
+    auto scoring_model = fp_model->clone();
+    run_with_scores("random", baselines::random_scores(*scoring_model, 77));
+  }
+  // (d) Layer-uniform (APN-style) at the same budget.
+  {
+    auto model = fp_model->clone();
+    baselines::ApnConfig cfg;
+    cfg.weight_bits = static_cast<int>(bits);
+    cfg.activation_bits = abits;
+    cfg.refine = bench::make_refine_config(scale);
+    const baselines::BaselineReport report = baselines::ApnQuantizer(cfg).run(*model, split);
+    table.add_row({"layer-uniform", util::Table::num(report.achieved_avg_bits, 2),
+                   util::Table::num(report.quant_accuracy_pre_refine * 100, 2),
+                   util::Table::num(report.quant_accuracy * 100, 2)});
+    csv.add_row({"layer-uniform", util::Table::num(report.achieved_avg_bits, 3),
+                 util::Table::num(report.quant_accuracy_pre_refine, 4),
+                 util::Table::num(report.quant_accuracy, 4)});
+  }
+  // (e) Loss-aware iterative demotion (paper reference [8] style):
+  // no scores, many validation-loss evaluations instead of CQ's
+  // one-time backprop. The evaluation count is part of the story.
+  {
+    auto model = fp_model->clone();
+    auto teacher = model->clone();
+    model->calibrate_activations(split.train.images);
+    model->set_activation_bits(abits);
+
+    baselines::LossAwareConfig cfg;
+    cfg.max_bits = 4;
+    cfg.desired_avg_bits = bits;
+    cfg.eval_samples = scale.eval_samples;
+    const baselines::LossAwareResult result =
+        baselines::LossAwareAllocator(cfg).run(*model, split.val);
+    const double pre = nn::Trainer::evaluate(*model, split.test.images, split.test.labels);
+    core::Refiner refiner(bench::make_refine_config(scale));
+    const core::RefineResult refined =
+        refiner.run(*model, *teacher, split.train, split.test);
+
+    table.add_row({"loss-aware iter.", util::Table::num(result.achieved_avg_bits, 2),
+                   util::Table::num(pre * 100, 2),
+                   util::Table::num(refined.accuracy_after * 100, 2)});
+    csv.add_row({"loss-aware", util::Table::num(result.achieved_avg_bits, 3),
+                 util::Table::num(pre, 4), util::Table::num(refined.accuracy_after, 4)});
+    std::printf("[loss-aware] avg %.2f bits, refined acc %.3f, %d loss evaluations\n",
+                result.achieved_avg_bits, refined.accuracy_after, result.evaluations);
+  }
+
+  std::printf("\n=== Ablation A1: score definition, VGG-small %.1f/%.1f ===\n", bits, bits);
+  std::printf("FP accuracy %.2f%%\n%s", fp_acc * 100, table.render().c_str());
+  return 0;
+}

@@ -1,0 +1,58 @@
+// Ablation A2 (DESIGN.md): contribution of the knowledge-distillation
+// refinement (paper Section III-D, Eq. 10). Sweeps the mixing factor
+// alpha — alpha = 1 is plain cross-entropy (no distillation term),
+// alpha = 0.3 is the paper's setting — plus a no-refinement row.
+
+#include <cstdio>
+
+#include "core/pipeline.h"
+#include "harness.h"
+#include "util/csv.h"
+#include "util/table.h"
+
+int main(int argc, char** argv) {
+  using namespace cq;
+  const util::Cli cli(argc, argv);
+  const bench::BenchScale scale = bench::BenchScale::from_cli(cli);
+  const double bits = cli.get_double("bits", 2.0);
+
+  const data::DataSplit split = bench::dataset_c10(scale);
+  auto fp_model = bench::make_vgg_small(10);
+  const double fp_acc = bench::train_fp_cached(*fp_model, split, "vgg_c10", scale);
+
+  // One search, shared by all alpha settings: quantize a model copy,
+  // remember the thresholds, re-apply to fresh copies per run.
+  auto search_model = fp_model->clone();
+  core::CqConfig cfg = bench::make_cq_config(bits, static_cast<int>(bits), scale);
+  cfg.refine.epochs = 0;
+  core::CqPipeline pipeline(cfg);
+  const core::CqReport base = pipeline.run(*search_model, split);
+
+  util::Table table({"refinement", "acc (%)"});
+  util::CsvWriter csv(cli.get("csv", "ablation_kd_refine.csv"), {"alpha", "accuracy"});
+  table.add_row({"none", util::Table::num(base.quant_accuracy_pre_refine * 100, 2)});
+  csv.add_row({"none", util::Table::num(base.quant_accuracy_pre_refine, 4)});
+
+  for (const double alpha : {1.0, 0.7, 0.3, 0.0}) {
+    auto model = fp_model->clone();
+    auto teacher = fp_model->clone();
+    model->calibrate_activations(split.train.images);
+    model->set_activation_bits(static_cast<int>(bits));
+    core::ThresholdSearch::apply_thresholds(*model, base.scores, base.thresholds);
+
+    core::RefineConfig rc = bench::make_refine_config(scale);
+    rc.alpha = alpha;
+    core::Refiner refiner(rc);
+    const core::RefineResult result = refiner.run(*model, *teacher, split.train, split.test);
+    const std::string label = "alpha=" + util::Table::num(alpha, 1) +
+                              (alpha == 1.0 ? " (CE only)" : alpha == 0.3 ? " (paper)" : "");
+    table.add_row({label, util::Table::num(result.accuracy_after * 100, 2)});
+    csv.add_row({util::Table::num(alpha, 2), util::Table::num(result.accuracy_after, 4)});
+    std::printf("[alpha=%.1f] refined acc %.3f\n", alpha, result.accuracy_after);
+  }
+
+  std::printf("\n=== Ablation A2: KD refinement, VGG-small %.1f/%.1f (FP %.2f%%, avg %.2f bits) ===\n",
+              bits, bits, fp_acc * 100, base.achieved_avg_bits);
+  std::printf("%s", table.render().c_str());
+  return 0;
+}

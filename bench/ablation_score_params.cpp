@@ -1,0 +1,105 @@
+// Ablation A6 (DESIGN.md): sensitivity of the class-based importance
+// scores (Section III-A/B) to their two knobs:
+//   - epsilon, the critical-pathway threshold of Eq. (6). The paper
+//     uses 1e-50 ("any nonzero contribution counts"); raising it
+//     demands a larger Taylor term before a neuron counts for a class.
+//   - N_s, the validation images per class. Fewer samples make beta
+//     (and hence gamma/phi) noisier.
+// Each scoring variant feeds the identical search at B = 2.0; the
+// bench reports both the score statistics and the end accuracy.
+
+#include <cstdio>
+
+#include "core/pipeline.h"
+#include "harness.h"
+#include "util/csv.h"
+#include "util/stats.h"
+#include "util/table.h"
+
+int main(int argc, char** argv) {
+  using namespace cq;
+  const util::Cli cli(argc, argv);
+  const bench::BenchScale scale = bench::BenchScale::from_cli(cli);
+  const double bits = cli.get_double("bits", 2.0);
+  const int abits = static_cast<int>(bits);
+
+  const data::DataSplit split = bench::dataset_c10(scale);
+  auto fp_model = bench::make_vgg_small(10);
+  const double fp_acc = bench::train_fp_cached(*fp_model, split, "vgg_c10", scale);
+
+  util::Table table(
+      {"parameter", "value", "mean phi", "max phi", "zero phi", "avg bits", "accuracy"});
+  util::CsvWriter csv(cli.get("csv", "ablation_score_params.csv"),
+                      {"parameter", "value", "mean_phi", "max_phi", "zero_fraction",
+                       "avg_bits", "accuracy"});
+
+  const auto run = [&](const std::string& parameter, const std::string& value,
+                       const core::ImportanceConfig& icfg) {
+    auto scoring_model = fp_model->clone();
+    const std::vector<core::LayerScores> scores =
+        core::ImportanceCollector(icfg).collect(*scoring_model, split.val);
+
+    // Score statistics over all filters.
+    double sum = 0.0;
+    double max_phi = 0.0;
+    std::size_t zero = 0;
+    std::size_t count = 0;
+    for (const core::LayerScores& layer : scores) {
+      for (const float phi : layer.filter_phi) {
+        sum += phi;
+        max_phi = std::max(max_phi, static_cast<double>(phi));
+        zero += phi == 0.0f;
+        ++count;
+      }
+    }
+
+    auto model = fp_model->clone();
+    model->calibrate_activations(split.train.images);
+    model->set_activation_bits(abits);
+    core::SearchConfig cfg;
+    cfg.max_bits = 4;
+    cfg.desired_avg_bits = bits;
+    cfg.t1 = 0.5;
+    cfg.decay = 0.8;
+    cfg.step_fraction = 0.0625;
+    cfg.eval_samples = scale.eval_samples;
+    const core::SearchResult result =
+        core::ThresholdSearch(cfg).run(*model, scores, split.val);
+    const double acc =
+        nn::Trainer::evaluate(*model, split.test.images, split.test.labels);
+
+    const double mean_phi = sum / static_cast<double>(count);
+    const double zero_fraction = static_cast<double>(zero) / static_cast<double>(count);
+    table.add_row({parameter, value, util::Table::num(mean_phi, 2),
+                   util::Table::num(max_phi, 2), util::Table::num(zero_fraction * 100, 1),
+                   util::Table::num(result.achieved_avg_bits, 2),
+                   util::Table::num(acc * 100, 2)});
+    csv.add_row({parameter, value, util::Table::num(mean_phi, 4),
+                 util::Table::num(max_phi, 4), util::Table::num(zero_fraction, 4),
+                 util::Table::num(result.achieved_avg_bits, 3),
+                 util::Table::num(acc, 4)});
+    std::printf("[%s=%s] mean phi %.2f, %.0f%% zero, avg %.2f bits, acc %.3f\n",
+                parameter.c_str(), value.c_str(), mean_phi, zero_fraction * 100,
+                result.achieved_avg_bits, acc);
+  };
+
+  for (const double epsilon : {1e-50, 1e-8, 1e-4, 1e-2, 1e-1}) {
+    core::ImportanceConfig icfg;
+    icfg.epsilon = epsilon;
+    icfg.samples_per_class = scale.importance_samples;
+    char value[32];
+    std::snprintf(value, sizeof value, "%g", epsilon);
+    run("epsilon", value, icfg);
+  }
+  for (const int samples : {2, 5, 10, 20}) {
+    core::ImportanceConfig icfg;
+    icfg.epsilon = 1e-50;
+    icfg.samples_per_class = samples;
+    run("Ns", std::to_string(samples), icfg);
+  }
+
+  std::printf("\n=== Ablation A6: score hyper-parameters, VGG-small B=%.1f ===\n", bits);
+  std::printf("FP accuracy %.2f%% (accuracies below are pre-refinement)\n%s",
+              fp_acc * 100, table.render().c_str());
+  return 0;
+}

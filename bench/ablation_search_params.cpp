@@ -1,0 +1,88 @@
+// Ablation A5 (DESIGN.md): sensitivity of the threshold search
+// (Section III-C) to its own hyper-parameters. One full-precision
+// VGG-small is trained once; the search then runs over a sweep of
+//   - the step size D (as a fraction of the maximum score),
+//   - the first accuracy target T1,
+//   - the decay factor R of Eq. (9),
+// each at the default of the other two, all targeting B = 2.0. The
+// paper fixes D implicitly and uses T1 = 50%, R = 0.8; this bench
+// shows how robust the result is around that operating point and how
+// the search's evaluation count scales with D.
+
+#include <cstdio>
+
+#include "core/pipeline.h"
+#include "harness.h"
+#include "util/csv.h"
+#include "util/table.h"
+
+int main(int argc, char** argv) {
+  using namespace cq;
+  const util::Cli cli(argc, argv);
+  const bench::BenchScale scale = bench::BenchScale::from_cli(cli);
+  const double bits = cli.get_double("bits", 2.0);
+  const int abits = static_cast<int>(bits);
+
+  const data::DataSplit split = bench::dataset_c10(scale);
+  auto fp_model = bench::make_vgg_small(10);
+  const double fp_acc = bench::train_fp_cached(*fp_model, split, "vgg_c10", scale);
+
+  // Scores are collected once — the sweep varies only the search.
+  auto scoring_model = fp_model->clone();
+  core::ImportanceCollector collector({1e-50, scale.importance_samples});
+  const std::vector<core::LayerScores> scores =
+      collector.collect(*scoring_model, split.val);
+
+  util::Table table({"parameter", "value", "avg bits", "accuracy", "evals"});
+  util::CsvWriter csv(cli.get("csv", "ablation_search_params.csv"),
+                      {"parameter", "value", "avg_bits", "accuracy", "evaluations"});
+
+  const auto run = [&](const std::string& parameter, const std::string& value,
+                       const core::SearchConfig& cfg) {
+    auto model = fp_model->clone();
+    model->calibrate_activations(split.train.images);
+    model->set_activation_bits(abits);
+    const core::SearchResult result =
+        core::ThresholdSearch(cfg).run(*model, scores, split.val);
+    const double acc =
+        nn::Trainer::evaluate(*model, split.test.images, split.test.labels);
+    table.add_row({parameter, value, util::Table::num(result.achieved_avg_bits, 2),
+                   util::Table::num(acc * 100, 2), std::to_string(result.evaluations)});
+    csv.add_row({parameter, value, util::Table::num(result.achieved_avg_bits, 3),
+                 util::Table::num(acc, 4), std::to_string(result.evaluations)});
+    std::printf("[%s=%s] avg %.2f bits, acc %.3f, %d evals\n", parameter.c_str(),
+                value.c_str(), result.achieved_avg_bits, acc, result.evaluations);
+  };
+
+  const auto base_config = [&]() {
+    core::SearchConfig cfg;
+    cfg.max_bits = 4;
+    cfg.desired_avg_bits = bits;
+    cfg.t1 = 0.5;
+    cfg.decay = 0.8;
+    cfg.step_fraction = 0.0625;
+    cfg.eval_samples = scale.eval_samples;
+    return cfg;
+  };
+
+  for (const double step_fraction : {0.25, 0.125, 0.0625, 0.03125}) {
+    core::SearchConfig cfg = base_config();
+    cfg.step_fraction = step_fraction;
+    run("step D", util::Table::num(step_fraction, 4), cfg);
+  }
+  for (const double t1 : {0.7, 0.5, 0.3, 0.1}) {
+    core::SearchConfig cfg = base_config();
+    cfg.t1 = t1;
+    run("target T1", util::Table::num(t1, 2), cfg);
+  }
+  for (const double decay : {0.95, 0.8, 0.5, 0.2}) {
+    core::SearchConfig cfg = base_config();
+    cfg.decay = decay;
+    run("decay R", util::Table::num(decay, 2), cfg);
+  }
+
+  std::printf("\n=== Ablation A5: search hyper-parameters, VGG-small B=%.1f ===\n", bits);
+  std::printf("FP accuracy %.2f%% (accuracies below are pre-refinement)\n%s",
+              fp_acc * 100, table.render().c_str());
+  return 0;
+}

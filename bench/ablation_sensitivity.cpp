@@ -1,0 +1,81 @@
+// Ablation A3: does the class-based importance score agree with
+// directly measured quantization sensitivity? Profiles each layer
+// (quantize only that layer, everything else FP) and compares the
+// per-layer accuracy drop against the layer's mean CQ score.
+//
+// Expected shape: layers whose filters score high (important to many
+// classes) suffer larger drops when forced to low bit-width — the
+// correlation that justifies protecting high-score filters.
+
+#include <cstdio>
+
+#include "core/importance.h"
+#include "core/sensitivity.h"
+#include "harness.h"
+#include "util/csv.h"
+#include "util/stats.h"
+#include "util/table.h"
+
+int main(int argc, char** argv) {
+  using namespace cq;
+  const util::Cli cli(argc, argv);
+  const bench::BenchScale scale = bench::BenchScale::from_cli(cli);
+
+  const data::DataSplit split = bench::dataset_c10(scale);
+  auto model = bench::make_vgg_small(10);
+  const double fp_acc = bench::train_fp_cached(*model, split, "vgg_c10", scale);
+
+  core::ImportanceCollector collector({1e-50, scale.importance_samples});
+  const auto scores = collector.collect(*model, split.val);
+
+  core::SensitivityProfiler profiler({1, 2, 4}, scale.eval_samples);
+  const auto profile = profiler.profile(*model, split.val);
+
+  std::printf("=== Ablation A3: CQ scores vs measured sensitivity (VGG-small, FP %.3f) ===\n\n",
+              fp_acc);
+  util::Table table({"layer", "mean score", "drop@1bit", "drop@2bit", "drop@4bit"});
+  util::CsvWriter csv(cli.get("csv", "ablation_sensitivity.csv"),
+                      {"layer", "mean_score", "drop1", "drop2", "drop4"});
+
+  std::vector<double> mean_scores;
+  std::vector<double> drops1;
+  for (std::size_t l = 0; l < profile.size(); ++l) {
+    const auto summary = util::summarize(std::span<const float>(
+        scores[l].filter_phi.data(), scores[l].filter_phi.size()));
+    const double d1 = profile[l].drop_at(1, fp_acc);
+    const double d2 = profile[l].drop_at(2, fp_acc);
+    const double d4 = profile[l].drop_at(4, fp_acc);
+    mean_scores.push_back(summary.mean);
+    drops1.push_back(d1);
+    table.add_row({profile[l].name, util::Table::num(summary.mean, 2),
+                   util::Table::num(d1, 3), util::Table::num(d2, 3),
+                   util::Table::num(d4, 3)});
+    csv.add_row({profile[l].name, util::Table::num(summary.mean, 4),
+                 util::Table::num(d1, 4), util::Table::num(d2, 4),
+                 util::Table::num(d4, 4)});
+  }
+  std::printf("%s", table.render().c_str());
+
+  // Rank correlation (Spearman via rank vectors) between mean score
+  // and 1-bit drop across layers.
+  auto ranks = [](const std::vector<double>& v) {
+    std::vector<double> r(v.size());
+    for (std::size_t i = 0; i < v.size(); ++i) {
+      for (std::size_t j = 0; j < v.size(); ++j) {
+        if (v[j] < v[i]) r[i] += 1.0;
+      }
+    }
+    return r;
+  };
+  const auto ra = ranks(mean_scores);
+  const auto rb = ranks(drops1);
+  double num = 0.0;
+  const auto n = static_cast<double>(ra.size());
+  for (std::size_t i = 0; i < ra.size(); ++i) {
+    const double d = ra[i] - rb[i];
+    num += d * d;
+  }
+  const double rho = 1.0 - 6.0 * num / (n * (n * n - 1.0));
+  std::printf("Spearman rank correlation (mean score vs 1-bit drop): %.3f\n", rho);
+  return 0;
+}

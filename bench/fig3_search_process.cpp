@@ -1,0 +1,80 @@
+// Reproduces Figure 3: the threshold-search process on VGG-small /
+// CIFAR-10 with the paper's parameters (bit range {0..4}, T1 = 50%,
+// R = 0.8, target average bit-width 2.0).
+//
+// Paper shape to reproduce: thresholds p1 < p2 < ... are determined one
+// after another, each stopping when validation accuracy falls below the
+// decaying target T_k; the trace prints each stop with its accuracy.
+
+#include <cstdio>
+
+#include "core/importance.h"
+#include "core/search.h"
+#include "harness.h"
+#include "util/csv.h"
+#include "util/stats.h"
+#include "util/table.h"
+
+int main(int argc, char** argv) {
+  using namespace cq;
+  const util::Cli cli(argc, argv);
+  const bench::BenchScale scale = bench::BenchScale::from_cli(cli);
+  const double target_bits = cli.get_double("bits", 2.0);
+
+  const data::DataSplit split = bench::dataset_c10(scale);
+  auto model = bench::make_vgg_small(10);
+  const double fp_acc = bench::train_fp_cached(*model, split, "vgg_c10", scale);
+
+  core::ImportanceCollector collector({1e-50, scale.importance_samples});
+  const auto scores = collector.collect(*model, split.val);
+
+  // Activations at the desired bits during search, as in Section IV.
+  model->calibrate_activations(split.train.images);
+  model->set_activation_bits(static_cast<int>(target_bits));
+
+  core::SearchConfig cfg;
+  cfg.max_bits = 4;
+  cfg.desired_avg_bits = target_bits;
+  cfg.t1 = 0.5;
+  cfg.decay = 0.8;
+  cfg.step_fraction = 0.0625;
+  cfg.eval_samples = scale.eval_samples;
+  core::ThresholdSearch search(cfg);
+  const core::SearchResult result = search.run(*model, scores, split.val);
+
+  std::printf("=== Figure 3: bit-width search process, VGG-small / CIFAR-10-like ===\n");
+  std::printf("FP acc %.4f | B = %.1f | T1 = 0.5, R = 0.8, bits in {0..4}\n\n", fp_acc,
+              target_bits);
+
+  // Sorted per-layer score curves (the blue curves of the figure).
+  std::printf("Sorted filter scores per layer (decile samples):\n");
+  for (const auto& layer : scores) {
+    auto sorted = layer.filter_phi;
+    std::sort(sorted.begin(), sorted.end());
+    std::printf("  %-8s:", layer.name.c_str());
+    for (int d = 0; d <= 10; ++d) {
+      const std::size_t idx = std::min(sorted.size() - 1, d * sorted.size() / 10);
+      std::printf(" %5.2f", sorted[idx]);
+    }
+    std::printf("\n");
+  }
+
+  util::Table table({"threshold", "stopped_at", "val_acc", "target_Tk", "avg_bits",
+                     "phase"});
+  util::CsvWriter csv(cli.get("csv", "fig3_search_process.csv"),
+                      {"k", "threshold", "accuracy", "target", "avg_bits", "fallback"});
+  for (const auto& stop : result.trace) {
+    table.add_row({"p" + std::to_string(stop.k), util::Table::num(stop.threshold, 3),
+                   stop.accuracy < 0 ? "-" : util::Table::num(stop.accuracy, 3),
+                   stop.target < 0 ? "-" : util::Table::num(stop.target, 3),
+                   util::Table::num(stop.avg_bits, 3),
+                   stop.fallback ? "fallback" : "search"});
+    csv.add_row({std::to_string(stop.k), util::Table::num(stop.threshold, 5),
+                 util::Table::num(stop.accuracy, 5), util::Table::num(stop.target, 5),
+                 util::Table::num(stop.avg_bits, 5), stop.fallback ? "1" : "0"});
+  }
+  std::printf("\n%s", table.render().c_str());
+  std::printf("final: avg_bits=%.3f val_acc=%.4f evaluations=%d\n",
+              result.achieved_avg_bits, result.final_accuracy, result.evaluations);
+  return 0;
+}

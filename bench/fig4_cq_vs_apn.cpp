@@ -1,0 +1,100 @@
+// Reproduces Figure 4: accuracy of CQ versus APN [12] and the
+// full-precision baseline at 2.0/2.0, 3.0/3.0 and 4.0/4.0 (W/A) on the
+// paper's four network/dataset pairs: VGG-small on CIFAR-10 and
+// CIFAR-100, ResNet-20-x1 on CIFAR-10, ResNet-20-x5 on CIFAR-100.
+//
+// Paper shape to reproduce: CQ >= APN at every setting; both approach
+// the FP accuracy at 4.0/4.0; the gap widens at 2.0/2.0.
+
+#include <cstdio>
+#include <functional>
+
+#include "baselines/apn.h"
+#include "harness.h"
+#include "util/csv.h"
+#include "util/table.h"
+#include "util/timer.h"
+
+namespace {
+
+struct NetworkCase {
+  std::string label;
+  std::string checkpoint;
+  std::function<std::unique_ptr<cq::nn::Model>()> make;
+  const cq::data::DataSplit* split;
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace cq;
+  const util::Cli cli(argc, argv);
+  const bench::BenchScale scale = bench::BenchScale::from_cli(cli);
+  const std::string only = cli.get("only", "");
+
+  const data::DataSplit c10 = bench::dataset_c10(scale);
+  const data::DataSplit c100 = bench::dataset_c100(scale);
+
+  const std::vector<NetworkCase> cases = {
+      {"VGG-small CIFAR10", "vgg_c10", [] { return bench::make_vgg_small(10); }, &c10},
+      {"VGG-small CIFAR100", "vgg_c100", [] { return bench::make_vgg_small(100); },
+       &c100},
+      {"ResNet-20-x1 CIFAR10", "resnet_x1_c10",
+       [] { return bench::make_resnet20(10, 1); }, &c10},
+      {"ResNet-20-x5 CIFAR100", "resnet_x5_c100",
+       [] { return bench::make_resnet20(100, 5); }, &c100},
+  };
+  const std::vector<double> settings = {2.0, 3.0, 4.0};
+
+  std::printf("=== Figure 4: CQ vs APN vs FP (weight/activation bit settings) ===\n\n");
+  util::Table table({"network", "setting", "FP", "CQ", "APN", "CQ-APN", "CQ avg bits"});
+  util::CsvWriter csv(cli.get("csv", "fig4_cq_vs_apn.csv"),
+                      {"network", "setting", "fp_acc", "cq_acc", "apn_acc",
+                       "cq_avg_bits", "apn_avg_bits"});
+
+  for (const auto& net : cases) {
+    if (!only.empty() && net.checkpoint.find(only) == std::string::npos) continue;
+    // One FP training run shared by all settings and both methods.
+    auto fp_model = net.make();
+    const double fp_acc =
+        bench::train_fp_cached(*fp_model, *net.split, net.checkpoint, scale);
+
+    for (const double bits : settings) {
+      util::Timer timer;
+      // CQ starts from a fresh copy of the trained FP weights.
+      auto cq_model = fp_model->clone();
+      core::CqPipeline pipeline(
+          bench::make_cq_config(bits, static_cast<int>(bits), scale));
+      const core::CqReport cq_report = pipeline.run(*cq_model, *net.split);
+
+      auto apn_model = fp_model->clone();
+      baselines::ApnConfig apn_cfg;
+      apn_cfg.weight_bits = static_cast<int>(bits);
+      apn_cfg.activation_bits = static_cast<int>(bits);
+      apn_cfg.refine = bench::make_refine_config(scale);
+      const baselines::BaselineReport apn_report =
+          baselines::ApnQuantizer(apn_cfg).run(*apn_model, *net.split);
+
+      const std::string setting = util::Table::num(bits, 1) + "/" +
+                                  util::Table::num(bits, 1);
+      table.add_row({net.label, setting, util::Table::num(fp_acc * 100, 2),
+                     util::Table::num(cq_report.quant_accuracy * 100, 2),
+                     util::Table::num(apn_report.quant_accuracy * 100, 2),
+                     util::Table::num(
+                         (cq_report.quant_accuracy - apn_report.quant_accuracy) * 100, 2),
+                     util::Table::num(cq_report.achieved_avg_bits, 2)});
+      csv.add_row({net.label, setting, util::Table::num(fp_acc, 4),
+                   util::Table::num(cq_report.quant_accuracy, 4),
+                   util::Table::num(apn_report.quant_accuracy, 4),
+                   util::Table::num(cq_report.achieved_avg_bits, 3),
+                   util::Table::num(apn_report.achieved_avg_bits, 3)});
+      std::printf("[%s %s] done in %.1fs (CQ %.3f vs APN %.3f, FP %.3f)\n",
+                  net.label.c_str(), setting.c_str(), timer.seconds(),
+                  cq_report.quant_accuracy, apn_report.quant_accuracy, fp_acc);
+    }
+  }
+
+  std::printf("\n%s", table.render().c_str());
+  std::printf("(accuracies in %%; CQ avg bits is the achieved average weight bit-width)\n");
+  return 0;
+}

@@ -1,0 +1,68 @@
+// Reproduces Figure 6: the sorted filter importance-score curves of
+// VGG-small (2.0/2.0 on CIFAR-10) with the final bit-width thresholds
+// drawn across them, plus the resulting per-layer bit bands.
+//
+// Paper shape to reproduce: one global set of thresholds partitions
+// every layer's sorted curve into 0/1/2/3/4-bit bands; fully-connected
+// layers lose many neurons to 0-bit; the layer closest to the output
+// keeps everything at >= 2 bits.
+
+#include <cstdio>
+
+#include "core/pipeline.h"
+#include "harness.h"
+#include "util/csv.h"
+#include "util/table.h"
+
+int main(int argc, char** argv) {
+  using namespace cq;
+  const util::Cli cli(argc, argv);
+  const bench::BenchScale scale = bench::BenchScale::from_cli(cli);
+  const double bits = cli.get_double("bits", 2.0);
+
+  const data::DataSplit split = bench::dataset_c10(scale);
+  auto model = bench::make_vgg_small(10);
+  const double fp_acc = bench::train_fp_cached(*model, split, "vgg_c10", scale);
+
+  core::CqConfig cfg = bench::make_cq_config(bits, static_cast<int>(bits), scale);
+  cfg.refine.epochs = 0;  // Figure 6 shows the arrangement, not refinement
+  core::CqPipeline pipeline(cfg);
+  const core::CqReport report = pipeline.run(*model, split);
+
+  std::printf("=== Figure 6: bit-width thresholds, VGG-small %.1f/%.1f CIFAR-10-like ===\n",
+              bits, bits);
+  std::printf("FP acc %.4f | achieved avg bits %.3f\n\nThresholds (0/1, 1/2, 2/3, 3/4):",
+              fp_acc, report.achieved_avg_bits);
+  for (const double p : report.thresholds) std::printf(" %.2f", p);
+  std::printf("\n\n");
+
+  util::CsvWriter csv(cli.get("csv", "fig6_bitwidth_thresholds.csv"),
+                      {"layer", "sorted_index", "score", "bits"});
+  util::Table table({"layer", "filters", "0-bit", "1-bit", "2-bit", "3-bit", "4-bit"});
+  for (std::size_t l = 0; l < report.scores.size(); ++l) {
+    const auto& layer = report.scores[l];
+    auto sorted = layer.filter_phi;
+    std::sort(sorted.begin(), sorted.end());
+    int counts[5] = {0, 0, 0, 0, 0};
+    for (std::size_t i = 0; i < sorted.size(); ++i) {
+      const int b = core::ThresholdSearch::bits_for_score(sorted[i], report.thresholds);
+      ++counts[b];
+      csv.add_row({layer.name, std::to_string(i), util::Table::num(sorted[i], 4),
+                   std::to_string(b)});
+    }
+    table.add_row({layer.name, std::to_string(sorted.size()), std::to_string(counts[0]),
+                   std::to_string(counts[1]), std::to_string(counts[2]),
+                   std::to_string(counts[3]), std::to_string(counts[4])});
+    // ASCII rendition of the sorted curve with bit bands.
+    std::printf("Layer-%zu %-8s |", l + 1, layer.name.c_str());
+    for (std::size_t i = 0; i < sorted.size();
+         i += std::max<std::size_t>(1, sorted.size() / 32)) {
+      std::printf("%d", core::ThresholdSearch::bits_for_score(sorted[i],
+                                                              report.thresholds));
+    }
+    std::printf("| (score %.2f..%.2f)\n", sorted.front(), sorted.back());
+  }
+  std::printf("\n%s", table.render().c_str());
+  std::printf("(digits above: bit-width along each layer's sorted score curve)\n");
+  return 0;
+}

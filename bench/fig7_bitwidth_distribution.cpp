@@ -1,0 +1,82 @@
+// Reproduces Figure 7: the number of weights per bit-width bucket
+// (0..6 bits in the paper's axis; {0..4} is the search range) for all
+// four networks at the 2.0/2.0, 3.0/3.0 and 4.0/4.0 settings.
+//
+// Paper shape to reproduce: VGG-small puts many weights at 0-bit
+// (mostly FC layers); the ResNets keep more weights at 1-2 bits
+// instead of pruning; 4.0/4.0 keeps most weights at high bit-width.
+
+#include <cstdio>
+#include <functional>
+
+#include "core/pipeline.h"
+#include "harness.h"
+#include "util/csv.h"
+#include "util/table.h"
+
+namespace {
+
+struct NetworkCase {
+  std::string label;
+  std::string checkpoint;
+  std::function<std::unique_ptr<cq::nn::Model>()> make;
+  const cq::data::DataSplit* split;
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace cq;
+  const util::Cli cli(argc, argv);
+  const bench::BenchScale scale = bench::BenchScale::from_cli(cli);
+  const std::string only = cli.get("only", "");
+
+  const data::DataSplit c10 = bench::dataset_c10(scale);
+  const data::DataSplit c100 = bench::dataset_c100(scale);
+  const std::vector<NetworkCase> cases = {
+      {"VGG-small CIFAR10", "vgg_c10", [] { return bench::make_vgg_small(10); }, &c10},
+      {"VGG-small CIFAR100", "vgg_c100", [] { return bench::make_vgg_small(100); },
+       &c100},
+      {"ResNet-20-x1 CIFAR10", "resnet_x1_c10",
+       [] { return bench::make_resnet20(10, 1); }, &c10},
+      {"ResNet-20-x5 CIFAR100", "resnet_x5_c100",
+       [] { return bench::make_resnet20(100, 5); }, &c100},
+  };
+  const std::vector<double> settings = {2.0, 3.0, 4.0};
+
+  std::printf("=== Figure 7: weight counts per bit-width ===\n\n");
+  util::Table table({"network", "setting", "0-bit", "1-bit", "2-bit", "3-bit", "4-bit",
+                     "avg"});
+  util::CsvWriter csv(cli.get("csv", "fig7_bitwidth_distribution.csv"),
+                      {"network", "setting", "bits", "weights"});
+
+  for (const auto& net : cases) {
+    if (!only.empty() && net.checkpoint.find(only) == std::string::npos) continue;
+    auto fp_model = net.make();
+    bench::train_fp_cached(*fp_model, *net.split, net.checkpoint, scale);
+
+    for (const double bits : settings) {
+      auto model = fp_model->clone();
+      core::CqConfig cfg = bench::make_cq_config(bits, static_cast<int>(bits), scale);
+      cfg.refine.epochs = 0;  // the figure shows arrangements, not accuracy
+      core::CqPipeline pipeline(cfg);
+      const core::CqReport report = pipeline.run(*model, *net.split);
+
+      const std::string setting =
+          util::Table::num(bits, 1) + "/" + util::Table::num(bits, 1);
+      std::vector<std::string> row = {net.label, setting};
+      for (int b = 0; b <= 4; ++b) {
+        const std::size_t count = report.arrangement.weights_with_bits(b);
+        row.push_back(std::to_string(count));
+        csv.add_row({net.label, setting, std::to_string(b), std::to_string(count)});
+      }
+      row.push_back(util::Table::num(report.achieved_avg_bits, 2));
+      table.add_row(std::move(row));
+      std::printf("[%s %s] avg %.2f bits over %zu weights\n", net.label.c_str(),
+                  setting.c_str(), report.achieved_avg_bits,
+                  report.arrangement.total_weights());
+    }
+  }
+  std::printf("\n%s", table.render().c_str());
+  return 0;
+}

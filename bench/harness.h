@@ -1,0 +1,57 @@
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "core/pipeline.h"
+#include "data/synthetic.h"
+#include "nn/models/resnet20.h"
+#include "nn/models/vgg_small.h"
+#include "nn/trainer.h"
+#include "util/cli.h"
+
+namespace cq::bench {
+
+/// Workload scale of a figure bench. Defaults regenerate the paper's
+/// figures at single-CPU size; `--fast` quarters the work for smoke
+/// runs and `--train_per_class/--fp_epochs/...` override individual
+/// knobs.
+struct BenchScale {
+  int train_per_class_c10 = 150;
+  int val_per_class_c10 = 40;
+  int test_per_class_c10 = 40;
+  int train_per_class_c100 = 25;
+  int val_per_class_c100 = 10;
+  int test_per_class_c100 = 8;
+  int fp_epochs = 5;
+  int refine_epochs = 2;
+  int eval_samples = 100;
+  int importance_samples = 20;
+
+  static BenchScale from_cli(const util::Cli& cli);
+};
+
+/// Synthetic CIFAR-10/100 stand-ins at bench scale (see DESIGN.md §2).
+data::DataSplit dataset_c10(const BenchScale& scale);
+data::DataSplit dataset_c100(const BenchScale& scale);
+
+/// Bench-sized models matching the paper's four network configs.
+std::unique_ptr<nn::Model> make_vgg_small(int num_classes, std::uint64_t seed = 1);
+std::unique_ptr<nn::Model> make_resnet20(int num_classes, int expand,
+                                         std::uint64_t seed = 1);
+
+/// Trains `model` to full precision with the paper's optimizer recipe,
+/// caching the weights under bench_checkpoints/<name>.cqt so the
+/// figure benches share one training run per network/dataset pair.
+/// Returns the FP test accuracy.
+double train_fp_cached(nn::Model& model, const data::DataSplit& split,
+                       const std::string& name, const BenchScale& scale);
+
+/// CQ pipeline config for a W/A setting at bench scale (paper Section
+/// IV: bit range {0..4}, T1 = 50%, R = 0.8, alpha = 0.3).
+core::CqConfig make_cq_config(double weight_bits, int act_bits, const BenchScale& scale);
+
+/// Refine config shared by the APN/WN baselines (equal conditions).
+core::RefineConfig make_refine_config(const BenchScale& scale);
+
+}  // namespace cq::bench

@@ -1,0 +1,112 @@
+// Hardware cost report (DESIGN.md ablation A4): what the paper's
+// average-bit-width reduction buys on accelerator hardware. For each
+// W/A setting, the CQ arrangement is compared against layer-uniform
+// quantization at the same nominal bits and against an int8 uniform
+// reference, under
+//   - the 45nm-class energy model (multipliers, SRAM, DRAM), and
+//   - a bit-serial precision-scalable PE array (latency in cycles).
+// Also prints the deployment artifact size from the packed exporter.
+
+#include <cstdio>
+
+#include "core/pipeline.h"
+#include "deploy/artifact.h"
+#include "harness.h"
+#include "hw/cost_model.h"
+#include "hw/pe_array.h"
+#include "util/csv.h"
+#include "util/table.h"
+
+int main(int argc, char** argv) {
+  using namespace cq;
+  const util::Cli cli(argc, argv);
+  const bench::BenchScale scale = bench::BenchScale::from_cli(cli);
+
+  const data::DataSplit split = bench::dataset_c10(scale);
+  auto fp_model = bench::make_vgg_small(10);
+  const double fp_acc = bench::train_fp_cached(*fp_model, split, "vgg_c10", scale);
+  std::printf("[INFO] fp accuracy %.4f\n", fp_acc);
+
+  // One sample image for workload tracing.
+  tensor::Tensor sample({1, split.train.images.dim(1), split.train.images.dim(2),
+                         split.train.images.dim(3)});
+  for (std::size_t i = 0; i < sample.numel(); ++i) sample[i] = split.train.images[i];
+
+  const hw::EnergyModel energy;
+  const hw::PeArrayConfig pe;
+
+  util::Table table({"config", "avg bits", "accuracy", "energy uJ", "cycles", "speedup",
+                     "artifact KB"});
+  util::CsvWriter csv(cli.get("csv", "hw_cost_report.csv"),
+                      {"config", "avg_bits", "accuracy", "energy_uj", "cycles",
+                       "speedup_vs_int8", "artifact_kb"});
+
+  // int8 layer-uniform reference everything is normalized against.
+  auto ref_model = fp_model->clone();
+  const auto ref_workloads =
+      hw::uniform_workloads(hw::trace_workloads(*ref_model, sample, 8), 8);
+  const hw::PeArrayReport ref_timing = hw::simulate_pe_array(ref_workloads, pe);
+  const hw::ModelCost ref_cost = hw::estimate_cost(ref_workloads, energy);
+  const double ref_acc = nn::Trainer::evaluate(*fp_model, split.test.images, split.test.labels);
+  table.add_row({"uniform int8", "8.00", util::Table::num(ref_acc * 100, 2),
+                 util::Table::num(ref_cost.total_pj() / 1e6, 2),
+                 std::to_string(ref_timing.total_cycles), "1.00", "-"});
+  csv.add_row({"uniform_int8", "8.0", util::Table::num(ref_acc, 4),
+               util::Table::num(ref_cost.total_pj() / 1e6, 3),
+               std::to_string(ref_timing.total_cycles), "1.000", ""});
+
+  for (const double bits : {2.0, 3.0, 4.0}) {
+    const int abits = static_cast<int>(bits);
+
+    // CQ at the desired average bit-width.
+    auto cq_model = fp_model->clone();
+    const core::CqConfig cq_cfg = bench::make_cq_config(bits, abits, scale);
+    const core::CqReport report = core::CqPipeline(cq_cfg).run(*cq_model, split);
+    const auto cq_workloads = hw::trace_workloads(*cq_model, sample, abits);
+    const hw::ModelCost cq_cost = hw::estimate_cost(cq_workloads, energy);
+    const hw::PeArrayReport cq_timing = hw::simulate_pe_array(cq_workloads, pe);
+    const deploy::SizeReport size = deploy::size_report(deploy::export_model(*cq_model));
+
+    char label[64];
+    std::snprintf(label, sizeof label, "CQ %.1f/%.1f", bits, bits);
+    table.add_row({label, util::Table::num(report.achieved_avg_bits, 2),
+                   util::Table::num(report.quant_accuracy * 100, 2),
+                   util::Table::num(cq_cost.total_pj() / 1e6, 2),
+                   std::to_string(cq_timing.total_cycles),
+                   util::Table::num(cq_timing.speedup_over(ref_timing), 2),
+                   util::Table::num(static_cast<double>(size.total_bytes()) / 1024.0, 1)});
+    csv.add_row({label, util::Table::num(report.achieved_avg_bits, 3),
+                 util::Table::num(report.quant_accuracy, 4),
+                 util::Table::num(cq_cost.total_pj() / 1e6, 3),
+                 std::to_string(cq_timing.total_cycles),
+                 util::Table::num(cq_timing.speedup_over(ref_timing), 3),
+                 util::Table::num(static_cast<double>(size.total_bytes()) / 1024.0, 2)});
+    std::printf("[INFO] CQ %.1f: acc %.3f, %.2f uJ, %lld cycles (%.2fx vs int8)\n", bits,
+                report.quant_accuracy, cq_cost.total_pj() / 1e6,
+                static_cast<long long>(cq_timing.total_cycles),
+                cq_timing.speedup_over(ref_timing));
+
+    // Layer-uniform at the same nominal bits (no search, no pruning).
+    auto uni_model = fp_model->clone();
+    const auto uni_workloads =
+        hw::uniform_workloads(hw::trace_workloads(*uni_model, sample, abits), abits);
+    const hw::ModelCost uni_cost = hw::estimate_cost(uni_workloads, energy);
+    const hw::PeArrayReport uni_timing = hw::simulate_pe_array(uni_workloads, pe);
+    std::snprintf(label, sizeof label, "uniform %d-bit", abits);
+    table.add_row({label, util::Table::num(bits, 2), "-",
+                   util::Table::num(uni_cost.total_pj() / 1e6, 2),
+                   std::to_string(uni_timing.total_cycles),
+                   util::Table::num(uni_timing.speedup_over(ref_timing), 2), "-"});
+    csv.add_row({label, util::Table::num(bits, 3), "",
+                 util::Table::num(uni_cost.total_pj() / 1e6, 3),
+                 std::to_string(uni_timing.total_cycles),
+                 util::Table::num(uni_timing.speedup_over(ref_timing), 3), ""});
+  }
+
+  std::printf("\n%s", table.render().c_str());
+  std::printf(
+      "\nEnergy: 45nm-class constants (8x8 MAC 0.3 pJ, SRAM %.3f pJ/bit, DRAM %.1f "
+      "pJ/bit); latency: %dx%d bit-serial PE array.\n",
+      energy.sram_pj_per_bit, energy.dram_pj_per_bit, pe.rows, pe.cols);
+  return 0;
+}

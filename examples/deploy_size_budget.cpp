@@ -1,0 +1,91 @@
+// Deployment scenario from the paper's introduction: a model must fit
+// a mobile-class weight-storage budget. This example sweeps the
+// average bit-width B, reports the accuracy/size trade-off curve, and
+// selects the smallest model above a user accuracy floor.
+//
+// Run: ./deploy_size_budget [--min_acc=0.85] [--model=vgg|resnet]
+
+#include <algorithm>
+#include <cstdio>
+
+#include "core/pipeline.h"
+#include "data/synthetic.h"
+#include "nn/models/resnet20.h"
+#include "nn/models/vgg_small.h"
+#include "nn/trainer.h"
+#include "util/cli.h"
+#include "util/table.h"
+
+int main(int argc, char** argv) {
+  using namespace cq;
+  const util::Cli cli(argc, argv);
+  const double min_acc = cli.get_double("min_acc", 0.85);
+  const bool use_resnet = cli.get("model", "vgg") == "resnet";
+
+  data::SyntheticVisionConfig data_cfg = data::synthetic_cifar10_like();
+  data_cfg.train_per_class = 100;
+  const data::DataSplit data = data::make_synthetic_vision(data_cfg);
+
+  std::unique_ptr<nn::Model> fp_model;
+  if (use_resnet) {
+    nn::ResNet20Config cfg;
+    cfg.base_width = 2;
+    fp_model = std::make_unique<nn::ResNet20>(cfg);
+  } else {
+    fp_model = std::make_unique<nn::VggSmall>(nn::VggSmallConfig{});
+  }
+
+  nn::TrainConfig train_cfg;
+  train_cfg.epochs = 4;
+  train_cfg.batch_size = 50;
+  train_cfg.lr = use_resnet ? 0.05 : 0.02;
+  train_cfg.lr_milestones = {3};
+  nn::Trainer trainer(train_cfg);
+  trainer.fit(*fp_model, data.train.images, data.train.labels);
+  const double fp_acc =
+      nn::Trainer::evaluate(*fp_model, data.test.images, data.test.labels);
+
+  util::Table table({"avg bits", "weight KiB", "accuracy", "acc drop"});
+  struct Row {
+    double bits, kib, acc;
+  };
+  std::vector<Row> rows;
+  for (const double bits : {4.0, 3.0, 2.0, 1.0}) {
+    auto model = fp_model->clone();
+    core::CqConfig cfg;
+    cfg.search.desired_avg_bits = bits;
+    cfg.refine.epochs = 2;
+    cfg.activation_bits = 4;
+    core::CqPipeline pipeline(cfg);
+    const core::CqReport report = pipeline.run(*model, data);
+    // Pruned filters cost one mask bit per weight (conservative).
+    const double kib = report.arrangement.storage_bytes(/*pruned_bits=*/1) / 1024.0;
+    rows.push_back({report.achieved_avg_bits, kib, report.quant_accuracy});
+    table.add_row({util::Table::num(report.achieved_avg_bits, 2),
+                   util::Table::num(kib, 1),
+                   util::Table::num(report.quant_accuracy, 4),
+                   util::Table::num(fp_acc - report.quant_accuracy, 4)});
+    std::printf("B=%.1f done (acc %.4f, %.1f KiB)\n", bits, report.quant_accuracy, kib);
+  }
+
+  std::printf("\n=== Accuracy / size trade-off (%s, FP acc %.4f) ===\n%s",
+              use_resnet ? "ResNet-20" : "VGG-small", fp_acc, table.render().c_str());
+
+  const auto pick = std::min_element(rows.begin(), rows.end(), [&](const Row& a, const Row& b) {
+    const bool a_ok = a.acc >= min_acc;
+    const bool b_ok = b.acc >= min_acc;
+    if (a_ok != b_ok) return a_ok;
+    return a_ok ? a.kib < b.kib : a.acc > b.acc;
+  });
+  if (pick != rows.end() && pick->acc >= min_acc) {
+    std::printf("smallest deployment above %.0f%% accuracy: %.2f avg bits (%.1f KiB, %.4f)\n",
+                min_acc * 100, pick->bits, pick->kib, pick->acc);
+  } else {
+    std::printf("no configuration reaches the %.0f%% accuracy floor; best is %.4f\n",
+                min_acc * 100,
+                std::max_element(rows.begin(), rows.end(), [](const Row& a, const Row& b) {
+                  return a.acc < b.acc;
+                })->acc);
+  }
+  return 0;
+}

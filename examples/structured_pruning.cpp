@@ -1,0 +1,74 @@
+// Structured pruning through 0-bit quantization (paper Section I:
+// "if weights are quantized to 0-bit, it means those weights are
+// pruned"). Runs the CQ search with a 1-bit range so every filter is
+// either kept (1 bit, binary weights) or pruned (0 bit), sweeping the
+// average-bit budget to trace a pruning-rate/accuracy curve.
+//
+// Run: ./structured_pruning [--model=resnet|vgg]
+
+#include <cstdio>
+
+#include "core/pipeline.h"
+#include "data/synthetic.h"
+#include "nn/models/resnet20.h"
+#include "nn/models/vgg_small.h"
+#include "nn/trainer.h"
+#include "util/cli.h"
+#include "util/table.h"
+
+int main(int argc, char** argv) {
+  using namespace cq;
+  const util::Cli cli(argc, argv);
+  const bool use_resnet = cli.get("model", "resnet") == "resnet";
+
+  data::SyntheticVisionConfig data_cfg = data::synthetic_cifar10_like();
+  data_cfg.train_per_class = 100;
+  const data::DataSplit data = data::make_synthetic_vision(data_cfg);
+
+  std::unique_ptr<nn::Model> fp_model;
+  if (use_resnet) {
+    nn::ResNet20Config cfg;
+    cfg.base_width = 2;
+    fp_model = std::make_unique<nn::ResNet20>(cfg);
+  } else {
+    fp_model = std::make_unique<nn::VggSmall>(nn::VggSmallConfig{});
+  }
+
+  nn::TrainConfig tc;
+  tc.epochs = 4;
+  tc.batch_size = 50;
+  tc.lr = use_resnet ? 0.05 : 0.02;
+  nn::Trainer trainer(tc);
+  trainer.fit(*fp_model, data.train.images, data.train.labels);
+  const double fp_acc =
+      nn::Trainer::evaluate(*fp_model, data.test.images, data.test.labels);
+  std::printf("FP accuracy: %.4f\n", fp_acc);
+
+  util::Table table({"bit budget", "kept filters", "pruned filters", "prune rate",
+                     "accuracy"});
+  for (const double budget : {0.9, 0.7, 0.5, 0.3}) {
+    auto model = fp_model->clone();
+    core::CqConfig cfg;
+    cfg.search.max_bits = 1;  // 0-bit = pruned, 1-bit = kept (binary)
+    cfg.search.desired_avg_bits = budget;
+    cfg.search.t1 = 0.4;
+    cfg.refine.epochs = 3;
+    cfg.refine.lr = 0.02;
+    cfg.activation_bits = 8;  // pruning study: keep activations precise
+    core::CqPipeline pipeline(cfg);
+    const core::CqReport report = pipeline.run(*model, data);
+
+    const std::size_t pruned = report.arrangement.filters_with_bits(0);
+    const std::size_t kept = report.arrangement.filters_with_bits(1);
+    table.add_row({util::Table::num(budget, 1), std::to_string(kept),
+                   std::to_string(pruned),
+                   util::Table::num(100.0 * static_cast<double>(pruned) /
+                                        static_cast<double>(kept + pruned), 1) + "%",
+                   util::Table::num(report.quant_accuracy, 4)});
+    std::printf("budget %.1f: pruned %zu/%zu filters, acc %.4f\n", budget, pruned,
+                kept + pruned, report.quant_accuracy);
+  }
+  std::printf("\n=== structured pruning via 0-bit quantization (%s) ===\n%s",
+              use_resnet ? "ResNet-20" : "VGG-small", table.render().c_str());
+  return 0;
+}

@@ -1,0 +1,60 @@
+#include "baselines/allocators.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/rng.h"
+
+namespace cq::baselines {
+
+namespace {
+
+core::LayerScores scores_skeleton(const nn::ScoredLayerRef& scored) {
+  core::LayerScores s;
+  s.name = scored.name;
+  s.is_conv = scored.is_conv;
+  s.channels = scored.layers.front()->num_filters();
+  s.spatial = 1;
+  return s;
+}
+
+}  // namespace
+
+std::vector<core::LayerScores> magnitude_scores(nn::Model& model) {
+  std::vector<core::LayerScores> all;
+  for (const auto& scored : model.scored_layers()) {
+    core::LayerScores s = scores_skeleton(scored);
+    const quant::QuantizableLayer* layer = scored.layers.front();
+    s.filter_phi.resize(static_cast<std::size_t>(s.channels));
+    float layer_max = 0.0f;
+    for (int k = 0; k < s.channels; ++k) {
+      const auto w = layer->filter_weights(k);
+      double acc = 0.0;
+      for (const float v : w) acc += std::fabs(v);
+      const float mean_abs = w.empty() ? 0.0f : static_cast<float>(acc / static_cast<double>(w.size()));
+      s.filter_phi[static_cast<std::size_t>(k)] = mean_abs;
+      layer_max = std::max(layer_max, mean_abs);
+    }
+    if (layer_max > 0.0f) {
+      for (float& v : s.filter_phi) v /= layer_max;
+    }
+    s.neuron_gamma = s.filter_phi;
+    all.push_back(std::move(s));
+  }
+  return all;
+}
+
+std::vector<core::LayerScores> random_scores(nn::Model& model, std::uint64_t seed) {
+  util::Rng rng(seed);
+  std::vector<core::LayerScores> all;
+  for (const auto& scored : model.scored_layers()) {
+    core::LayerScores s = scores_skeleton(scored);
+    s.filter_phi.resize(static_cast<std::size_t>(s.channels));
+    for (float& v : s.filter_phi) v = static_cast<float>(rng.uniform());
+    s.neuron_gamma = s.filter_phi;
+    all.push_back(std::move(s));
+  }
+  return all;
+}
+
+}  // namespace cq::baselines

@@ -1,0 +1,19 @@
+#pragma once
+
+#include "core/importance.h"
+#include "core/search.h"
+
+namespace cq::baselines {
+
+/// Ablation: per-filter scores from weight magnitude (mean |w| of the
+/// filter, normalized per layer to [0, 1]) instead of the class-based
+/// gamma/phi scores. Running the same ThresholdSearch over these
+/// scores isolates the contribution of the *score definition* to CQ's
+/// results (DESIGN.md ablation A1).
+std::vector<core::LayerScores> magnitude_scores(nn::Model& model);
+
+/// Ablation: random per-filter scores (uniform [0, 1]) — the
+/// no-information lower bound for score-driven allocation.
+std::vector<core::LayerScores> random_scores(nn::Model& model, std::uint64_t seed);
+
+}  // namespace cq::baselines

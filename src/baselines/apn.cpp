@@ -1,0 +1,43 @@
+#include "baselines/apn.h"
+
+#include "nn/trainer.h"
+
+namespace cq::baselines {
+
+quant::BitArrangement apply_uniform_bits(nn::Model& model, int bits) {
+  quant::BitArrangement arrangement;
+  for (const auto& scored : model.scored_layers()) {
+    for (quant::QuantizableLayer* layer : scored.layers) {
+      std::vector<int> filter_bits(static_cast<std::size_t>(layer->num_filters()), bits);
+      layer->set_filter_bits(filter_bits);
+      quant::LayerBits lb;
+      lb.layer_name = scored.name;
+      lb.filter_bits = std::move(filter_bits);
+      lb.weights_per_filter = layer->weights_per_filter();
+      arrangement.add_layer(std::move(lb));
+    }
+  }
+  return arrangement;
+}
+
+BaselineReport ApnQuantizer::run(nn::Model& model, const data::DataSplit& data) const {
+  BaselineReport report;
+  report.fp_accuracy = nn::Trainer::evaluate(model, data.test.images, data.test.labels);
+
+  std::unique_ptr<nn::Model> teacher = model.clone();
+  teacher->set_training(false);
+
+  const quant::BitArrangement arrangement = apply_uniform_bits(model, config_.weight_bits);
+  report.achieved_avg_bits = arrangement.average_bits();
+  model.calibrate_activations(data.train.images);
+  model.set_activation_bits(config_.activation_bits);
+  report.quant_accuracy_pre_refine =
+      nn::Trainer::evaluate(model, data.test.images, data.test.labels);
+
+  core::Refiner refiner(config_.refine);
+  const core::RefineResult refined = refiner.run(model, *teacher, data.train, data.test);
+  report.quant_accuracy = refined.accuracy_after;
+  return report;
+}
+
+}  // namespace cq::baselines

@@ -1,0 +1,49 @@
+#pragma once
+
+#include "core/refine.h"
+#include "data/dataset.h"
+#include "nn/models/model.h"
+
+namespace cq::baselines {
+
+/// Shared report format of the baseline quantizers.
+struct BaselineReport {
+  double fp_accuracy = 0.0;
+  double quant_accuracy_pre_refine = 0.0;
+  double quant_accuracy = 0.0;
+  double achieved_avg_bits = 0.0;
+};
+
+/// Any-Precision-Network-style baseline (paper ref. [12], used in the
+/// Figure-4 comparison): *model-wise uniform* quantization — every
+/// quantizable filter gets the same bit-width and the activations the
+/// same A — refined with knowledge distillation from the FP model.
+/// This is exactly the per-bit-width specialisation of APN the paper
+/// compares against ("neural networks of APN were set to individual
+/// bit-width").
+struct ApnConfig {
+  int weight_bits = 2;
+  int activation_bits = 2;
+  core::RefineConfig refine;
+};
+
+class ApnQuantizer {
+ public:
+  explicit ApnQuantizer(ApnConfig config = {}) : config_(config) {}
+
+  /// Quantizes `model` (pre-trained, full precision) in place and
+  /// refines it; returns the accuracy report.
+  BaselineReport run(nn::Model& model, const data::DataSplit& data) const;
+
+  const ApnConfig& config() const { return config_; }
+
+ private:
+  ApnConfig config_;
+};
+
+/// Sets `bits` uniformly on every scored layer of the model and
+/// returns the resulting arrangement (also used by the layer-uniform
+/// allocation ablation).
+quant::BitArrangement apply_uniform_bits(nn::Model& model, int bits);
+
+}  // namespace cq::baselines

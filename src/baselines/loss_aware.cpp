@@ -1,0 +1,135 @@
+#include "baselines/loss_aware.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <stdexcept>
+
+#include "nn/loss.h"
+#include "quant/uniform.h"
+#include "util/logging.h"
+
+namespace cq::baselines {
+
+namespace {
+
+struct Candidate {
+  std::string name;
+  quant::QuantizableLayer* layer = nullptr;
+};
+
+/// Increase in the layer's weight quantization MSE when filter `k`
+/// drops from `bits` to `bits - 1` — the cheap in-layer proxy that
+/// ranks which filters to demote together.
+double demotion_error_increase(const quant::QuantizableLayer& layer, int k, int bits,
+                               quant::UniformRange range) {
+  const std::span<const float> w = layer.filter_weights(k);
+  double before = 0.0;
+  double after = 0.0;
+  for (const float x : w) {
+    const float qb = quant::quantize_one(x, range, bits);
+    const float qa = quant::quantize_one(x, range, bits - 1);
+    before += static_cast<double>(qb - x) * (qb - x);
+    after += static_cast<double>(qa - x) * (qa - x);
+  }
+  return after - before;
+}
+
+}  // namespace
+
+LossAwareResult LossAwareAllocator::run(nn::Model& model, const data::Dataset& val) const {
+  if (config_.max_bits < 1) {
+    throw std::invalid_argument("LossAwareAllocator: max_bits must be >= 1");
+  }
+  std::vector<Candidate> candidates;
+  for (const nn::ScoredLayerRef& ref : model.scored_layers()) {
+    int idx = 0;
+    for (quant::QuantizableLayer* layer : ref.layers) {
+      const std::string name =
+          ref.layers.size() > 1 ? ref.name + "#" + std::to_string(idx) : ref.name;
+      candidates.push_back({name, layer});
+      ++idx;
+    }
+  }
+  if (candidates.empty()) {
+    throw std::invalid_argument("LossAwareAllocator: model has no quantizable layers");
+  }
+
+  // Everything starts at the highest precision (as in the CQ search).
+  for (const Candidate& c : candidates) {
+    c.layer->set_filter_bits(
+        std::vector<int>(static_cast<std::size_t>(c.layer->num_filters()), config_.max_bits));
+  }
+
+  const data::Dataset eval_set =
+      val.stratified_take(static_cast<std::size_t>(config_.eval_samples));
+  LossAwareResult result;
+
+  const bool was_training = model.training();
+  model.set_training(false);
+  nn::SoftmaxCrossEntropy ce;
+  const auto eval_loss = [&]() {
+    ++result.evaluations;
+    const tensor::Tensor logits = model.forward(eval_set.images);
+    return ce.forward(logits, eval_set.labels);
+  };
+
+  const auto avg_bits = [&]() { return model.bit_arrangement().average_bits(); };
+
+  // Greedy demotion rounds: per round, try one chunked demotion in
+  // every layer, keep the cheapest in validation loss.
+  const std::size_t max_moves = 100000;
+  std::size_t moves = 0;
+  while (avg_bits() > config_.desired_avg_bits && moves++ < max_moves) {
+    double best_loss = 0.0;
+    std::size_t best_candidate = candidates.size();
+    std::vector<int> best_bits;
+
+    for (std::size_t ci = 0; ci < candidates.size(); ++ci) {
+      quant::QuantizableLayer& layer = *candidates[ci].layer;
+      const std::vector<int> old_bits = layer.filter_bits();
+
+      // Rank demotable filters by quantization-error increase.
+      const quant::UniformRange range{-layer.weight_abs_max(), layer.weight_abs_max()};
+      std::vector<std::pair<double, int>> ranked;
+      for (int k = 0; k < layer.num_filters(); ++k) {
+        const int b = old_bits[static_cast<std::size_t>(k)];
+        if (b <= 0) continue;
+        ranked.emplace_back(demotion_error_increase(layer, k, b, range), k);
+      }
+      if (ranked.empty()) continue;  // layer fully pruned already
+      std::sort(ranked.begin(), ranked.end());
+      const std::size_t chunk = std::max<std::size_t>(
+          1, static_cast<std::size_t>(std::llround(
+                 config_.chunk_fraction * static_cast<double>(layer.num_filters()))));
+
+      std::vector<int> trial_bits = old_bits;
+      for (std::size_t j = 0; j < std::min(chunk, ranked.size()); ++j) {
+        --trial_bits[static_cast<std::size_t>(ranked[j].second)];
+      }
+      layer.set_filter_bits(trial_bits);
+      const double loss = eval_loss();
+      layer.set_filter_bits(old_bits);
+
+      if (best_candidate == candidates.size() || loss < best_loss) {
+        best_loss = loss;
+        best_candidate = ci;
+        best_bits = std::move(trial_bits);
+      }
+    }
+    if (best_candidate == candidates.size()) break;  // nothing left to demote
+    candidates[best_candidate].layer->set_filter_bits(std::move(best_bits));
+    if (config_.verbose) {
+      util::log_info() << "loss-aware: demoted " << candidates[best_candidate].name
+                       << ", loss " << best_loss << ", avg bits " << avg_bits();
+    }
+  }
+
+  result.final_loss = eval_loss();
+  result.achieved_avg_bits = avg_bits();
+  result.arrangement = model.bit_arrangement();
+  model.set_training(was_training);
+  return result;
+}
+
+}  // namespace cq::baselines

@@ -1,0 +1,57 @@
+#pragma once
+
+#include "data/dataset.h"
+#include "nn/models/model.h"
+#include "quant/bitwidth.h"
+
+namespace cq::baselines {
+
+/// Parameters of the loss-aware iterative allocator.
+struct LossAwareConfig {
+  int max_bits = 4;
+  double desired_avg_bits = 2.0;
+  /// Validation samples per loss evaluation.
+  int eval_samples = 200;
+  /// Fraction of a layer's filters demoted together per move (the
+  /// filters with the smallest quantization-error increase). Chunked
+  /// moves keep the number of loss evaluations tractable; 1-filter
+  /// moves would be the textbook greedy.
+  double chunk_fraction = 0.1;
+  bool verbose = false;
+};
+
+/// Result of the allocation run.
+struct LossAwareResult {
+  double achieved_avg_bits = 0.0;
+  double final_loss = 0.0;
+  /// Validation-loss evaluations performed — the efficiency metric the
+  /// paper contrasts CQ's one-time back propagation against.
+  int evaluations = 0;
+  quant::BitArrangement arrangement;
+};
+
+/// Loss-based iterative bit allocation in the spirit of the paper's
+/// reference [8] (distribution-aware multi-bit quantization): no
+/// importance scores — instead, filters are demoted one bit at a time,
+/// layer by layer, always taking the move that increases validation
+/// loss the least, until the average bit-width reaches the budget.
+///
+/// Every move costs one forward-pass loss evaluation per candidate
+/// layer, so the search is much more expensive than CQ's one-time
+/// backprop + threshold sweep — which is exactly the comparison the
+/// ablation bench reports (accuracy *and* evaluation count).
+///
+/// The model is left fake-quantized with the found arrangement.
+class LossAwareAllocator {
+ public:
+  explicit LossAwareAllocator(LossAwareConfig config = {}) : config_(config) {}
+
+  LossAwareResult run(nn::Model& model, const data::Dataset& val) const;
+
+  const LossAwareConfig& config() const { return config_; }
+
+ private:
+  LossAwareConfig config_;
+};
+
+}  // namespace cq::baselines

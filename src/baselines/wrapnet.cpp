@@ -1,0 +1,53 @@
+#include "baselines/wrapnet.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "nn/trainer.h"
+#include "quant/uniform.h"
+
+namespace cq::baselines {
+
+BaselineReport WnQuantizer::run(nn::Model& model, const data::DataSplit& data) const {
+  BaselineReport report;
+  report.fp_accuracy = nn::Trainer::evaluate(model, data.test.images, data.test.labels);
+
+  std::unique_ptr<nn::Model> teacher = model.clone();
+  teacher->set_training(false);
+
+  const quant::BitArrangement arrangement = apply_uniform_bits(model, config_.weight_bits);
+  report.achieved_avg_bits = arrangement.average_bits();
+  model.calibrate_activations(data.train.images);
+  model.set_activation_bits(config_.activation_bits);
+
+  // Activation quantization step from the calibrated clip ranges; the
+  // global maximum is a conservative stand-in for per-layer wiring.
+  float act_max = 0.0f;
+  for (nn::ActQuant* aq : model.activation_quantizers()) {
+    act_max = std::max(act_max, aq->max_activation());
+  }
+  const float a_step =
+      act_max / static_cast<float>(quant::levels_for_bits(config_.activation_bits) - 1);
+
+  for (const auto& scored : model.scored_layers()) {
+    for (quant::QuantizableLayer* layer : scored.layers) {
+      const float w_max = layer->weight_abs_max();
+      const float w_step =
+          2.0f * w_max /
+          static_cast<float>(quant::levels_for_bits(config_.weight_bits) - 1);
+      const float lsb = w_step * a_step;
+      const float period = std::ldexp(lsb, config_.accumulator_bits);
+      layer->set_accumulator_wrap(period);
+    }
+  }
+
+  report.quant_accuracy_pre_refine =
+      nn::Trainer::evaluate(model, data.test.images, data.test.labels);
+
+  core::Refiner refiner(config_.refine);
+  const core::RefineResult refined = refiner.run(model, *teacher, data.train, data.test);
+  report.quant_accuracy = refined.accuracy_after;
+  return report;
+}
+
+}  // namespace cq::baselines

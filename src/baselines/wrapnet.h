@@ -1,0 +1,41 @@
+#pragma once
+
+#include "baselines/apn.h"
+
+namespace cq::baselines {
+
+/// WrapNet-style baseline (paper ref. [11], Figure-5 comparison):
+/// model-wise uniform W/A quantization executed on *low-precision
+/// accumulators*. The defining degradation of WrapNet relative to CQ
+/// at equal average bit-width is (a) the uniform — not filter-wise —
+/// bit allocation and (b) partial sums wrapping in a narrow
+/// accumulator.
+///
+/// The wrap is simulated in the real domain: a signed `acc_bits`
+/// accumulator holds multiples of lsb = w_step * a_step, so its
+/// overflow wraps the pre-bias layer output modulo
+/// 2^acc_bits * lsb. w_step is the layer's own quantization step;
+/// a_step is derived from the calibrated activation clip range
+/// (DESIGN.md documents this substitution for WrapNet's integer
+/// pipeline). Refinement trains through the wrap with STE, standing
+/// in for WrapNet's cyclic-activation overflow handling.
+struct WnConfig {
+  int weight_bits = 1;
+  int activation_bits = 3;
+  int accumulator_bits = 14;
+  core::RefineConfig refine;
+};
+
+class WnQuantizer {
+ public:
+  explicit WnQuantizer(WnConfig config = {}) : config_(config) {}
+
+  BaselineReport run(nn::Model& model, const data::DataSplit& data) const;
+
+  const WnConfig& config() const { return config_; }
+
+ private:
+  WnConfig config_;
+};
+
+}  // namespace cq::baselines

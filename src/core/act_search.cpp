@@ -1,0 +1,96 @@
+#include "core/act_search.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <stdexcept>
+
+namespace cq::core {
+
+namespace {
+
+double mean_phi(const LayerScores& layer) {
+  if (layer.filter_phi.empty()) return 0.0;
+  double sum = 0.0;
+  for (const float phi : layer.filter_phi) sum += phi;
+  return sum / static_cast<double>(layer.filter_phi.size());
+}
+
+double mean_bits(const std::vector<int>& bits) {
+  if (bits.empty()) return 0.0;
+  return static_cast<double>(std::accumulate(bits.begin(), bits.end(), 0)) /
+         static_cast<double>(bits.size());
+}
+
+}  // namespace
+
+ActBitsResult allocate_activation_bits(const std::vector<LayerScores>& scores,
+                                       const ActBitsConfig& config) {
+  if (config.min_bits < 0 || config.max_bits < config.min_bits) {
+    throw std::invalid_argument("allocate_activation_bits: bad bit bounds");
+  }
+  if (config.avg_bits < config.min_bits || config.avg_bits > config.max_bits) {
+    throw std::invalid_argument(
+        "allocate_activation_bits: avg_bits outside [min_bits, max_bits]");
+  }
+  ActBitsResult result;
+  if (scores.empty()) return result;
+
+  std::vector<double> layer_score(scores.size());
+  double score_sum = 0.0;
+  for (std::size_t i = 0; i < scores.size(); ++i) {
+    result.layer_names.push_back(scores[i].name);
+    layer_score[i] = mean_phi(scores[i]);
+    score_sum += layer_score[i];
+  }
+
+  // Proportional share of the bit budget, clamped to the bounds. A
+  // degenerate all-zero score vector degrades to uniform A.
+  const double mean_score = score_sum / static_cast<double>(scores.size());
+  result.bits.resize(scores.size());
+  for (std::size_t i = 0; i < scores.size(); ++i) {
+    const double raw = mean_score > 0.0
+                           ? static_cast<double>(config.avg_bits) * layer_score[i] / mean_score
+                           : static_cast<double>(config.avg_bits);
+    result.bits[i] = std::clamp(static_cast<int>(std::llround(raw)), config.min_bits,
+                                config.max_bits);
+  }
+
+  // Rounding and clamping can leave the mean above the budget; repair
+  // by decrementing the least important layers first (ties: later
+  // layer first, matching the intuition that later layers sit closer
+  // to the robust classifier head).
+  std::vector<std::size_t> by_score(scores.size());
+  std::iota(by_score.begin(), by_score.end(), 0u);
+  std::stable_sort(by_score.begin(), by_score.end(), [&](std::size_t a, std::size_t b) {
+    return layer_score[a] < layer_score[b];
+  });
+  bool progress = true;
+  while (mean_bits(result.bits) > static_cast<double>(config.avg_bits) && progress) {
+    progress = false;
+    for (const std::size_t i : by_score) {
+      if (result.bits[i] > config.min_bits) {
+        --result.bits[i];
+        progress = true;
+        break;
+      }
+    }
+  }
+  result.achieved_avg = mean_bits(result.bits);
+  return result;
+}
+
+void apply_activation_bits(nn::Model& model, const ActBitsResult& result) {
+  const std::vector<nn::ScoredLayerRef> scored = model.scored_layers();
+  if (scored.size() != result.bits.size()) {
+    throw std::invalid_argument(
+        "apply_activation_bits: result does not match the model's scored layers");
+  }
+  for (std::size_t i = 0; i < scored.size(); ++i) {
+    if (scored[i].act_quant != nullptr) {
+      scored[i].act_quant->set_bits(result.bits[i]);
+    }
+  }
+}
+
+}  // namespace cq::core

@@ -1,0 +1,45 @@
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/importance.h"
+#include "nn/models/model.h"
+
+namespace cq::core {
+
+/// Parameters of the per-layer activation bit allocation.
+struct ActBitsConfig {
+  /// Target mean bit-width over the scored layers' quantizers (the A
+  /// of the paper's W/A settings).
+  int avg_bits = 4;
+  int min_bits = 1;
+  int max_bits = 8;
+};
+
+/// Per-layer activation bit assignment.
+struct ActBitsResult {
+  std::vector<std::string> layer_names;  ///< scored-layer order
+  std::vector<int> bits;
+  double achieved_avg = 0.0;
+};
+
+/// EXTENSION beyond the paper (DESIGN.md §6): the paper sets every
+/// activation quantizer to the same A. This allocator reuses the
+/// class-based layer scores to spend the same average A non-uniformly:
+/// a layer's share is proportional to its mean filter importance
+/// (how many classes its filters matter to), clamped to
+/// [min_bits, max_bits], then decremented greedily from the
+/// least-important layers until the mean is back at/below avg_bits.
+///
+/// Deterministic; allocation only reads the scores, so it can be unit
+/// tested without a model.
+ActBitsResult allocate_activation_bits(const std::vector<LayerScores>& scores,
+                                       const ActBitsConfig& config = {});
+
+/// Applies the assignment to the model's scored layers' activation
+/// quantizers (unscored quantizers, e.g. the first layer's, keep their
+/// current setting). The result must have one entry per scored layer.
+void apply_activation_bits(nn::Model& model, const ActBitsResult& result);
+
+}  // namespace cq::core

@@ -1,0 +1,82 @@
+#include "core/class_damage.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "nn/metrics.h"
+#include "util/stats.h"
+
+namespace cq::core {
+
+ClassDamageReport analyze_class_damage(nn::Model& fp_model, nn::Model& quant_model,
+                                       const std::vector<LayerScores>& scores,
+                                       const data::Dataset& test) {
+  const int num_classes = test.num_classes();
+  if (num_classes <= 0) {
+    throw std::invalid_argument("analyze_class_damage: empty test set");
+  }
+  for (const LayerScores& layer : scores) {
+    if (layer.class_filter_beta.size() != static_cast<std::size_t>(num_classes)) {
+      throw std::invalid_argument(
+          "analyze_class_damage: scores lack per-class betas for layer '" + layer.name +
+          "' (collect with keep_class_scores = true)");
+    }
+  }
+
+  // The arrangement under analysis, in scored-layer order.
+  const auto scored = quant_model.scored_layers();
+  if (scored.size() != scores.size()) {
+    throw std::invalid_argument(
+        "analyze_class_damage: score/model layer count mismatch");
+  }
+  int max_bits = 0;
+  for (const auto& ref : scored) {
+    for (const auto* layer : ref.layers) {
+      for (const int b : layer->filter_bits()) max_bits = std::max(max_bits, b);
+    }
+  }
+
+  ClassDamageReport report;
+  report.retained_importance.assign(static_cast<std::size_t>(num_classes), 1.0);
+  if (max_bits > 0) {
+    for (int m = 0; m < num_classes; ++m) {
+      double total = 0.0;
+      double kept = 0.0;
+      for (std::size_t l = 0; l < scores.size(); ++l) {
+        // The first quantizable layer of the ref owns the scores; any
+        // sibling (ResNet projection shortcut) shares the same bits.
+        const std::vector<int>& bits = scored[l].layers.front()->filter_bits();
+        const std::vector<float>& beta =
+            scores[l].class_filter_beta[static_cast<std::size_t>(m)];
+        if (bits.size() != beta.size()) {
+          throw std::invalid_argument(
+              "analyze_class_damage: filter count mismatch in layer '" +
+              scores[l].name + "'");
+        }
+        for (std::size_t k = 0; k < beta.size(); ++k) {
+          total += beta[k];
+          kept += static_cast<double>(beta[k]) * bits[k] / max_bits;
+        }
+      }
+      report.retained_importance[static_cast<std::size_t>(m)] =
+          total > 0.0 ? kept / total : 1.0;
+    }
+  }
+
+  const nn::ConfusionMatrix fp_cm =
+      nn::evaluate_confusion(fp_model, test.images, test.labels, num_classes);
+  const nn::ConfusionMatrix q_cm =
+      nn::evaluate_confusion(quant_model, test.images, test.labels, num_classes);
+  report.fp_accuracy = fp_cm.per_class_accuracy();
+  report.quant_accuracy = q_cm.per_class_accuracy();
+  report.accuracy_drop.resize(static_cast<std::size_t>(num_classes));
+  std::vector<double> neg_drop(static_cast<std::size_t>(num_classes));
+  for (std::size_t m = 0; m < report.accuracy_drop.size(); ++m) {
+    report.accuracy_drop[m] = report.fp_accuracy[m] - report.quant_accuracy[m];
+    neg_drop[m] = -report.accuracy_drop[m];
+  }
+  report.rank_correlation = util::spearman(report.retained_importance, neg_drop);
+  return report;
+}
+
+}  // namespace cq::core

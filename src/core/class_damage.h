@@ -1,0 +1,40 @@
+#pragma once
+
+#include <vector>
+
+#include "core/importance.h"
+#include "data/dataset.h"
+#include "nn/models/model.h"
+
+namespace cq::core {
+
+/// Per-class view of what a bit-width arrangement did to the network —
+/// the direct validation of the paper's core hypothesis: filters score
+/// high for the classes whose critical pathways they carry, so classes
+/// whose high-beta filters kept more bits should lose less accuracy.
+struct ClassDamageReport {
+  /// Share of each class's importance mass kept by the arrangement:
+  /// sum_k beta^m_k * bits_k / max_bits over all scored filters,
+  /// normalized by the class's total mass. 1 = untouched, 0 = every
+  /// filter the class relies on was pruned.
+  std::vector<double> retained_importance;
+  std::vector<double> fp_accuracy;     ///< per-class, full precision
+  std::vector<double> quant_accuracy;  ///< per-class, quantized
+  std::vector<double> accuracy_drop;   ///< fp - quant, per class
+  /// Spearman rank correlation between retained importance and
+  /// -accuracy_drop: positive = classes that kept their filters kept
+  /// their accuracy (the hypothesis holding).
+  double rank_correlation = 0.0;
+};
+
+/// Computes the report. `scores` must come from an ImportanceCollector
+/// run with keep_class_scores = true on the *same* model architecture;
+/// `quant_model` carries the bit arrangement (its scored layers' order
+/// must match `scores`, which any same-architecture model guarantees).
+/// Throws std::invalid_argument when the class matrices are missing or
+/// the layer geometry disagrees.
+ClassDamageReport analyze_class_damage(nn::Model& fp_model, nn::Model& quant_model,
+                                       const std::vector<LayerScores>& scores,
+                                       const data::Dataset& test);
+
+}  // namespace cq::core

@@ -1,0 +1,124 @@
+#include "core/importance.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "nn/trainer.h"
+
+namespace cq::core {
+
+std::vector<LayerScores> ImportanceCollector::collect(nn::Model& model,
+                                                      const data::Dataset& val) const {
+  const int num_classes = val.num_classes();
+  if (num_classes <= 0) throw std::invalid_argument("ImportanceCollector: empty dataset");
+
+  const bool was_training = model.training();
+  model.set_training(false);
+  model.set_recording(true);
+
+  auto scored = model.scored_layers();
+  std::vector<LayerScores> scores(scored.size());
+  bool initialized = false;
+
+  for (int cls = 0; cls < num_classes; ++cls) {
+    auto class_indices = val.indices_of_class(cls);
+    if (class_indices.empty()) continue;
+    if (static_cast<int>(class_indices.size()) > config_.samples_per_class) {
+      class_indices.resize(static_cast<std::size_t>(config_.samples_per_class));
+    }
+    const auto ns = static_cast<float>(class_indices.size());
+
+    const nn::Tensor batch = nn::gather_batch(val.images, class_indices);
+    const nn::Tensor logits = model.forward(batch);
+
+    // Phi is the class-m logit; back-propagate its gradient (one-hot
+    // rows) so every probe captures dPhi/da for all images at once.
+    nn::Tensor grad(logits.shape());
+    for (int n = 0; n < logits.dim(0); ++n) grad.at(n, cls) = 1.0f;
+    model.zero_grad();
+    model.backward(grad);
+
+    for (std::size_t l = 0; l < scored.size(); ++l) {
+      const nn::Tensor& act = scored[l].probe->activation();
+      const nn::Tensor& g = scored[l].probe->gradient();
+      if (act.empty() || act.shape() != g.shape()) {
+        throw std::runtime_error("ImportanceCollector: probe " + scored[l].name +
+                                 " captured no activation/gradient");
+      }
+      const int batch_n = act.dim(0);
+      const std::size_t neurons = act.numel() / static_cast<std::size_t>(batch_n);
+      if (!initialized) {
+        scores[l].name = scored[l].name;
+        scores[l].is_conv = scored[l].is_conv;
+        scores[l].channels = scored[l].is_conv ? act.dim(1) : static_cast<int>(neurons);
+        scores[l].spatial =
+            scored[l].is_conv ? static_cast<int>(neurons) / act.dim(1) : 1;
+        scores[l].neuron_gamma.assign(neurons, 0.0f);
+        if (config_.keep_class_scores) {
+          scores[l].class_filter_beta.assign(
+              static_cast<std::size_t>(num_classes),
+              std::vector<float>(static_cast<std::size_t>(scores[l].channels), 0.0f));
+        }
+      }
+      // beta^m per neuron: fraction of this class's images whose
+      // Taylor score exceeds epsilon (Eq. 5-6); accumulate into gamma.
+      auto& gamma = scores[l].neuron_gamma;
+      const auto spatial = static_cast<std::size_t>(scores[l].spatial);
+      for (std::size_t j = 0; j < neurons; ++j) {
+        int critical = 0;
+        for (int n = 0; n < batch_n; ++n) {
+          const std::size_t idx = static_cast<std::size_t>(n) * neurons + j;
+          const double s = std::fabs(static_cast<double>(act[idx]) * g[idx]);
+          if (s > config_.epsilon) ++critical;
+        }
+        const float beta = static_cast<float>(critical) / ns;
+        gamma[j] += beta;
+        if (config_.keep_class_scores) {
+          // Filter-level beta: Eq. (8)'s max reduction per class.
+          float& cell = scores[l].class_filter_beta[static_cast<std::size_t>(cls)]
+                                                   [j / spatial];
+          cell = std::max(cell, beta);
+        }
+      }
+    }
+    initialized = true;
+  }
+
+  // Eq. (8): per-filter max over the filter's spatial neurons.
+  for (auto& layer : scores) {
+    if (layer.neuron_gamma.empty()) {
+      throw std::runtime_error("ImportanceCollector: no scores collected");
+    }
+    layer.filter_phi.assign(static_cast<std::size_t>(layer.channels), 0.0f);
+    for (int c = 0; c < layer.channels; ++c) {
+      float phi = 0.0f;
+      for (int s = 0; s < layer.spatial; ++s) {
+        phi = std::max(phi,
+                       layer.neuron_gamma[static_cast<std::size_t>(c) * layer.spatial + s]);
+      }
+      layer.filter_phi[static_cast<std::size_t>(c)] = phi;
+    }
+  }
+
+  model.set_recording(false);
+  model.set_training(was_training);
+  model.zero_grad();
+  return scores;
+}
+
+std::size_t total_filters(const std::vector<LayerScores>& scores) {
+  std::size_t n = 0;
+  for (const auto& layer : scores) n += layer.filter_phi.size();
+  return n;
+}
+
+float max_score(const std::vector<LayerScores>& scores) {
+  float m = 0.0f;
+  for (const auto& layer : scores) {
+    for (const float phi : layer.filter_phi) m = std::max(m, phi);
+  }
+  return m;
+}
+
+}  // namespace cq::core

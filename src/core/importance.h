@@ -1,0 +1,77 @@
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "data/dataset.h"
+#include "nn/models/model.h"
+
+namespace cq::core {
+
+/// Class-based importance scores of one scored layer.
+///
+/// `neuron_gamma` holds Eq. (7)'s gamma for every neuron: conv layers
+/// have channels*spatial neurons (channel-major), FC layers have one
+/// neuron per output feature. `filter_phi` is Eq. (8)'s per-filter
+/// max-reduction (identical to neuron_gamma for FC layers). Scores lie
+/// in [0, M]: the (fractional) number of classes the unit is in the
+/// critical pathway of.
+struct LayerScores {
+  std::string name;
+  bool is_conv = true;
+  int channels = 0;
+  int spatial = 1;
+  std::vector<float> neuron_gamma;
+  std::vector<float> filter_phi;
+  /// Optional per-class filter scores (ImportanceConfig::
+  /// keep_class_scores): class_filter_beta[m][k] is Eq. (6)'s beta of
+  /// filter k for class m, reduced over the filter's spatial neurons
+  /// by max (the Eq. (8) reduction). Used by the per-class damage
+  /// analysis; empty unless requested.
+  std::vector<std::vector<float>> class_filter_beta;
+};
+
+/// Parameters of the importance collection (paper Section III-A/B).
+struct ImportanceConfig {
+  /// Critical-pathway threshold epsilon; the paper uses 1e-50 — any
+  /// nonzero Taylor term marks the neuron as on the pathway.
+  double epsilon = 1e-50;
+  /// Validation images per class (N_s in Eq. 6). Classes with fewer
+  /// available samples use what exists.
+  int samples_per_class = 20;
+  /// Also record per-class filter betas (LayerScores::
+  /// class_filter_beta) for the class-damage analysis. Off by default:
+  /// the matrices cost M x filters floats per layer.
+  bool keep_class_scores = false;
+};
+
+/// Computes class-based importance scores with one backward pass per
+/// class batch (the paper's "one-time back propagation" — a single
+/// backward over the scoring set in total).
+///
+/// For each class m, a batch of its validation images is forwarded in
+/// eval mode and the gradient of the class logit (the critical-pathway
+/// output Phi) is back-propagated; each probe then yields the Taylor
+/// scores s = |a * dPhi/da| (Eq. 5) for every neuron and image.
+/// beta^m (Eq. 6) is the fraction of the class's images whose score
+/// exceeds epsilon; gamma (Eq. 7) sums beta over classes; phi (Eq. 8)
+/// maxes gamma over each filter's spatial neurons.
+class ImportanceCollector {
+ public:
+  explicit ImportanceCollector(ImportanceConfig config = {}) : config_(config) {}
+
+  std::vector<LayerScores> collect(nn::Model& model, const data::Dataset& val) const;
+
+  const ImportanceConfig& config() const { return config_; }
+
+ private:
+  ImportanceConfig config_;
+};
+
+/// Total number of filters across all layers' `filter_phi`.
+std::size_t total_filters(const std::vector<LayerScores>& scores);
+
+/// Maximum phi over all layers (the top of the search range).
+float max_score(const std::vector<LayerScores>& scores);
+
+}  // namespace cq::core

@@ -1,0 +1,60 @@
+#include "core/pipeline.h"
+
+#include "core/act_search.h"
+
+#include "util/logging.h"
+
+namespace cq::core {
+
+CqReport CqPipeline::run(nn::Model& model, const data::DataSplit& data) const {
+  CqReport report;
+  report.fp_accuracy = nn::Trainer::evaluate(model, data.test.images, data.test.labels);
+
+  // 1. Freeze the full-precision teacher before any quantization.
+  std::unique_ptr<nn::Model> teacher = model.clone();
+  teacher->set_training(false);
+
+  // 2. Importance scores are collected on the full-precision model
+  //    (activation quantizers still disabled).
+  ImportanceCollector collector(config_.importance);
+  report.scores = collector.collect(model, data.val);
+
+  // 3. Activation quantization: calibrate clip ranges by inference,
+  //    then set the desired bit-width A — uniformly as in the paper,
+  //    or redistributed by layer importance when the extension is on.
+  model.calibrate_activations(data.train.images);
+  model.set_activation_bits(config_.activation_bits);
+  if (config_.class_based_activation_bits) {
+    ActBitsConfig act_cfg;
+    act_cfg.avg_bits = config_.activation_bits;
+    act_cfg.min_bits = 1;
+    act_cfg.max_bits = 2 * config_.activation_bits;
+    const ActBitsResult assignment = allocate_activation_bits(report.scores, act_cfg);
+    apply_activation_bits(model, assignment);
+    report.activation_bits = assignment.bits;
+  } else {
+    report.activation_bits.assign(report.scores.size(), config_.activation_bits);
+  }
+
+  // 4. Search the per-filter weight bit-widths.
+  ThresholdSearch search(config_.search);
+  report.search = search.run(model, report.scores, data.val);
+  report.thresholds = report.search.thresholds;
+  report.arrangement = report.search.arrangement;
+  report.achieved_avg_bits = report.search.achieved_avg_bits;
+  report.quant_accuracy_pre_refine =
+      nn::Trainer::evaluate(model, data.test.images, data.test.labels);
+
+  // 5. Knowledge-distillation refinement (Eq. 10, STE).
+  Refiner refiner(config_.refine);
+  const RefineResult refined = refiner.run(model, *teacher, data.train, data.test);
+  report.quant_accuracy = refined.accuracy_after;
+
+  util::log_info() << "CQ: fp=" << report.fp_accuracy
+                   << " pre-refine=" << report.quant_accuracy_pre_refine
+                   << " refined=" << report.quant_accuracy
+                   << " avg_bits=" << report.achieved_avg_bits;
+  return report;
+}
+
+}  // namespace cq::core

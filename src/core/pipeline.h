@@ -1,0 +1,62 @@
+#pragma once
+
+#include <memory>
+
+#include "core/importance.h"
+#include "core/refine.h"
+#include "core/search.h"
+
+namespace cq::core {
+
+/// End-to-end configuration of class-based quantization.
+struct CqConfig {
+  ImportanceConfig importance;
+  SearchConfig search;
+  RefineConfig refine;
+  /// Activation bit-width A of the paper's W/A settings; activations
+  /// are "directly set to the desired bit-widths" (Section IV).
+  int activation_bits = 2;
+  /// EXTENSION (off by default = the paper's behaviour): spend the
+  /// same average A non-uniformly across layers, proportional to each
+  /// layer's class-based importance (see core/act_search.h and
+  /// ablation A7). Unscored quantizers (first layer) stay at A.
+  bool class_based_activation_bits = false;
+};
+
+/// Full report of one CQ run — everything the paper's figures plot.
+struct CqReport {
+  double fp_accuracy = 0.0;             ///< full-precision test accuracy
+  double quant_accuracy_pre_refine = 0.0;
+  double quant_accuracy = 0.0;          ///< after KD refinement
+  double achieved_avg_bits = 0.0;
+  std::vector<double> thresholds;       ///< Figure 6 horizontal lines
+  std::vector<LayerScores> scores;      ///< Figures 2/3/6 curves
+  SearchResult search;                  ///< Figure 3 trace
+  quant::BitArrangement arrangement;    ///< Figure 7 histogram input
+  /// Per-layer activation bits actually applied (all equal to the
+  /// configured A unless class_based_activation_bits is on).
+  std::vector<int> activation_bits;
+};
+
+/// Facade running the complete method of the paper on a pre-trained
+/// full-precision model:
+///   1. clone the model as the frozen FP teacher;
+///   2. calibrate activation quantizers and set them to A bits;
+///   3. collect class-based importance scores (one-time backprop);
+///   4. threshold-search the per-filter bit-widths down to B;
+///   5. refine with knowledge distillation (Eq. 10) and STE.
+/// The model is left quantized (weights per the found arrangement,
+/// activations at A bits).
+class CqPipeline {
+ public:
+  explicit CqPipeline(CqConfig config = {}) : config_(config) {}
+
+  CqReport run(nn::Model& model, const data::DataSplit& data) const;
+
+  const CqConfig& config() const { return config_; }
+
+ private:
+  CqConfig config_;
+};
+
+}  // namespace cq::core

@@ -1,0 +1,27 @@
+#include "core/refine.h"
+
+namespace cq::core {
+
+RefineResult Refiner::run(nn::Model& student, nn::Model& teacher, const data::Dataset& train,
+                          const data::Dataset& test) const {
+  RefineResult result;
+  result.accuracy_before = nn::Trainer::evaluate(student, test.images, test.labels);
+
+  nn::TrainConfig tc;
+  tc.epochs = config_.epochs;
+  tc.batch_size = config_.batch_size;
+  tc.lr = config_.lr;
+  tc.momentum = config_.momentum;
+  tc.weight_decay = config_.weight_decay;
+  tc.lr_milestones = config_.lr_milestones;
+  tc.seed = config_.seed;
+  tc.verbose = config_.verbose;
+  tc.kd_alpha = config_.alpha;
+
+  nn::Trainer trainer(tc);
+  result.history = trainer.fit(student, train.images, train.labels, &teacher);
+  result.accuracy_after = nn::Trainer::evaluate(student, test.images, test.labels);
+  return result;
+}
+
+}  // namespace cq::core

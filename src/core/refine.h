@@ -1,0 +1,48 @@
+#pragma once
+
+#include "data/dataset.h"
+#include "nn/models/model.h"
+#include "nn/trainer.h"
+
+namespace cq::core {
+
+/// Parameters of the post-search refinement (paper Section III-D):
+/// knowledge distillation from the full-precision model with the
+/// straight-through estimator flowing gradients through the quantizer.
+struct RefineConfig {
+  int epochs = 4;
+  int batch_size = 50;
+  double lr = 0.01;
+  double momentum = 0.9;
+  double weight_decay = 5e-4;
+  double alpha = 0.3;  ///< Eq. (10) mixing factor (paper value)
+  std::vector<int> lr_milestones;
+  std::uint64_t seed = 3;
+  bool verbose = false;
+};
+
+/// Outcome of a refinement run.
+struct RefineResult {
+  double accuracy_before = 0.0;
+  double accuracy_after = 0.0;
+  std::vector<nn::EpochStats> history;
+};
+
+/// Refines a quantized student against its full-precision teacher
+/// using the KD loss of Eq. (10). The student's fake-quantized layers
+/// keep re-quantizing their master weights every forward, so training
+/// never leaves the quantized manifold the search selected (STE).
+class Refiner {
+ public:
+  explicit Refiner(RefineConfig config = {}) : config_(config) {}
+
+  RefineResult run(nn::Model& student, nn::Model& teacher, const data::Dataset& train,
+                   const data::Dataset& test) const;
+
+  const RefineConfig& config() const { return config_; }
+
+ private:
+  RefineConfig config_;
+};
+
+}  // namespace cq::core

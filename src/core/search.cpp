@@ -1,0 +1,172 @@
+#include "core/search.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "nn/trainer.h"
+#include "util/logging.h"
+
+namespace cq::core {
+
+namespace {
+
+/// Applies the mid-search bit assignment: with `determined` thresholds
+/// fixed so far (ascending), a filter gets 0 bits below the first,
+/// k-1 bits between the (k-1)-th and k-th, and keeps `max_bits` above
+/// the last determined threshold (later thresholds do not exist yet).
+/// When determined.size() == max_bits this equals the final rule.
+quant::BitArrangement apply_partial(nn::Model& model, const std::vector<LayerScores>& scores,
+                                    const std::vector<double>& determined, int max_bits) {
+  auto scored = model.scored_layers();
+  if (scored.size() != scores.size()) {
+    throw std::invalid_argument("ThresholdSearch: scores do not match model layers");
+  }
+  quant::BitArrangement arrangement;
+  for (std::size_t l = 0; l < scored.size(); ++l) {
+    std::vector<int> bits(scores[l].filter_phi.size(), max_bits);
+    for (std::size_t f = 0; f < bits.size(); ++f) {
+      const float phi = scores[l].filter_phi[f];
+      int count = 0;
+      for (const double p : determined) {
+        if (static_cast<double>(phi) >= p) ++count;
+      }
+      bits[f] = count == static_cast<int>(determined.size()) ? max_bits : count;
+    }
+    for (quant::QuantizableLayer* layer : scored[l].layers) {
+      layer->set_filter_bits(bits);
+      quant::LayerBits lb;
+      lb.layer_name = scores[l].name;
+      lb.filter_bits = bits;
+      lb.weights_per_filter = layer->weights_per_filter();
+      arrangement.add_layer(std::move(lb));
+    }
+  }
+  return arrangement;
+}
+
+}  // namespace
+
+int ThresholdSearch::bits_for_score(float score, const std::vector<double>& thresholds) {
+  int count = 0;
+  for (const double p : thresholds) {
+    if (static_cast<double>(score) >= p) ++count;
+  }
+  return count;
+}
+
+quant::BitArrangement ThresholdSearch::apply_thresholds(
+    nn::Model& model, const std::vector<LayerScores>& scores,
+    const std::vector<double>& thresholds) {
+  return apply_partial(model, scores, thresholds, static_cast<int>(thresholds.size()));
+}
+
+SearchResult ThresholdSearch::run(nn::Model& model, const std::vector<LayerScores>& scores,
+                                  const data::Dataset& val) const {
+  const int n_bits = config_.max_bits;
+  if (n_bits < 1) throw std::invalid_argument("ThresholdSearch: max_bits must be >= 1");
+  const float smax = max_score(scores);
+  const double step =
+      config_.step > 0.0 ? config_.step
+                         : std::max(1e-6, static_cast<double>(smax) * config_.step_fraction);
+
+  const data::Dataset eval_set =
+      val.stratified_take(static_cast<std::size_t>(config_.eval_samples));
+
+  SearchResult result;
+  const bool was_training = model.training();
+  model.set_training(false);
+
+  auto evaluate = [&](int& evals) {
+    ++evals;
+    return nn::Trainer::evaluate(model, eval_set.images, eval_set.labels);
+  };
+
+  std::vector<double> determined;  // p_1..p_k fixed so far
+  quant::BitArrangement arrangement = apply_partial(model, scores, determined, n_bits);
+  double avg_bits = arrangement.average_bits();
+  int evals = 0;
+
+  // ---- Phase 1: determine p_1..p_N against decaying accuracy targets.
+  bool budget_reached = avg_bits <= config_.desired_avg_bits;
+  double target = config_.t1;
+  for (int k = 1; k <= n_bits && !budget_reached; ++k) {
+    double pk = determined.empty() ? 0.0 : determined.back();
+    double last_acc = 1.0;
+    std::vector<int> last_signature;
+    while (true) {
+      if (pk >= static_cast<double>(smax)) break;  // reached the top
+      pk = std::min(pk + step, static_cast<double>(smax));
+
+      std::vector<double> candidate = determined;
+      candidate.push_back(pk);
+      arrangement = apply_partial(model, scores, candidate, n_bits);
+      avg_bits = arrangement.average_bits();
+
+      // Skip the forward evaluation when the step crossed no score.
+      std::vector<int> signature;
+      for (const auto& layer : arrangement.layers()) {
+        signature.insert(signature.end(), layer.filter_bits.begin(),
+                         layer.filter_bits.end());
+      }
+      if (signature != last_signature) {
+        last_acc = evaluate(evals);
+        last_signature = std::move(signature);
+      }
+      if (config_.verbose) {
+        util::log_debug() << "search k=" << k << " p=" << pk << " acc=" << last_acc
+                          << " avg_bits=" << avg_bits;
+      }
+      if (avg_bits <= config_.desired_avg_bits) {
+        budget_reached = true;
+        break;
+      }
+      if (last_acc < target) break;  // p_k determined here (paper rule)
+    }
+    determined.push_back(pk);
+    result.trace.push_back(
+        {k, pk, last_acc, target, avg_bits, /*fallback=*/false});
+    target *= config_.decay;  // Eq. (9)
+  }
+  // Any thresholds not reached before the budget stop collapse onto the
+  // last determined value (zero-width bands), which reproduces the
+  // mid-search assignment exactly under the final counting rule.
+  while (static_cast<int>(determined.size()) < n_bits) {
+    determined.push_back(determined.empty() ? 0.0 : determined.back());
+  }
+
+  arrangement = apply_partial(model, scores, determined, n_bits);
+  avg_bits = arrangement.average_bits();
+
+  // ---- Phase 2: fallback sweep for very small B (Section III-C):
+  // raise p_N, then p_N-1, ..., towards the maximum score until the
+  // budget is met; demoting high-bit filters costs less accuracy than
+  // pruning more filters at the bottom.
+  for (int k = n_bits; k >= 1 && avg_bits > config_.desired_avg_bits; --k) {
+    while (determined[static_cast<std::size_t>(k - 1)] < static_cast<double>(smax) &&
+           avg_bits > config_.desired_avg_bits) {
+      determined[static_cast<std::size_t>(k - 1)] =
+          std::min(static_cast<double>(smax),
+                   determined[static_cast<std::size_t>(k - 1)] + step);
+      arrangement = apply_partial(model, scores, determined, n_bits);
+      avg_bits = arrangement.average_bits();
+    }
+    result.trace.push_back({k, determined[static_cast<std::size_t>(k - 1)],
+                            /*accuracy=*/-1.0, /*target=*/-1.0, avg_bits,
+                            /*fallback=*/true});
+  }
+  if (avg_bits > config_.desired_avg_bits) {
+    util::log_warn() << "ThresholdSearch: budget " << config_.desired_avg_bits
+                     << " bits unreachable; achieved " << avg_bits;
+  }
+
+  result.thresholds = determined;
+  result.achieved_avg_bits = avg_bits;
+  result.final_accuracy = evaluate(evals);
+  result.evaluations = evals;
+  result.arrangement = arrangement;
+  model.set_training(was_training);
+  return result;
+}
+
+}  // namespace cq::core

@@ -1,0 +1,85 @@
+#pragma once
+
+#include "core/importance.h"
+#include "quant/bitwidth.h"
+
+namespace cq::core {
+
+/// Parameters of the bit-width threshold search (paper Section III-C).
+struct SearchConfig {
+  /// Highest allowed bit-width N; the paper uses the range {0..4}.
+  int max_bits = 4;
+  /// Desired average weight bit-width B.
+  double desired_avg_bits = 2.0;
+  /// First accuracy target T1 (fraction); the paper example uses 50%.
+  double t1 = 0.5;
+  /// Decay factor R of Eq. (9): T_k = T_{k-1} * R.
+  double decay = 0.8;
+  /// Threshold step D in importance-score units. 0 selects
+  /// max_score * step_fraction automatically.
+  double step = 0.0;
+  double step_fraction = 0.05;
+  /// Validation samples used per accuracy evaluation during search
+  /// ("inference of validation samples, instead of back propagation").
+  int eval_samples = 200;
+  bool verbose = false;
+};
+
+/// One determined threshold (or fallback sweep stop) of the search,
+/// recorded for the Figure-3 style trace.
+struct ThresholdStop {
+  int k = 0;               ///< which threshold p_k (1-based)
+  double threshold = 0.0;  ///< where it stopped
+  double accuracy = 0.0;   ///< validation accuracy at the stop
+  double target = 0.0;     ///< T_k in effect
+  double avg_bits = 0.0;   ///< average bit-width after the stop
+  bool fallback = false;   ///< true if from the low-B fallback sweep
+};
+
+/// Outcome of the search.
+struct SearchResult {
+  std::vector<double> thresholds;  ///< final p_1..p_N (ascending)
+  double achieved_avg_bits = 0.0;
+  double final_accuracy = 0.0;     ///< validation accuracy of the result
+  int evaluations = 0;             ///< forward-pass accuracy evals used
+  std::vector<ThresholdStop> trace;
+  quant::BitArrangement arrangement;
+};
+
+/// Greedy threshold search over sorted importance scores.
+///
+/// Bit assignment rule: a filter with score phi receives
+/// bits = |{k : phi >= p_k}| (0 below p_1, N at/above p_N). All
+/// thresholds start at 0 (everything at N bits); p_1..p_N are then
+/// raised in steps of D until validation accuracy falls below
+/// T_k = T1 * R^(k-1), stopping early once the average bit-width
+/// drops under B. If B is still not reached, the fallback sweep of
+/// Section III-C raises p_N..p_1 to the maximum score in turn.
+///
+/// The model's weights are fake-quantized in place during the search
+/// (via QuantizableLayer::set_filter_bits); the final arrangement is
+/// left applied and also returned.
+class ThresholdSearch {
+ public:
+  explicit ThresholdSearch(SearchConfig config = {}) : config_(config) {}
+
+  SearchResult run(nn::Model& model, const std::vector<LayerScores>& scores,
+                   const data::Dataset& val) const;
+
+  /// Applies the bit assignment implied by `thresholds` to the model's
+  /// scored layers; returns the resulting arrangement. Exposed for
+  /// tests and for re-applying a stored search result.
+  static quant::BitArrangement apply_thresholds(nn::Model& model,
+                                                const std::vector<LayerScores>& scores,
+                                                const std::vector<double>& thresholds);
+
+  /// bits = |{k : score >= p_k}| — the paper's grouping rule.
+  static int bits_for_score(float score, const std::vector<double>& thresholds);
+
+  const SearchConfig& config() const { return config_; }
+
+ private:
+  SearchConfig config_;
+};
+
+}  // namespace cq::core

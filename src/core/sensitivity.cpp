@@ -1,0 +1,42 @@
+#include "core/sensitivity.h"
+
+#include "nn/trainer.h"
+
+namespace cq::core {
+
+double LayerSensitivity::drop_at(int bits, double fp_accuracy) const {
+  for (std::size_t i = 0; i < bits_tested.size(); ++i) {
+    if (bits_tested[i] == bits) return fp_accuracy - accuracy[i];
+  }
+  return 0.0;
+}
+
+std::vector<LayerSensitivity> SensitivityProfiler::profile(nn::Model& model,
+                                                           const data::Dataset& val) const {
+  const data::Dataset eval_set =
+      val.stratified_take(static_cast<std::size_t>(eval_samples_));
+  const bool was_training = model.training();
+  model.set_training(false);
+  model.clear_weight_quantization();
+
+  std::vector<LayerSensitivity> profile;
+  for (const auto& scored : model.scored_layers()) {
+    LayerSensitivity sens;
+    sens.name = scored.name;
+    for (const int bits : bits_to_test_) {
+      for (quant::QuantizableLayer* layer : scored.layers) {
+        layer->set_filter_bits(
+            std::vector<int>(static_cast<std::size_t>(layer->num_filters()), bits));
+      }
+      sens.bits_tested.push_back(bits);
+      sens.accuracy.push_back(
+          nn::Trainer::evaluate(model, eval_set.images, eval_set.labels));
+      for (quant::QuantizableLayer* layer : scored.layers) layer->clear_filter_bits();
+    }
+    profile.push_back(std::move(sens));
+  }
+  model.set_training(was_training);
+  return profile;
+}
+
+}  // namespace cq::core

@@ -1,0 +1,43 @@
+#pragma once
+
+#include "data/dataset.h"
+#include "nn/models/model.h"
+
+namespace cq::core {
+
+/// Quantization sensitivity of one scored layer: validation accuracy
+/// when only this layer is quantized to each bit-width, everything
+/// else full precision.
+struct LayerSensitivity {
+  std::string name;
+  std::vector<int> bits_tested;
+  std::vector<double> accuracy;  ///< parallel to bits_tested
+
+  /// Accuracy drop (fp_accuracy - accuracy) at the given bits; NaN-free:
+  /// returns 0 for untested bits.
+  double drop_at(int bits, double fp_accuracy) const;
+};
+
+/// Per-layer quantization sensitivity profiler — the diagnostic
+/// companion to the CQ search. Where CQ *assumes* class-based scores
+/// rank filters well, the profiler measures each layer's tolerance
+/// directly (one validation sweep per layer x bit-width), in the
+/// spirit of sensitivity-guided mixed precision (HAWQ-style). Useful
+/// for validating a found arrangement and for the ablation benches.
+class SensitivityProfiler {
+ public:
+  /// `bits_to_test` are applied uniformly to one layer at a time.
+  explicit SensitivityProfiler(std::vector<int> bits_to_test = {1, 2, 4},
+                               int eval_samples = 200)
+      : bits_to_test_(std::move(bits_to_test)), eval_samples_(eval_samples) {}
+
+  /// Profiles every scored layer of `model`. The model's quantization
+  /// state is restored (cleared) afterwards.
+  std::vector<LayerSensitivity> profile(nn::Model& model, const data::Dataset& val) const;
+
+ private:
+  std::vector<int> bits_to_test_;
+  int eval_samples_;
+};
+
+}  // namespace cq::core

@@ -1,0 +1,95 @@
+#include "data/augment.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace cq::data {
+
+namespace {
+
+using tensor::Tensor;
+
+/// In-place horizontal flip of one [C, H, W] image.
+void flip_image(float* img, int c, int h, int w) {
+  for (int ch = 0; ch < c; ++ch) {
+    for (int y = 0; y < h; ++y) {
+      float* row = img + (static_cast<std::size_t>(ch) * h + y) * w;
+      std::reverse(row, row + w);
+    }
+  }
+}
+
+/// Shifted copy of one image: reads from (y - dy, x - dx), zero where
+/// the source falls outside — equivalent to pad-then-crop at offset
+/// (pad + dy, pad + dx).
+void shift_image(const float* src, float* dst, int c, int h, int w, int dy, int dx) {
+  for (int ch = 0; ch < c; ++ch) {
+    for (int y = 0; y < h; ++y) {
+      for (int x = 0; x < w; ++x) {
+        const int sy = y - dy;
+        const int sx = x - dx;
+        const bool inside = sy >= 0 && sy < h && sx >= 0 && sx < w;
+        dst[(static_cast<std::size_t>(ch) * h + y) * w + x] =
+            inside ? src[(static_cast<std::size_t>(ch) * h + sy) * w + sx] : 0.0f;
+      }
+    }
+  }
+}
+
+void cutout_image(float* img, int c, int h, int w, int cy, int cx, int side) {
+  const int y0 = std::max(0, cy - side / 2);
+  const int y1 = std::min(h, cy - side / 2 + side);
+  const int x0 = std::max(0, cx - side / 2);
+  const int x1 = std::min(w, cx - side / 2 + side);
+  for (int ch = 0; ch < c; ++ch) {
+    for (int y = y0; y < y1; ++y) {
+      for (int x = x0; x < x1; ++x) {
+        img[(static_cast<std::size_t>(ch) * h + y) * w + x] = 0.0f;
+      }
+    }
+  }
+}
+
+}  // namespace
+
+Tensor Augmenter::apply(const Tensor& batch, util::Rng& rng) const {
+  if (batch.rank() != 4) {
+    throw std::invalid_argument("Augmenter::apply: expected an NCHW batch");
+  }
+  const int n = batch.dim(0);
+  const int c = batch.dim(1);
+  const int h = batch.dim(2);
+  const int w = batch.dim(3);
+  const std::size_t image_size = static_cast<std::size_t>(c) * h * w;
+
+  Tensor out = batch;
+  std::vector<float> scratch(image_size);
+  for (int i = 0; i < n; ++i) {
+    float* img = out.data() + static_cast<std::size_t>(i) * image_size;
+
+    if (config_.pad > 0) {
+      const int dy = static_cast<int>(rng.uniform_int(-config_.pad, config_.pad));
+      const int dx = static_cast<int>(rng.uniform_int(-config_.pad, config_.pad));
+      if (dy != 0 || dx != 0) {
+        std::copy(img, img + image_size, scratch.data());
+        shift_image(scratch.data(), img, c, h, w, dy, dx);
+      }
+    }
+    if (config_.hflip && rng.uniform() < 0.5) {
+      flip_image(img, c, h, w);
+    }
+    if (config_.cutout > 0) {
+      const int cy = static_cast<int>(rng.uniform_int(0, h - 1));
+      const int cx = static_cast<int>(rng.uniform_int(0, w - 1));
+      cutout_image(img, c, h, w, cy, cx, config_.cutout);
+    }
+    if (config_.noise_stddev > 0.0f) {
+      for (std::size_t j = 0; j < image_size; ++j) {
+        img[j] += static_cast<float>(rng.normal(0.0, config_.noise_stddev));
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace cq::data

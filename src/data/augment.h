@@ -1,0 +1,48 @@
+#pragma once
+
+#include <functional>
+
+#include "tensor/tensor.h"
+#include "util/rng.h"
+
+namespace cq::data {
+
+/// Training-time image augmentation parameters. Defaults are the
+/// standard CIFAR recipe (random horizontal flip + 2-pixel-pad random
+/// crop); all transforms are label-preserving.
+struct AugmentConfig {
+  bool hflip = true;
+  /// Zero-pad by `pad` pixels on each side, then crop back at a random
+  /// offset. 0 disables the crop.
+  int pad = 2;
+  /// Side length of a randomly placed zeroed square (cutout). 0
+  /// disables.
+  int cutout = 0;
+  /// Stddev of additive per-pixel Gaussian noise. 0 disables.
+  float noise_stddev = 0.0f;
+};
+
+/// Applies the configured augmentations independently per image of an
+/// NCHW batch. Stateless apart from the caller-provided RNG, so the
+/// same seed reproduces the same augmented stream.
+class Augmenter {
+ public:
+  explicit Augmenter(AugmentConfig config = {}) : config_(config) {}
+
+  /// Augmented copy of `batch` ([N, C, H, W]).
+  tensor::Tensor apply(const tensor::Tensor& batch, util::Rng& rng) const;
+
+  /// Adapter matching nn::TrainConfig::augment.
+  std::function<tensor::Tensor(const tensor::Tensor&, util::Rng&)> as_fn() const {
+    return [config = config_](const tensor::Tensor& batch, util::Rng& rng) {
+      return Augmenter(config).apply(batch, rng);
+    };
+  }
+
+  const AugmentConfig& config() const { return config_; }
+
+ private:
+  AugmentConfig config_;
+};
+
+}  // namespace cq::data

@@ -1,0 +1,58 @@
+#include "data/cifar10.h"
+
+#include <cstdint>
+#include <filesystem>
+#include <fstream>
+#include <stdexcept>
+#include <vector>
+
+namespace cq::data {
+
+namespace {
+
+constexpr int kImageBytes = 3 * 32 * 32;
+constexpr int kRecordBytes = 1 + kImageBytes;
+constexpr float kMean[3] = {0.4914f, 0.4822f, 0.4465f};
+constexpr float kStd[3] = {0.2470f, 0.2435f, 0.2616f};
+
+}  // namespace
+
+bool is_cifar10_batch(const std::string& path) {
+  std::error_code ec;
+  const auto size = std::filesystem::file_size(path, ec);
+  if (ec) return false;
+  return size % kRecordBytes == 0 && size > 0;
+}
+
+Dataset load_cifar10_batch(const std::string& path, int max_records) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) throw std::runtime_error("load_cifar10_batch: cannot open " + path);
+  in.seekg(0, std::ios::end);
+  const auto file_size = static_cast<std::size_t>(in.tellg());
+  in.seekg(0);
+  if (file_size % kRecordBytes != 0) {
+    throw std::runtime_error("load_cifar10_batch: " + path + " is not a CIFAR-10 batch");
+  }
+  auto records = static_cast<int>(file_size / kRecordBytes);
+  if (max_records >= 0 && max_records < records) records = max_records;
+
+  Dataset out;
+  out.images = Tensor({records, 3, 32, 32});
+  out.labels.resize(static_cast<std::size_t>(records));
+  std::vector<unsigned char> buffer(kRecordBytes);
+  for (int r = 0; r < records; ++r) {
+    in.read(reinterpret_cast<char*>(buffer.data()), kRecordBytes);
+    if (!in) throw std::runtime_error("load_cifar10_batch: truncated record in " + path);
+    out.labels[static_cast<std::size_t>(r)] = buffer[0];
+    float* image = out.images.data() + static_cast<std::size_t>(r) * kImageBytes;
+    for (int c = 0; c < 3; ++c) {
+      for (int p = 0; p < 32 * 32; ++p) {
+        const float raw = static_cast<float>(buffer[1 + c * 32 * 32 + p]) / 255.0f;
+        image[c * 32 * 32 + p] = (raw - kMean[c]) / kStd[c];
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace cq::data

@@ -1,0 +1,22 @@
+#pragma once
+
+#include <string>
+
+#include "data/dataset.h"
+
+namespace cq::data {
+
+/// Loader for the CIFAR-10 binary format (data_batch_*.bin /
+/// test_batch.bin: 10000 records of [1 label byte][3072 pixel bytes],
+/// pixels channel-major R,G,B). Pixels are scaled to [0, 1] and
+/// per-channel mean/std normalized with the standard CIFAR statistics.
+///
+/// The reproduction ships no dataset (see DESIGN.md §2); this loader
+/// exists so the experiments can be re-run on real CIFAR when the
+/// binaries are placed in a directory and passed via --cifar_dir.
+Dataset load_cifar10_batch(const std::string& path, int max_records = -1);
+
+/// True when `path` looks like a CIFAR-10 batch file (size check).
+bool is_cifar10_batch(const std::string& path);
+
+}  // namespace cq::data

@@ -1,0 +1,67 @@
+#include "data/dataset.h"
+
+#include <algorithm>
+
+namespace cq::data {
+
+int Dataset::num_classes() const {
+  int m = 0;
+  for (const int l : labels) m = std::max(m, l + 1);
+  return m;
+}
+
+std::vector<std::size_t> Dataset::indices_of_class(int cls) const {
+  std::vector<std::size_t> out;
+  for (std::size_t i = 0; i < labels.size(); ++i) {
+    if (labels[i] == cls) out.push_back(i);
+  }
+  return out;
+}
+
+Dataset Dataset::subset(const std::vector<std::size_t>& indices) const {
+  tensor::Shape shape = images.shape();
+  const std::size_t sample_size =
+      images.numel() / static_cast<std::size_t>(shape[0] == 0 ? 1 : shape[0]);
+  shape[0] = static_cast<int>(indices.size());
+  Dataset out;
+  out.images = Tensor(shape);
+  out.labels.resize(indices.size());
+  for (std::size_t i = 0; i < indices.size(); ++i) {
+    const float* src = images.data() + indices[i] * sample_size;
+    std::copy(src, src + sample_size, out.images.data() + i * sample_size);
+    out.labels[i] = labels[indices[i]];
+  }
+  return out;
+}
+
+Dataset Dataset::take(std::size_t n) const {
+  n = std::min(n, size());
+  std::vector<std::size_t> idx(n);
+  for (std::size_t i = 0; i < n; ++i) idx[i] = i;
+  return subset(idx);
+}
+
+Dataset Dataset::stratified_take(std::size_t n) const {
+  n = std::min(n, size());
+  const int classes = num_classes();
+  std::vector<std::vector<std::size_t>> per_class(static_cast<std::size_t>(classes));
+  for (std::size_t i = 0; i < labels.size(); ++i) {
+    per_class[static_cast<std::size_t>(labels[i])].push_back(i);
+  }
+  std::vector<std::size_t> idx;
+  idx.reserve(n);
+  for (std::size_t round = 0; idx.size() < n; ++round) {
+    bool any = false;
+    for (const auto& cls : per_class) {
+      if (round < cls.size()) {
+        idx.push_back(cls[round]);
+        any = true;
+        if (idx.size() == n) break;
+      }
+    }
+    if (!any) break;
+  }
+  return subset(idx);
+}
+
+}  // namespace cq::data

@@ -1,0 +1,42 @@
+#pragma once
+
+#include <vector>
+
+#include "tensor/tensor.h"
+
+namespace cq::data {
+
+using tensor::Tensor;
+
+/// A labelled sample set: `images` has the sample axis first
+/// ([N, C, H, W] for vision data, [N, F] for flat features) and
+/// `labels[i]` is the class of sample i.
+struct Dataset {
+  Tensor images;
+  std::vector<int> labels;
+
+  std::size_t size() const { return labels.size(); }
+  int num_classes() const;
+
+  /// Indices of all samples with label `cls`.
+  std::vector<std::size_t> indices_of_class(int cls) const;
+
+  /// New dataset containing the samples at `indices` (copied).
+  Dataset subset(const std::vector<std::size_t>& indices) const;
+
+  /// First `n` samples (or all if fewer).
+  Dataset take(std::size_t n) const;
+
+  /// Up to `n` samples drawn round-robin across classes, so the subset
+  /// stays class-balanced even when the dataset is stored class-major.
+  Dataset stratified_take(std::size_t n) const;
+};
+
+/// Train/validation/test split of one generated corpus.
+struct DataSplit {
+  Dataset train;
+  Dataset val;
+  Dataset test;
+};
+
+}  // namespace cq::data

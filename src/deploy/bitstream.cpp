@@ -1,0 +1,49 @@
+#include "deploy/bitstream.h"
+
+#include <stdexcept>
+
+namespace cq::deploy {
+
+void BitWriter::append(std::uint32_t code, int bits) {
+  if (bits < 0 || bits > 32) {
+    throw std::invalid_argument("BitWriter::append: bits out of [0,32]");
+  }
+  if (bits < 32 && (code >> bits) != 0) {
+    throw std::invalid_argument("BitWriter::append: code does not fit in bits");
+  }
+  for (int i = 0; i < bits; ++i) {
+    const std::size_t byte = bit_count_ / 8;
+    const int offset = static_cast<int>(bit_count_ % 8);
+    if (byte == bytes_.size()) bytes_.push_back(0);
+    if ((code >> i) & 1u) {
+      bytes_[byte] = static_cast<std::uint8_t>(bytes_[byte] | (1u << offset));
+    }
+    ++bit_count_;
+  }
+}
+
+void BitWriter::align_to_byte() { bit_count_ = (bit_count_ + 7) / 8 * 8; }
+
+std::vector<std::uint8_t> BitWriter::take() && { return std::move(bytes_); }
+
+std::uint32_t BitReader::read(int bits) {
+  if (bits < 0 || bits > 32) {
+    throw std::invalid_argument("BitReader::read: bits out of [0,32]");
+  }
+  if (bits == 0) return 0;
+  if (exhausted(bits)) {
+    throw std::out_of_range("BitReader::read: past end of stream");
+  }
+  std::uint32_t code = 0;
+  for (int i = 0; i < bits; ++i) {
+    const std::size_t byte = pos_ / 8;
+    const int offset = static_cast<int>(pos_ % 8);
+    if ((bytes_[byte] >> offset) & 1u) code |= (1u << i);
+    ++pos_;
+  }
+  return code;
+}
+
+void BitReader::align_to_byte() { pos_ = (pos_ + 7) / 8 * 8; }
+
+}  // namespace cq::deploy

@@ -1,0 +1,180 @@
+#include "deploy/int_engine.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "deploy/bitstream.h"
+#include "quant/uniform.h"
+
+namespace cq::deploy {
+
+float IntegerLayer::weight_scale(int k) const {
+  const int b = filter_bits[static_cast<std::size_t>(k)];
+  if (b <= 0) return 0.0f;
+  // One step of the symmetric quantizer, halved because execution
+  // doubles the codes to keep the centering offset integral.
+  return range_hi / static_cast<float>(quant::levels_for_bits(b) - 1);
+}
+
+float IntegerLayer::weight_zero(int k) const {
+  const int b = filter_bits[static_cast<std::size_t>(k)];
+  if (b <= 0) return 0.0f;
+  return static_cast<float>(quant::levels_for_bits(b) - 1) / 2.0f;
+}
+
+IntegerLayer build_integer_layer(const PackedLayer& packed, std::vector<float> bias) {
+  if (bias.size() != static_cast<std::size_t>(packed.num_filters)) {
+    throw std::invalid_argument("build_integer_layer: bias size mismatch");
+  }
+  if (packed.filter_bits.size() != static_cast<std::size_t>(packed.num_filters)) {
+    throw std::invalid_argument("build_integer_layer: filter_bits size mismatch");
+  }
+  IntegerLayer layer;
+  layer.num_filters = packed.num_filters;
+  layer.weights_per_filter = packed.weights_per_filter;
+  layer.range_hi = packed.range_hi;
+  layer.filter_bits = packed.filter_bits;
+  layer.bias = std::move(bias);
+  layer.codes.assign(static_cast<std::size_t>(packed.num_filters) *
+                         static_cast<std::size_t>(packed.weights_per_filter),
+                     0);
+
+  BitReader reader(packed.codes);
+  for (int k = 0; k < packed.num_filters; ++k) {
+    const int b = packed.filter_bits[static_cast<std::size_t>(k)];
+    if (b == 0) continue;  // pruned: row stays zero and is skipped anyway
+    std::int32_t* row =
+        layer.codes.data() + static_cast<std::size_t>(k) * packed.weights_per_filter;
+    for (std::int64_t j = 0; j < packed.weights_per_filter; ++j) {
+      row[j] = static_cast<std::int32_t>(reader.read(b));
+    }
+  }
+  return layer;
+}
+
+ActCodes encode_activations(const tensor::Tensor& activations, float hi, int bits) {
+  if (bits < 1 || bits > 16) {
+    throw std::invalid_argument("encode_activations: bits must be in [1, 16]");
+  }
+  if (hi <= 0.0f) {
+    throw std::invalid_argument("encode_activations: activation range must be positive");
+  }
+  ActCodes out;
+  out.bits = bits;
+  const int levels = quant::levels_for_bits(bits);
+  out.scale = hi / static_cast<float>(levels - 1);
+  const float to_code = static_cast<float>(levels - 1) / hi;
+  out.codes.resize(activations.numel());
+  for (std::size_t i = 0; i < activations.numel(); ++i) {
+    const float clipped = std::clamp(activations[i], 0.0f, hi);
+    out.codes[i] = static_cast<std::int32_t>(std::round(clipped * to_code));
+  }
+  return out;
+}
+
+tensor::Tensor integer_linear_forward(const IntegerLayer& layer, const ActCodes& acts,
+                                      int batch, int in_features) {
+  if (in_features != layer.weights_per_filter) {
+    throw std::invalid_argument("integer_linear_forward: in_features mismatch");
+  }
+  if (acts.codes.size() != static_cast<std::size_t>(batch) * in_features) {
+    throw std::invalid_argument("integer_linear_forward: activation code count mismatch");
+  }
+  tensor::Tensor out({batch, layer.num_filters});
+  for (int n = 0; n < batch; ++n) {
+    const std::int32_t* a =
+        acts.codes.data() + static_cast<std::size_t>(n) * in_features;
+    for (int k = 0; k < layer.num_filters; ++k) {
+      const int b = layer.filter_bits[static_cast<std::size_t>(k)];
+      if (b == 0) {
+        // Pruned filter: output (and bias) are hard zero, matching the
+        // fake-quant semantics of 0-bit filters.
+        out.at(n, k) = 0.0f;
+        continue;
+      }
+      const std::int32_t offset =
+          static_cast<std::int32_t>(quant::levels_for_bits(b)) - 1;
+      const std::int32_t* w =
+          layer.codes.data() + static_cast<std::size_t>(k) * in_features;
+      // Pure integer MAC loop — the NPU inner product. Centered weight
+      // codes are doubled (2q - (levels-1)) so the offset stays integral;
+      // weight_scale() is the matching half-step.
+      std::int64_t acc = 0;
+      for (int j = 0; j < in_features; ++j) {
+        acc += static_cast<std::int64_t>(2 * w[j] - offset) *
+               static_cast<std::int64_t>(a[j]);
+      }
+      out.at(n, k) = layer.weight_scale(k) * acts.scale * static_cast<float>(acc) +
+                     layer.bias[static_cast<std::size_t>(k)];
+    }
+  }
+  return out;
+}
+
+tensor::Tensor integer_conv_forward(const IntegerLayer& layer, const ActCodes& acts,
+                                    int batch, int in_c, int height, int width,
+                                    int kernel, int stride, int pad) {
+  if (layer.weights_per_filter != static_cast<std::int64_t>(in_c) * kernel * kernel) {
+    throw std::invalid_argument("integer_conv_forward: geometry mismatch");
+  }
+  const std::size_t image =
+      static_cast<std::size_t>(in_c) * static_cast<std::size_t>(height) * width;
+  if (acts.codes.size() != static_cast<std::size_t>(batch) * image) {
+    throw std::invalid_argument("integer_conv_forward: activation code count mismatch");
+  }
+  const int oh = (height + 2 * pad - kernel) / stride + 1;
+  const int ow = (width + 2 * pad - kernel) / stride + 1;
+  if (oh <= 0 || ow <= 0) {
+    throw std::invalid_argument("integer_conv_forward: empty output");
+  }
+
+  tensor::Tensor out({batch, layer.num_filters, oh, ow});
+  std::vector<std::int32_t> patch(static_cast<std::size_t>(layer.weights_per_filter));
+  for (int n = 0; n < batch; ++n) {
+    const std::int32_t* img = acts.codes.data() + static_cast<std::size_t>(n) * image;
+    for (int oy = 0; oy < oh; ++oy) {
+      for (int ox = 0; ox < ow; ++ox) {
+        // Gather the receptive field's codes (0 outside the image —
+        // exactly activation 0.0 under the [0, hi] range).
+        std::size_t p = 0;
+        for (int c = 0; c < in_c; ++c) {
+          for (int ky = 0; ky < kernel; ++ky) {
+            const int y = oy * stride - pad + ky;
+            for (int kx = 0; kx < kernel; ++kx) {
+              const int x = ox * stride - pad + kx;
+              const bool inside = y >= 0 && y < height && x >= 0 && x < width;
+              patch[p++] = inside ? img[(static_cast<std::size_t>(c) * height + y) * width + x]
+                                  : 0;
+            }
+          }
+        }
+        for (int k = 0; k < layer.num_filters; ++k) {
+          const int b = layer.filter_bits[static_cast<std::size_t>(k)];
+          float value = 0.0f;
+          if (b != 0) {
+            const std::int32_t offset =
+                static_cast<std::int32_t>(quant::levels_for_bits(b)) - 1;
+            const std::int32_t* w =
+                layer.codes.data() + static_cast<std::size_t>(k) * layer.weights_per_filter;
+            std::int64_t acc = 0;
+            for (std::size_t j = 0; j < patch.size(); ++j) {
+              acc += static_cast<std::int64_t>(2 * w[j] - offset) *
+                     static_cast<std::int64_t>(patch[j]);
+            }
+            value = layer.weight_scale(k) * acts.scale * static_cast<float>(acc) +
+                    layer.bias[static_cast<std::size_t>(k)];
+          }
+          out[((static_cast<std::size_t>(n) * layer.num_filters + k) *
+                   static_cast<std::size_t>(oh) +
+               oy) *
+                  static_cast<std::size_t>(ow) +
+              ox] = value;
+        }
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace cq::deploy

@@ -1,0 +1,86 @@
+#include "deploy/packing.h"
+
+#include <stdexcept>
+
+#include "deploy/bitstream.h"
+#include "quant/uniform.h"
+
+namespace cq::deploy {
+
+std::size_t PackedLayer::payload_bits() const {
+  std::size_t bits = 0;
+  for (const std::uint8_t b : filter_bits) {
+    bits += static_cast<std::size_t>(b) * static_cast<std::size_t>(weights_per_filter);
+  }
+  return bits;
+}
+
+double PackedLayer::bits_per_weight() const {
+  const auto total =
+      static_cast<double>(num_filters) * static_cast<double>(weights_per_filter);
+  if (total <= 0.0) return 0.0;
+  return static_cast<double>(payload_bits()) / total;
+}
+
+PackedLayer pack_layer(const quant::QuantizableLayer& layer, std::string name) {
+  const std::vector<int>& bits = layer.filter_bits();
+  if (bits.empty()) {
+    throw std::invalid_argument("pack_layer: layer '" + name +
+                                "' has no bit-width arrangement assigned");
+  }
+  PackedLayer packed;
+  packed.name = std::move(name);
+  packed.num_filters = layer.num_filters();
+  packed.weights_per_filter = static_cast<std::int64_t>(layer.weights_per_filter());
+  packed.range_hi = layer.weight_range_override() > 0.0f ? layer.weight_range_override()
+                                                         : layer.weight_abs_max();
+
+  const quant::UniformRange range{-packed.range_hi, packed.range_hi};
+  BitWriter writer;
+  packed.filter_bits.reserve(bits.size());
+  for (int k = 0; k < packed.num_filters; ++k) {
+    const int b = bits[static_cast<std::size_t>(k)];
+    if (b < 0 || b > 16) {
+      throw std::invalid_argument("pack_layer: filter bit-width out of [0,16]");
+    }
+    packed.filter_bits.push_back(static_cast<std::uint8_t>(b));
+    if (b == 0 || !range.valid()) continue;  // pruned / degenerate: no payload
+    for (const float w : layer.filter_weights(k)) {
+      writer.append(static_cast<std::uint32_t>(quant::encode(w, range, b)), b);
+    }
+  }
+  writer.align_to_byte();
+  packed.codes = std::move(writer).take();
+  return packed;
+}
+
+void unpack_layer(const PackedLayer& packed, quant::QuantizableLayer& layer) {
+  if (packed.num_filters != layer.num_filters() ||
+      packed.weights_per_filter != static_cast<std::int64_t>(layer.weights_per_filter())) {
+    throw std::invalid_argument("unpack_layer: shape mismatch for layer '" + packed.name +
+                                "'");
+  }
+  if (packed.filter_bits.size() != static_cast<std::size_t>(packed.num_filters)) {
+    throw std::invalid_argument("unpack_layer: filter_bits size mismatch for layer '" +
+                                packed.name + "'");
+  }
+
+  const quant::UniformRange range{-packed.range_hi, packed.range_hi};
+  BitReader reader(packed.codes);
+  std::vector<int> bits(packed.filter_bits.begin(), packed.filter_bits.end());
+  for (int k = 0; k < packed.num_filters; ++k) {
+    std::span<float> weights = layer.mutable_filter_weights(k);
+    const int b = bits[static_cast<std::size_t>(k)];
+    if (b == 0 || !range.valid()) {
+      for (float& w : weights) w = 0.0f;
+      continue;
+    }
+    for (float& w : weights) {
+      w = quant::decode(static_cast<int>(reader.read(b)), range, b);
+    }
+  }
+  layer.set_filter_bits(std::move(bits));
+  layer.set_weight_range_override(packed.range_hi);
+}
+
+}  // namespace cq::deploy

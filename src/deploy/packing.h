@@ -1,0 +1,46 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "quant/bitwidth.h"
+
+namespace cq::deploy {
+
+/// Storage form of one quantized layer: per-filter bit-widths plus the
+/// weights of every unpruned filter packed as k-bit quantizer codes.
+/// Pruned (0-bit) filters contribute no payload at all. Biases stay
+/// with the dense float state of the artifact (they are not quantized
+/// in the paper's scheme and are negligible in size).
+struct PackedLayer {
+  std::string name;
+  std::int32_t num_filters = 0;
+  std::int64_t weights_per_filter = 0;
+  float range_hi = 0.0f;               ///< symmetric clip bound of Eq. (1)
+  std::vector<std::uint8_t> filter_bits;
+  std::vector<std::uint8_t> codes;     ///< LSB-first packed payload
+
+  /// Exact payload size in bits (sum over filters of bits * weights).
+  std::size_t payload_bits() const;
+
+  /// Bits per stored weight including pruned filters in the
+  /// denominator — the artifact-level analogue of the paper's average
+  /// bit-width statistic.
+  double bits_per_weight() const;
+};
+
+/// Snapshots `layer` (which must have per-filter bits assigned) into a
+/// PackedLayer. The codes are produced with the same clip range and
+/// float arithmetic as the layer's fake-quant forward, so unpacking
+/// reproduces the effective weights bit-exactly.
+PackedLayer pack_layer(const quant::QuantizableLayer& layer, std::string name);
+
+/// Restores a PackedLayer into a structurally matching layer: decoded
+/// weights are written to the master weight storage, the per-filter
+/// bit-widths are re-applied, and the clip range is frozen at the
+/// packed range so re-quantization in forward() is the identity on the
+/// decoded values. Throws std::invalid_argument on any shape mismatch.
+void unpack_layer(const PackedLayer& packed, quant::QuantizableLayer& layer);
+
+}  // namespace cq::deploy

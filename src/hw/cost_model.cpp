@@ -1,0 +1,140 @@
+#include "hw/cost_model.h"
+
+#include <stdexcept>
+
+namespace cq::hw {
+
+double EnergyModel::mac_pj(int weight_bits, int act_bits) const {
+  if (weight_bits <= 0) return 0.0;
+  const double mult = mult_pj_per_bit2 * static_cast<double>(weight_bits) *
+                      static_cast<double>(act_bits);
+  const double add = add_pj_per_bit * static_cast<double>(accumulator_bits);
+  return mult + add;
+}
+
+std::int64_t LayerWorkload::active_macs() const {
+  std::int64_t macs = 0;
+  for (const int b : filter_bits) {
+    if (b > 0) macs += macs_per_filter();
+  }
+  return macs;
+}
+
+std::int64_t LayerWorkload::weight_bits_total() const {
+  std::int64_t bits = 0;
+  for (const int b : filter_bits) {
+    bits += static_cast<std::int64_t>(b) * weights_per_filter;
+  }
+  return bits;
+}
+
+std::int64_t ModelCost::total_macs() const {
+  std::int64_t v = 0;
+  for (const LayerCost& l : layers) v += l.total_macs;
+  return v;
+}
+
+std::int64_t ModelCost::active_macs() const {
+  std::int64_t v = 0;
+  for (const LayerCost& l : layers) v += l.active_macs;
+  return v;
+}
+
+double ModelCost::compute_pj() const {
+  double v = 0.0;
+  for (const LayerCost& l : layers) v += l.compute_pj;
+  return v;
+}
+
+double ModelCost::memory_pj() const {
+  double v = 0.0;
+  for (const LayerCost& l : layers) v += l.weight_sram_pj + l.act_sram_pj + l.dram_pj;
+  return v;
+}
+
+double ModelCost::total_pj() const {
+  double v = 0.0;
+  for (const LayerCost& l : layers) v += l.total_pj();
+  return v;
+}
+
+std::vector<LayerWorkload> trace_workloads(nn::Model& model, const tensor::Tensor& sample,
+                                           int act_bits, int unquantized_bits) {
+  if (sample.rank() < 1 || sample.dim(0) != 1) {
+    throw std::invalid_argument("trace_workloads: sample must be a batch of one");
+  }
+  const bool was_training = model.training();
+  model.set_training(false);
+  model.set_recording(true);
+  (void)model.forward(sample);
+
+  std::vector<LayerWorkload> workloads;
+  for (const nn::ScoredLayerRef& ref : model.scored_layers()) {
+    const tensor::Tensor& act = ref.probe->activation();
+    if (act.empty()) {
+      throw std::logic_error("trace_workloads: probe '" + ref.name +
+                             "' recorded no activation");
+    }
+    // Conv activations are [1, C, H, W]; FC activations are [1, F].
+    const std::int64_t positions =
+        act.rank() == 4 ? static_cast<std::int64_t>(act.dim(2)) * act.dim(3) : 1;
+    int idx = 0;
+    for (quant::QuantizableLayer* layer : ref.layers) {
+      LayerWorkload w;
+      w.name = ref.layers.size() > 1 ? ref.name + "#" + std::to_string(idx) : ref.name;
+      w.is_conv = ref.is_conv;
+      w.output_positions = positions;
+      w.weights_per_filter = static_cast<std::int64_t>(layer->weights_per_filter());
+      w.act_bits = act_bits;
+      if (layer->filter_bits().empty()) {
+        w.filter_bits.assign(static_cast<std::size_t>(layer->num_filters()),
+                             unquantized_bits);
+      } else {
+        w.filter_bits = layer->filter_bits();
+      }
+      workloads.push_back(std::move(w));
+      ++idx;
+    }
+  }
+  model.set_recording(false);
+  model.set_training(was_training);
+  return workloads;
+}
+
+std::vector<LayerWorkload> uniform_workloads(std::vector<LayerWorkload> workloads,
+                                             int bits) {
+  for (LayerWorkload& w : workloads) {
+    for (int& b : w.filter_bits) b = bits;
+  }
+  return workloads;
+}
+
+ModelCost estimate_cost(const std::vector<LayerWorkload>& workloads,
+                        const EnergyModel& energy) {
+  ModelCost cost;
+  for (const LayerWorkload& w : workloads) {
+    LayerCost lc;
+    lc.name = w.name;
+    lc.total_macs = w.total_macs();
+    lc.active_macs = w.active_macs();
+    for (const int b : w.filter_bits) {
+      if (b <= 0) continue;  // pruned filter: no compute, no traffic
+      const double macs = static_cast<double>(w.macs_per_filter());
+      lc.compute_pj += macs * energy.mac_pj(b, w.act_bits);
+      lc.weight_sram_pj += macs * static_cast<double>(b) * energy.sram_pj_per_bit;
+      lc.act_sram_pj += macs * static_cast<double>(w.act_bits) * energy.sram_pj_per_bit;
+    }
+    // Each unpruned filter writes its output map once.
+    for (const int b : w.filter_bits) {
+      if (b <= 0) continue;
+      lc.act_sram_pj += static_cast<double>(w.output_positions) *
+                        static_cast<double>(w.act_bits) * energy.sram_pj_per_bit;
+    }
+    lc.dram_pj =
+        static_cast<double>(w.weight_bits_total()) * energy.dram_pj_per_bit;
+    cost.layers.push_back(std::move(lc));
+  }
+  return cost;
+}
+
+}  // namespace cq::hw

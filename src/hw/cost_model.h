@@ -1,0 +1,101 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "nn/models/model.h"
+#include "tensor/tensor.h"
+
+namespace cq::hw {
+
+/// Energy constants of a 45nm-class accelerator, in picojoules per
+/// operation, following the widely used ISSCC'14 technology survey
+/// numbers (8-bit integer multiply 0.2 pJ, 32-bit integer add 0.1 pJ,
+/// small-SRAM 32-bit read 5 pJ, DRAM 32-bit read 640 pJ). Multiplier
+/// energy scales with the product of the operand widths (array
+/// multiplier area/energy is O(bw*ba)); adder and memory energies
+/// scale linearly with bit-width.
+struct EnergyModel {
+  double mult_pj_per_bit2 = 0.2 / 64.0;   ///< 8x8 multiply = 0.2 pJ
+  double add_pj_per_bit = 0.1 / 32.0;     ///< 32-bit add = 0.1 pJ
+  double sram_pj_per_bit = 5.0 / 32.0;    ///< on-chip buffer read
+  double dram_pj_per_bit = 640.0 / 32.0;  ///< off-chip weight fetch
+  int accumulator_bits = 32;
+
+  /// Energy of one MAC between a `weight_bits` weight and an
+  /// `act_bits` activation. 0-bit weights belong to pruned filters the
+  /// hardware skips entirely, so they cost nothing.
+  double mac_pj(int weight_bits, int act_bits) const;
+};
+
+/// Inference workload of one quantized layer: how many MACs each
+/// filter performs and at which precision. Produced by
+/// trace_workloads() from a live model; consumed by the energy
+/// estimator and the PE-array timing model.
+struct LayerWorkload {
+  std::string name;
+  bool is_conv = true;
+  std::int64_t output_positions = 1;   ///< spatial positions per filter (H*W; 1 for FC)
+  std::int64_t weights_per_filter = 0;
+  std::vector<int> filter_bits;        ///< per-filter weight precision
+  int act_bits = 8;                    ///< activation precision feeding the MACs
+
+  std::int64_t macs_per_filter() const { return output_positions * weights_per_filter; }
+  /// All MACs of the layer including pruned filters (the dense count).
+  std::int64_t total_macs() const {
+    return macs_per_filter() * static_cast<std::int64_t>(filter_bits.size());
+  }
+  /// MACs actually executed (pruned filters skipped).
+  std::int64_t active_macs() const;
+  /// Weight storage in bits under the mixed arrangement.
+  std::int64_t weight_bits_total() const;
+};
+
+/// Per-layer cost breakdown in picojoules.
+struct LayerCost {
+  std::string name;
+  std::int64_t total_macs = 0;
+  std::int64_t active_macs = 0;
+  double compute_pj = 0.0;      ///< multipliers + accumulator adds
+  double weight_sram_pj = 0.0;  ///< weight-buffer reads (one per MAC)
+  double act_sram_pj = 0.0;     ///< activation reads + output writes
+  double dram_pj = 0.0;         ///< packed weights fetched once
+
+  double total_pj() const {
+    return compute_pj + weight_sram_pj + act_sram_pj + dram_pj;
+  }
+};
+
+/// Whole-model cost report of one inference (batch 1).
+struct ModelCost {
+  std::vector<LayerCost> layers;
+
+  std::int64_t total_macs() const;
+  std::int64_t active_macs() const;
+  double compute_pj() const;
+  double memory_pj() const;
+  double total_pj() const;
+};
+
+/// Extracts the per-layer workloads of `model` by running one sample
+/// through it with probes recording (the probe activation shapes give
+/// each conv layer's output resolution). `sample` must be a batch of
+/// exactly one input. Layers without an assigned bit arrangement are
+/// reported at `unquantized_bits` (32 = fp32 master weights).
+/// `act_bits` is the paper's uniform activation precision A.
+std::vector<LayerWorkload> trace_workloads(nn::Model& model, const tensor::Tensor& sample,
+                                           int act_bits, int unquantized_bits = 32);
+
+/// Copy of `workloads` with every filter forced to `bits` — the
+/// layer-uniform reference point benches compare CQ against.
+std::vector<LayerWorkload> uniform_workloads(std::vector<LayerWorkload> workloads,
+                                             int bits);
+
+/// Energy estimate of one inference under a weight-stationary dataflow:
+/// packed weights stream from DRAM once, every MAC reads its weight
+/// and activation from SRAM, every output position writes once.
+ModelCost estimate_cost(const std::vector<LayerWorkload>& workloads,
+                        const EnergyModel& energy = {});
+
+}  // namespace cq::hw

@@ -1,0 +1,34 @@
+#include "hw/pe_array.h"
+
+#include <stdexcept>
+
+namespace cq::hw {
+
+double PeArrayReport::speedup_over(const PeArrayReport& other) const {
+  if (total_cycles <= 0) return 0.0;
+  return static_cast<double>(other.total_cycles) / static_cast<double>(total_cycles);
+}
+
+PeArrayReport simulate_pe_array(const std::vector<LayerWorkload>& workloads,
+                                const PeArrayConfig& config) {
+  if (config.rows <= 0 || config.cols <= 0 || config.clock_ghz <= 0.0) {
+    throw std::invalid_argument("simulate_pe_array: invalid array configuration");
+  }
+  PeArrayReport report;
+  for (const LayerWorkload& w : workloads) {
+    LayerTiming t;
+    t.name = w.name;
+    for (const int b : w.filter_bits) {
+      if (b <= 0) continue;  // pruned filter never enters the array
+      t.lane_cycles += w.macs_per_filter() * static_cast<std::int64_t>(b);
+    }
+    t.cycles = (t.lane_cycles + config.lanes() - 1) / config.lanes();
+    if (t.lane_cycles > 0) t.cycles += config.layer_overhead_cycles;
+    report.total_cycles += t.cycles;
+    report.layers.push_back(std::move(t));
+  }
+  report.seconds = static_cast<double>(report.total_cycles) / (config.clock_ghz * 1e9);
+  return report;
+}
+
+}  // namespace cq::hw

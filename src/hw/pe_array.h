@@ -1,0 +1,51 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "hw/cost_model.h"
+
+namespace cq::hw {
+
+/// Precision-scalable processing-element array in the bit-serial
+/// weight style (Stripes/Loom class): every lane consumes one weight
+/// bit per cycle, so a filter quantized to b bits finishes its MACs in
+/// b passes and a pruned (0-bit) filter is skipped outright. This is
+/// the hardware that turns the paper's *average bit-width* directly
+/// into latency.
+struct PeArrayConfig {
+  int rows = 16;
+  int cols = 16;
+  double clock_ghz = 1.0;
+  /// Pipeline fill/drain overhead charged once per layer, in cycles.
+  int layer_overhead_cycles = 64;
+
+  std::int64_t lanes() const { return static_cast<std::int64_t>(rows) * cols; }
+};
+
+/// Timing of one layer on the array.
+struct LayerTiming {
+  std::string name;
+  std::int64_t lane_cycles = 0;  ///< serial work: sum of macs * weight bits
+  std::int64_t cycles = 0;       ///< ceil(lane_cycles / lanes) + overhead
+};
+
+/// Whole-model timing of one inference.
+struct PeArrayReport {
+  std::vector<LayerTiming> layers;
+  std::int64_t total_cycles = 0;
+  double seconds = 0.0;
+
+  /// total_cycles of `other` divided by this report's total_cycles
+  /// (how much faster this arrangement runs than `other`).
+  double speedup_over(const PeArrayReport& other) const;
+};
+
+/// Simulates the workloads on the array. Deterministic closed-form
+/// arithmetic — the point is the *relative* latency of bit-width
+/// arrangements, not cycle-accurate modelling of a specific chip.
+PeArrayReport simulate_pe_array(const std::vector<LayerWorkload>& workloads,
+                                const PeArrayConfig& config = {});
+
+}  // namespace cq::hw

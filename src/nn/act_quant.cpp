@@ -1,0 +1,35 @@
+#include "nn/act_quant.h"
+
+#include <algorithm>
+
+namespace cq::nn {
+
+Tensor ActQuant::forward(const Tensor& input) {
+  if (calibrating_) {
+    max_act_ = std::max(max_act_, input.abs_max());
+    pass_mask_.assign(input.numel(), true);
+    return input;
+  }
+  if (bits_ <= 0 || max_act_ <= 0.0f) {
+    pass_mask_.assign(input.numel(), true);
+    return input;
+  }
+  const quant::UniformRange range{0.0f, max_act_};
+  Tensor out(input.shape());
+  pass_mask_.assign(input.numel(), true);
+  for (std::size_t i = 0; i < input.numel(); ++i) {
+    if (input[i] > max_act_) pass_mask_[i] = false;  // clipped above
+  }
+  quant::quantize_span(input.span(), out.span(), range, bits_);
+  return out;
+}
+
+Tensor ActQuant::backward(const Tensor& grad_output) {
+  Tensor grad = grad_output;
+  for (std::size_t i = 0; i < grad.numel(); ++i) {
+    if (!pass_mask_[i]) grad[i] = 0.0f;
+  }
+  return grad;
+}
+
+}  // namespace cq::nn

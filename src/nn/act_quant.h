@@ -1,0 +1,44 @@
+#pragma once
+
+#include "nn/module.h"
+#include "quant/uniform.h"
+
+namespace cq::nn {
+
+/// Activation fake-quantizer (paper Section II-A, activation branch).
+///
+/// The clipping range is [0, b] where b is the maximum activation
+/// observed while `calibrating()` — the paper acquires b "by performing
+/// inference". With `bits <= 0` the module is a pass-through, which is
+/// how full-precision training runs. Backward uses the clipped
+/// straight-through estimator: gradients pass where the input was
+/// inside the clipping range and are zeroed above it.
+class ActQuant : public Module {
+ public:
+  explicit ActQuant(std::string name = "act_quant") : name_(std::move(name)) {}
+
+  Tensor forward(const Tensor& input) override;
+  Tensor backward(const Tensor& grad_output) override;
+  std::string name() const override { return name_; }
+
+  /// Sets the quantization bit-width; <= 0 disables quantization.
+  void set_bits(int bits) { bits_ = bits; }
+  int bits() const { return bits_; }
+
+  /// While calibrating, forward passes are identity and the running
+  /// maximum activation is tracked to fix the clip bound.
+  void set_calibrating(bool on) { calibrating_ = on; }
+  bool calibrating() const { return calibrating_; }
+  void reset_calibration() { max_act_ = 0.0f; }
+  float max_activation() const { return max_act_; }
+  void set_max_activation(float m) { max_act_ = m; }
+
+ private:
+  std::string name_;
+  int bits_ = 0;
+  bool calibrating_ = false;
+  float max_act_ = 0.0f;
+  std::vector<bool> pass_mask_;
+};
+
+}  // namespace cq::nn

@@ -1,0 +1,37 @@
+#include "nn/activations.h"
+
+namespace cq::nn {
+
+Tensor ReLU::forward(const Tensor& input) {
+  Tensor out = input;
+  mask_.assign(input.numel(), false);
+  for (std::size_t i = 0; i < out.numel(); ++i) {
+    if (out[i] > 0.0f) {
+      mask_[i] = true;
+    } else {
+      out[i] = 0.0f;
+    }
+  }
+  return out;
+}
+
+Tensor ReLU::backward(const Tensor& grad_output) {
+  Tensor grad = grad_output;
+  for (std::size_t i = 0; i < grad.numel(); ++i) {
+    if (!mask_[i]) grad[i] = 0.0f;
+  }
+  return grad;
+}
+
+Tensor Flatten::forward(const Tensor& input) {
+  cached_shape_ = input.shape();
+  const int batch = input.dim(0);
+  const int features = static_cast<int>(input.numel()) / batch;
+  return input.reshape({batch, features});
+}
+
+Tensor Flatten::backward(const Tensor& grad_output) {
+  return grad_output.reshape(cached_shape_);
+}
+
+}  // namespace cq::nn

@@ -1,0 +1,29 @@
+#pragma once
+
+#include "nn/module.h"
+
+namespace cq::nn {
+
+/// Rectified linear unit; caches the activation mask for backward.
+class ReLU : public Module {
+ public:
+  Tensor forward(const Tensor& input) override;
+  Tensor backward(const Tensor& grad_output) override;
+  std::string name() const override { return "ReLU"; }
+
+ private:
+  std::vector<bool> mask_;
+};
+
+/// Flattens [N, C, H, W] (or any rank >= 2) to [N, features].
+class Flatten : public Module {
+ public:
+  Tensor forward(const Tensor& input) override;
+  Tensor backward(const Tensor& grad_output) override;
+  std::string name() const override { return "Flatten"; }
+
+ private:
+  tensor::Shape cached_shape_;
+};
+
+}  // namespace cq::nn

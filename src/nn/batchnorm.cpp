@@ -1,0 +1,136 @@
+#include "nn/batchnorm.h"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace cq::nn {
+
+BatchNorm2d::BatchNorm2d(int channels, float momentum, float eps, std::string name)
+    : channels_(channels),
+      momentum_(momentum),
+      eps_(eps),
+      name_(std::move(name)),
+      gamma_(name_ + ".gamma", Tensor::ones({channels})),
+      beta_(name_ + ".beta", Tensor::zeros({channels})),
+      running_mean_(Tensor::zeros({channels})),
+      running_var_(Tensor::ones({channels})) {}
+
+Tensor BatchNorm2d::forward(const Tensor& input) {
+  if (input.rank() != 4 || input.dim(1) != channels_) {
+    throw std::invalid_argument(name_ + ": bad input shape " +
+                                tensor::shape_to_string(input.shape()));
+  }
+  in_shape_ = input.shape();
+  const int batch = input.dim(0);
+  const int spatial = input.dim(2) * input.dim(3);
+  const std::size_t per_channel = static_cast<std::size_t>(batch) * spatial;
+
+  xhat_ = Tensor(input.shape());
+  inv_std_.assign(static_cast<std::size_t>(channels_), 0.0f);
+  Tensor out(input.shape());
+  used_batch_stats_ = training_;
+
+  for (int c = 0; c < channels_; ++c) {
+    float mean = 0.0f;
+    float var = 0.0f;
+    if (training_) {
+      double acc = 0.0;
+      for (int n = 0; n < batch; ++n) {
+        const float* plane =
+            input.data() + (static_cast<std::size_t>(n) * channels_ + c) * spatial;
+        for (int s = 0; s < spatial; ++s) acc += plane[s];
+      }
+      mean = static_cast<float>(acc / static_cast<double>(per_channel));
+      double vacc = 0.0;
+      for (int n = 0; n < batch; ++n) {
+        const float* plane =
+            input.data() + (static_cast<std::size_t>(n) * channels_ + c) * spatial;
+        for (int s = 0; s < spatial; ++s) {
+          const double d = plane[s] - mean;
+          vacc += d * d;
+        }
+      }
+      var = static_cast<float>(vacc / static_cast<double>(per_channel));
+      running_mean_[static_cast<std::size_t>(c)] =
+          (1.0f - momentum_) * running_mean_[static_cast<std::size_t>(c)] + momentum_ * mean;
+      running_var_[static_cast<std::size_t>(c)] =
+          (1.0f - momentum_) * running_var_[static_cast<std::size_t>(c)] + momentum_ * var;
+    } else {
+      mean = running_mean_[static_cast<std::size_t>(c)];
+      var = running_var_[static_cast<std::size_t>(c)];
+    }
+    const float inv_std = 1.0f / std::sqrt(var + eps_);
+    inv_std_[static_cast<std::size_t>(c)] = inv_std;
+    const float g = gamma_.value[static_cast<std::size_t>(c)];
+    const float b = beta_.value[static_cast<std::size_t>(c)];
+    for (int n = 0; n < batch; ++n) {
+      const std::size_t off = (static_cast<std::size_t>(n) * channels_ + c) * spatial;
+      const float* iplane = input.data() + off;
+      float* xplane = xhat_.data() + off;
+      float* oplane = out.data() + off;
+      for (int s = 0; s < spatial; ++s) {
+        const float xh = (iplane[s] - mean) * inv_std;
+        xplane[s] = xh;
+        oplane[s] = g * xh + b;
+      }
+    }
+  }
+  return out;
+}
+
+Tensor BatchNorm2d::backward(const Tensor& grad_output) {
+  const int batch = in_shape_[0];
+  const int spatial = in_shape_[2] * in_shape_[3];
+  const auto per_channel = static_cast<double>(batch) * spatial;
+  Tensor grad_input(in_shape_);
+
+  for (int c = 0; c < channels_; ++c) {
+    const float g = gamma_.value[static_cast<std::size_t>(c)];
+    const float inv_std = inv_std_[static_cast<std::size_t>(c)];
+    // Accumulate dgamma, dbeta and the batch-stat coupling terms.
+    double sum_dy = 0.0;
+    double sum_dy_xhat = 0.0;
+    for (int n = 0; n < batch; ++n) {
+      const std::size_t off = (static_cast<std::size_t>(n) * channels_ + c) * spatial;
+      const float* dy = grad_output.data() + off;
+      const float* xh = xhat_.data() + off;
+      for (int s = 0; s < spatial; ++s) {
+        sum_dy += dy[s];
+        sum_dy_xhat += static_cast<double>(dy[s]) * xh[s];
+      }
+    }
+    gamma_.grad[static_cast<std::size_t>(c)] += static_cast<float>(sum_dy_xhat);
+    beta_.grad[static_cast<std::size_t>(c)] += static_cast<float>(sum_dy);
+
+    if (used_batch_stats_) {
+      const float mean_dy = static_cast<float>(sum_dy / per_channel);
+      const float mean_dy_xhat = static_cast<float>(sum_dy_xhat / per_channel);
+      for (int n = 0; n < batch; ++n) {
+        const std::size_t off = (static_cast<std::size_t>(n) * channels_ + c) * spatial;
+        const float* dy = grad_output.data() + off;
+        const float* xh = xhat_.data() + off;
+        float* dx = grad_input.data() + off;
+        for (int s = 0; s < spatial; ++s) {
+          dx[s] = g * inv_std * (dy[s] - mean_dy - xh[s] * mean_dy_xhat);
+        }
+      }
+    } else {
+      // Frozen statistics: BN is an affine map per channel.
+      const float scale = g * inv_std;
+      for (int n = 0; n < batch; ++n) {
+        const std::size_t off = (static_cast<std::size_t>(n) * channels_ + c) * spatial;
+        const float* dy = grad_output.data() + off;
+        float* dx = grad_input.data() + off;
+        for (int s = 0; s < spatial; ++s) dx[s] = scale * dy[s];
+      }
+    }
+  }
+  return grad_input;
+}
+
+void BatchNorm2d::collect_parameters(std::vector<Parameter*>& out) {
+  out.push_back(&gamma_);
+  out.push_back(&beta_);
+}
+
+}  // namespace cq::nn

@@ -1,0 +1,53 @@
+#pragma once
+
+#include "nn/module.h"
+
+namespace cq::nn {
+
+/// Batch normalization over the channel axis of NCHW tensors.
+///
+/// Training mode normalizes with batch statistics and maintains
+/// exponential running averages; eval mode normalizes with the running
+/// statistics. backward() is implemented for *both* modes: the CQ
+/// importance collection back-propagates through a frozen (eval-mode)
+/// network, where BN is a per-channel affine map and its gradient is
+/// simply gamma / sqrt(running_var + eps).
+class BatchNorm2d : public Module {
+ public:
+  explicit BatchNorm2d(int channels, float momentum = 0.1f, float eps = 1e-5f,
+                       std::string name = "bn");
+
+  Tensor forward(const Tensor& input) override;
+  Tensor backward(const Tensor& grad_output) override;
+  void collect_parameters(std::vector<Parameter*>& out) override;
+  void collect_buffers(std::vector<Tensor*>& out) override {
+    out.push_back(&running_mean_);
+    out.push_back(&running_var_);
+  }
+  std::string name() const override { return name_; }
+
+  Parameter& gamma() { return gamma_; }
+  Parameter& beta() { return beta_; }
+  Tensor& running_mean() { return running_mean_; }
+  Tensor& running_var() { return running_var_; }
+  int channels() const { return channels_; }
+  float eps() const { return eps_; }
+
+ private:
+  int channels_;
+  float momentum_;
+  float eps_;
+  std::string name_;
+  Parameter gamma_;
+  Parameter beta_;
+  Tensor running_mean_;
+  Tensor running_var_;
+
+  // Forward caches.
+  bool used_batch_stats_ = false;
+  Tensor xhat_;
+  std::vector<float> inv_std_;
+  tensor::Shape in_shape_;
+};
+
+}  // namespace cq::nn

@@ -1,0 +1,69 @@
+#include "nn/fold_bn.h"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "nn/models/resnet20.h"
+
+namespace cq::nn {
+
+void fold_batchnorm(Conv2d& conv, BatchNorm2d& bn) {
+  if (conv.out_channels() != bn.channels()) {
+    throw std::invalid_argument("fold_batchnorm: " + conv.name() + " has " +
+                                std::to_string(conv.out_channels()) + " channels but " +
+                                bn.name() + " normalizes " +
+                                std::to_string(bn.channels()));
+  }
+  const double eps = bn.eps();
+  for (int k = 0; k < conv.out_channels(); ++k) {
+    const auto ku = static_cast<std::size_t>(k);
+    const double inv_std =
+        1.0 / std::sqrt(static_cast<double>(bn.running_var()[ku]) + eps);
+    const double scale = static_cast<double>(bn.gamma().value[ku]) * inv_std;
+    for (float& w : conv.mutable_filter_weights(k)) {
+      w = static_cast<float>(w * scale);
+    }
+    conv.bias().value[ku] = static_cast<float>(
+        (static_cast<double>(conv.bias().value[ku]) - bn.running_mean()[ku]) * scale +
+        bn.beta().value[ku]);
+
+    // Reset the BN channel to the identity map (gamma compensates the
+    // eps inside the normalizer so eval forward is x to float rounding).
+    bn.running_mean()[ku] = 0.0f;
+    bn.running_var()[ku] = 1.0f;
+    bn.gamma().value[ku] = static_cast<float>(std::sqrt(1.0 + eps));
+    bn.beta().value[ku] = 0.0f;
+  }
+}
+
+int fold_batchnorm(Sequential& chain) {
+  int folds = 0;
+  for (std::size_t i = 0; i < chain.size(); ++i) {
+    Module* module = chain.at(i);
+    if (auto* nested = dynamic_cast<Sequential*>(module)) {
+      folds += fold_batchnorm(*nested);
+      continue;
+    }
+    if (auto* block = dynamic_cast<BasicBlock*>(module)) {
+      fold_batchnorm(*block->conv1(), *block->bn1());
+      fold_batchnorm(*block->conv2(), *block->bn2());
+      folds += 2;
+      if (block->downsample_conv() != nullptr) {
+        fold_batchnorm(*block->downsample_conv(), *block->downsample_bn());
+        ++folds;
+      }
+      continue;
+    }
+    if (auto* conv = dynamic_cast<Conv2d*>(module)) {
+      if (i + 1 < chain.size()) {
+        if (auto* bn = dynamic_cast<BatchNorm2d*>(chain.at(i + 1))) {
+          fold_batchnorm(*conv, *bn);
+          ++folds;
+        }
+      }
+    }
+  }
+  return folds;
+}
+
+}  // namespace cq::nn

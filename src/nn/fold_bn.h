@@ -1,0 +1,26 @@
+#pragma once
+
+#include "nn/batchnorm.h"
+#include "nn/conv2d.h"
+#include "nn/module.h"
+
+namespace cq::nn {
+
+/// Folds an eval-mode BatchNorm2d into the preceding Conv2d:
+///   w'_k = w_k * gamma_k / sqrt(var_k + eps)
+///   b'_k = (b_k - mean_k) * gamma_k / sqrt(var_k + eps) + beta_k
+/// and resets the BN to (numerically) the identity map. The standard
+/// deployment preparation: run it on the *full-precision* model before
+/// CQ, so the importance scores, clip ranges and packed codes all see
+/// the folded weights and the deployed network needs no BN arithmetic.
+/// Throws std::invalid_argument when the channel counts differ.
+void fold_batchnorm(Conv2d& conv, BatchNorm2d& bn);
+
+/// Walks a module chain (Sequential, recursing into nested Sequentials
+/// and residual BasicBlocks) and folds every adjacent
+/// Conv2d -> BatchNorm2d pair in place. Returns the number of folds.
+/// Model-zoo networks expose the chain via their body() accessor:
+///   nn::fold_batchnorm(model.body());
+int fold_batchnorm(Sequential& chain);
+
+}  // namespace cq::nn

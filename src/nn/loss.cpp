@@ -1,0 +1,93 @@
+#include "nn/loss.h"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "tensor/ops.h"
+
+namespace cq::nn {
+
+double SoftmaxCrossEntropy::forward(const Tensor& logits, const std::vector<int>& labels) {
+  if (static_cast<std::size_t>(logits.dim(0)) != labels.size()) {
+    throw std::invalid_argument("SoftmaxCrossEntropy: batch size mismatch");
+  }
+  labels_ = labels;
+  const Tensor log_probs = tensor::log_softmax_rows(logits);
+  probs_ = log_probs;
+  double loss = 0.0;
+  const int batch = logits.dim(0);
+  for (int n = 0; n < batch; ++n) {
+    loss -= log_probs.at(n, labels[static_cast<std::size_t>(n)]);
+  }
+  // Convert cached log-probabilities to probabilities for backward.
+  for (std::size_t i = 0; i < probs_.numel(); ++i) probs_[i] = std::exp(probs_[i]);
+  return loss / static_cast<double>(batch);
+}
+
+Tensor SoftmaxCrossEntropy::backward() const {
+  Tensor grad = probs_;
+  const int batch = grad.dim(0);
+  const float inv_b = 1.0f / static_cast<float>(batch);
+  for (int n = 0; n < batch; ++n) {
+    grad.at(n, labels_[static_cast<std::size_t>(n)]) -= 1.0f;
+  }
+  grad *= inv_b;
+  return grad;
+}
+
+double KnowledgeDistillLoss::forward(const Tensor& student_logits,
+                                     const Tensor& teacher_logits,
+                                     const std::vector<int>& labels) {
+  if (student_logits.shape() != teacher_logits.shape()) {
+    throw std::invalid_argument("KnowledgeDistillLoss: logits shape mismatch");
+  }
+  labels_ = labels;
+  const Tensor student_log = tensor::log_softmax_rows(student_logits);
+  teacher_probs_ = tensor::softmax_rows(teacher_logits);
+  student_probs_ = Tensor(student_log.shape());
+  const int batch = student_logits.dim(0);
+  const int classes = student_logits.dim(1);
+
+  double ce = 0.0;
+  double kl = 0.0;
+  for (int n = 0; n < batch; ++n) {
+    ce -= student_log.at(n, labels[static_cast<std::size_t>(n)]);
+    for (int c = 0; c < classes; ++c) {
+      const float pt = teacher_probs_.at(n, c);
+      const float ls = student_log.at(n, c);
+      student_probs_.at(n, c) = std::exp(ls);
+      if (pt > 0.0f) kl += static_cast<double>(pt) * (std::log(pt) - ls);
+    }
+  }
+  const double inv_b = 1.0 / static_cast<double>(batch);
+  return alpha_ * ce * inv_b + (1.0 - alpha_) * kl * inv_b;
+}
+
+Tensor KnowledgeDistillLoss::backward() const {
+  const int batch = student_probs_.dim(0);
+  const int classes = student_probs_.dim(1);
+  Tensor grad({batch, classes});
+  const float inv_b = 1.0f / static_cast<float>(batch);
+  const auto a = static_cast<float>(alpha_);
+  for (int n = 0; n < batch; ++n) {
+    for (int c = 0; c < classes; ++c) {
+      const float ps = student_probs_.at(n, c);
+      const float pt = teacher_probs_.at(n, c);
+      const float onehot = labels_[static_cast<std::size_t>(n)] == c ? 1.0f : 0.0f;
+      grad.at(n, c) = (a * (ps - onehot) + (1.0f - a) * (ps - pt)) * inv_b;
+    }
+  }
+  return grad;
+}
+
+double accuracy(const Tensor& logits, const std::vector<int>& labels) {
+  const int batch = logits.dim(0);
+  if (batch == 0) return 0.0;
+  int correct = 0;
+  for (int n = 0; n < batch; ++n) {
+    if (logits.argmax_row(n) == labels[static_cast<std::size_t>(n)]) ++correct;
+  }
+  return static_cast<double>(correct) / static_cast<double>(batch);
+}
+
+}  // namespace cq::nn

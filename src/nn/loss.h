@@ -1,0 +1,57 @@
+#pragma once
+
+#include <vector>
+
+#include "nn/module.h"
+
+namespace cq::nn {
+
+/// Softmax + cross-entropy over integer class labels, mean-reduced.
+class SoftmaxCrossEntropy {
+ public:
+  /// Returns the mean cross-entropy of `logits` [B, M] against labels.
+  double forward(const Tensor& logits, const std::vector<int>& labels);
+
+  /// Gradient with respect to the logits of the last forward:
+  /// (softmax - onehot) / B.
+  Tensor backward() const;
+
+  /// Class probabilities of the last forward.
+  const Tensor& probabilities() const { return probs_; }
+
+ private:
+  Tensor probs_;
+  std::vector<int> labels_;
+};
+
+/// Knowledge-distillation loss of paper Eq. (10):
+///   L = alpha * L_ce + (1 - alpha) * KL(Y_fp || Y)
+/// where Y_fp are the full-precision teacher's probabilities and Y the
+/// student's. (The paper's formula prints the divergence with the
+/// ratio inverted, which would make it negative; we use the standard
+/// positive KL(teacher || student) whose gradient w.r.t. the student
+/// logits is softmax(student) - softmax(teacher).)
+class KnowledgeDistillLoss {
+ public:
+  explicit KnowledgeDistillLoss(double alpha) : alpha_(alpha) {}
+
+  /// Computes the combined loss; caches what backward() needs.
+  double forward(const Tensor& student_logits, const Tensor& teacher_logits,
+                 const std::vector<int>& labels);
+
+  /// Gradient with respect to the *student* logits, mean-reduced.
+  Tensor backward() const;
+
+  double alpha() const { return alpha_; }
+
+ private:
+  double alpha_;
+  Tensor student_probs_;
+  Tensor teacher_probs_;
+  std::vector<int> labels_;
+};
+
+/// Top-1 accuracy of `logits` [B, M] against labels, in [0, 1].
+double accuracy(const Tensor& logits, const std::vector<int>& labels);
+
+}  // namespace cq::nn

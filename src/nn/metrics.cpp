@@ -1,0 +1,92 @@
+#include "nn/metrics.h"
+
+#include <algorithm>
+#include <numeric>
+#include <stdexcept>
+
+#include "nn/trainer.h"
+
+namespace cq::nn {
+
+ConfusionMatrix::ConfusionMatrix(int num_classes)
+    : num_classes_(num_classes),
+      counts_(static_cast<std::size_t>(num_classes) * num_classes, 0) {
+  if (num_classes <= 0) throw std::invalid_argument("ConfusionMatrix: classes must be > 0");
+}
+
+void ConfusionMatrix::add(int label, int prediction) {
+  if (label < 0 || label >= num_classes_ || prediction < 0 || prediction >= num_classes_) {
+    throw std::out_of_range("ConfusionMatrix::add: class out of range");
+  }
+  ++counts_[static_cast<std::size_t>(label) * num_classes_ + prediction];
+}
+
+void ConfusionMatrix::add_batch(const Tensor& logits, const std::vector<int>& labels) {
+  for (int n = 0; n < logits.dim(0); ++n) {
+    add(labels[static_cast<std::size_t>(n)], logits.argmax_row(n));
+  }
+}
+
+std::size_t ConfusionMatrix::count(int label, int prediction) const {
+  return counts_[static_cast<std::size_t>(label) * num_classes_ + prediction];
+}
+
+std::size_t ConfusionMatrix::class_total(int label) const {
+  std::size_t total = 0;
+  for (int p = 0; p < num_classes_; ++p) total += count(label, p);
+  return total;
+}
+
+double ConfusionMatrix::accuracy() const {
+  std::size_t correct = 0;
+  std::size_t total = 0;
+  for (int c = 0; c < num_classes_; ++c) {
+    correct += count(c, c);
+    total += class_total(c);
+  }
+  return total == 0 ? 0.0 : static_cast<double>(correct) / static_cast<double>(total);
+}
+
+double ConfusionMatrix::class_accuracy(int label) const {
+  const std::size_t total = class_total(label);
+  if (total == 0) return 0.0;
+  return static_cast<double>(count(label, label)) / static_cast<double>(total);
+}
+
+std::vector<double> ConfusionMatrix::per_class_accuracy() const {
+  std::vector<double> acc(static_cast<std::size_t>(num_classes_));
+  for (int c = 0; c < num_classes_; ++c) acc[static_cast<std::size_t>(c)] = class_accuracy(c);
+  return acc;
+}
+
+std::vector<int> ConfusionMatrix::worst_classes(int k) const {
+  std::vector<int> order(static_cast<std::size_t>(num_classes_));
+  std::iota(order.begin(), order.end(), 0);
+  std::stable_sort(order.begin(), order.end(), [&](int a, int b) {
+    return class_accuracy(a) < class_accuracy(b);
+  });
+  order.resize(static_cast<std::size_t>(std::min(k, num_classes_)));
+  return order;
+}
+
+ConfusionMatrix evaluate_confusion(Module& model, const Tensor& images,
+                                   const std::vector<int>& labels, int num_classes,
+                                   int batch_size) {
+  ConfusionMatrix cm(num_classes);
+  const bool was_training = model.training();
+  model.set_training(false);
+  const auto count = static_cast<std::size_t>(images.dim(0));
+  for (std::size_t start = 0; start < count; start += static_cast<std::size_t>(batch_size)) {
+    const std::size_t stop = std::min(count, start + static_cast<std::size_t>(batch_size));
+    std::vector<std::size_t> idx;
+    for (std::size_t i = start; i < stop; ++i) idx.push_back(i);
+    const Tensor logits = model.forward(gather_batch(images, idx));
+    std::vector<int> batch_labels(idx.size());
+    for (std::size_t i = 0; i < idx.size(); ++i) batch_labels[i] = labels[idx[i]];
+    cm.add_batch(logits, batch_labels);
+  }
+  model.set_training(was_training);
+  return cm;
+}
+
+}  // namespace cq::nn

@@ -1,0 +1,50 @@
+#pragma once
+
+#include <vector>
+
+#include "nn/module.h"
+
+namespace cq::nn {
+
+/// Confusion matrix and per-class accuracy of a classifier — the
+/// class-resolved view that motivates class-based quantization: after
+/// aggressive quantization the damage is rarely uniform across
+/// classes, and CQ's premise is that protecting multi-class filters
+/// protects exactly the shared pathways.
+class ConfusionMatrix {
+ public:
+  explicit ConfusionMatrix(int num_classes);
+
+  /// Accumulates one (true label, predicted label) observation.
+  void add(int label, int prediction);
+
+  /// Accumulates argmax predictions of a logits batch.
+  void add_batch(const Tensor& logits, const std::vector<int>& labels);
+
+  int num_classes() const { return num_classes_; }
+  /// Count of samples with true class `label` predicted as `prediction`.
+  std::size_t count(int label, int prediction) const;
+  /// Samples observed for class `label`.
+  std::size_t class_total(int label) const;
+
+  /// Overall top-1 accuracy over everything accumulated.
+  double accuracy() const;
+  /// Recall of one class (0 when the class was never observed).
+  double class_accuracy(int label) const;
+  /// Recall per class, index = class id.
+  std::vector<double> per_class_accuracy() const;
+  /// The `k` classes with the lowest recall (ties by class id).
+  std::vector<int> worst_classes(int k) const;
+
+ private:
+  int num_classes_;
+  std::vector<std::size_t> counts_;  ///< row-major [label][prediction]
+};
+
+/// Evaluates `model` over the set and returns the confusion matrix
+/// (eval mode, batched; the model's train/eval state is restored).
+ConfusionMatrix evaluate_confusion(Module& model, const Tensor& images,
+                                   const std::vector<int>& labels, int num_classes,
+                                   int batch_size = 100);
+
+}  // namespace cq::nn

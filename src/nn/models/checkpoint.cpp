@@ -1,0 +1,48 @@
+#include "nn/models/checkpoint.h"
+
+#include <map>
+
+#include "tensor/serialize.h"
+
+namespace cq::nn {
+
+void save_checkpoint(const std::string& path, Module& model) {
+  std::map<std::string, Tensor> state;
+  const auto params = model.parameters();
+  for (std::size_t i = 0; i < params.size(); ++i) {
+    state.emplace("p" + std::to_string(i), params[i]->value);
+  }
+  std::vector<Tensor*> buffers;
+  model.collect_buffers(buffers);
+  for (std::size_t i = 0; i < buffers.size(); ++i) {
+    state.emplace("b" + std::to_string(i), *buffers[i]);
+  }
+  tensor::save_tensors(path, state);
+}
+
+bool load_checkpoint(const std::string& path, Module& model) {
+  const auto state = tensor::load_tensors(path);
+  const auto params = model.parameters();
+  std::vector<Tensor*> buffers;
+  model.collect_buffers(buffers);
+  if (state.size() != params.size() + buffers.size()) return false;
+
+  // Validate every shape before mutating anything.
+  for (std::size_t i = 0; i < params.size(); ++i) {
+    const auto it = state.find("p" + std::to_string(i));
+    if (it == state.end() || it->second.shape() != params[i]->value.shape()) return false;
+  }
+  for (std::size_t i = 0; i < buffers.size(); ++i) {
+    const auto it = state.find("b" + std::to_string(i));
+    if (it == state.end() || it->second.shape() != buffers[i]->shape()) return false;
+  }
+  for (std::size_t i = 0; i < params.size(); ++i) {
+    params[i]->value = state.at("p" + std::to_string(i));
+  }
+  for (std::size_t i = 0; i < buffers.size(); ++i) {
+    *buffers[i] = state.at("b" + std::to_string(i));
+  }
+  return true;
+}
+
+}  // namespace cq::nn

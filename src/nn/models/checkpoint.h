@@ -1,0 +1,21 @@
+#pragma once
+
+#include <string>
+
+#include "nn/module.h"
+
+namespace cq::nn {
+
+/// Saves every parameter and buffer (batch-norm running statistics) of
+/// `model` to `path` in the tensor checkpoint format, keyed by stable
+/// collection index. The architecture itself is not serialized: loading
+/// requires a structurally identical model (same config).
+void save_checkpoint(const std::string& path, Module& model);
+
+/// Restores a checkpoint written by save_checkpoint into `model`.
+/// Returns false (leaving the model untouched) when the entry count or
+/// any shape does not match — the caller typically retrains then.
+/// Throws only on I/O or format errors of the file itself.
+bool load_checkpoint(const std::string& path, Module& model);
+
+}  // namespace cq::nn

@@ -1,0 +1,86 @@
+#include "nn/optimizer.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace cq::nn {
+
+Sgd::Sgd(std::vector<Parameter*> params, double lr, double momentum, double weight_decay)
+    : Optimizer(std::move(params), lr), momentum_(momentum), weight_decay_(weight_decay) {
+  velocity_.reserve(params_.size());
+  for (const Parameter* p : params_) velocity_.emplace_back(p->value.shape());
+}
+
+void Sgd::step() {
+  const auto lr = static_cast<float>(lr_);
+  const auto mu = static_cast<float>(momentum_);
+  const auto wd = static_cast<float>(weight_decay_);
+  for (std::size_t i = 0; i < params_.size(); ++i) {
+    Parameter& p = *params_[i];
+    Tensor& v = velocity_[i];
+    for (std::size_t j = 0; j < p.value.numel(); ++j) {
+      const float g = p.grad[j] + wd * p.value[j];
+      v[j] = mu * v[j] + g;
+      p.value[j] -= lr * v[j];
+    }
+  }
+}
+
+Adam::Adam(std::vector<Parameter*> params, double lr, double beta1, double beta2,
+           double eps, double weight_decay)
+    : Optimizer(std::move(params), lr),
+      beta1_(beta1),
+      beta2_(beta2),
+      eps_(eps),
+      weight_decay_(weight_decay) {
+  m_.reserve(params_.size());
+  v_.reserve(params_.size());
+  for (const Parameter* p : params_) {
+    m_.emplace_back(p->value.shape());
+    v_.emplace_back(p->value.shape());
+  }
+}
+
+void Adam::step() {
+  ++t_;
+  const double bias1 = 1.0 - std::pow(beta1_, t_);
+  const double bias2 = 1.0 - std::pow(beta2_, t_);
+  const auto wd = static_cast<float>(weight_decay_);
+  for (std::size_t i = 0; i < params_.size(); ++i) {
+    Parameter& p = *params_[i];
+    Tensor& m = m_[i];
+    Tensor& v = v_[i];
+    for (std::size_t j = 0; j < p.value.numel(); ++j) {
+      const double g = p.grad[j] + wd * p.value[j];
+      m[j] = static_cast<float>(beta1_ * m[j] + (1.0 - beta1_) * g);
+      v[j] = static_cast<float>(beta2_ * v[j] + (1.0 - beta2_) * g * g);
+      const double m_hat = m[j] / bias1;
+      const double v_hat = v[j] / bias2;
+      p.value[j] -= static_cast<float>(lr_ * m_hat / (std::sqrt(v_hat) + eps_));
+    }
+  }
+}
+
+StepLrSchedule::StepLrSchedule(double initial_lr, std::vector<int> milestones, double factor)
+    : initial_lr_(initial_lr), milestones_(std::move(milestones)), factor_(factor) {}
+
+double StepLrSchedule::lr_at(int epoch) const {
+  double lr = initial_lr_;
+  for (const int m : milestones_) {
+    if (epoch >= m) lr *= factor_;
+  }
+  return lr;
+}
+
+CosineLrSchedule::CosineLrSchedule(double initial_lr, int total_epochs, double min_lr)
+    : initial_lr_(initial_lr), total_epochs_(std::max(1, total_epochs)), min_lr_(min_lr) {}
+
+double CosineLrSchedule::lr_at(int epoch) const {
+  if (total_epochs_ == 1) return initial_lr_;
+  const int clamped = std::clamp(epoch, 0, total_epochs_ - 1);
+  const double t = static_cast<double>(clamped) / static_cast<double>(total_epochs_ - 1);
+  return min_lr_ +
+         0.5 * (initial_lr_ - min_lr_) * (1.0 + std::cos(t * 3.14159265358979323846));
+}
+
+}  // namespace cq::nn

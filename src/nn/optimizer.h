@@ -1,0 +1,103 @@
+#pragma once
+
+#include <vector>
+
+#include "nn/module.h"
+
+namespace cq::nn {
+
+/// Interface shared by the gradient-descent optimizers. Parameters are
+/// registered at construction; step() consumes the gradients that
+/// forward/backward accumulated since the last zero_grad().
+class Optimizer {
+ public:
+  virtual ~Optimizer() = default;
+
+  /// Applies one update from the accumulated gradients.
+  virtual void step() = 0;
+
+  /// Clears all parameter gradients.
+  void zero_grad() {
+    for (Parameter* p : params_) p->zero_grad();
+  }
+
+  void set_lr(double lr) { lr_ = lr; }
+  double lr() const { return lr_; }
+
+ protected:
+  Optimizer(std::vector<Parameter*> params, double lr)
+      : params_(std::move(params)), lr_(lr) {}
+
+  std::vector<Parameter*> params_;
+  double lr_;
+};
+
+/// Stochastic gradient descent with momentum and L2 weight decay —
+/// the optimizer configuration the paper trains with (momentum 0.9,
+/// weight decay 1e-4/5e-4, step LR schedule).
+class Sgd : public Optimizer {
+ public:
+  Sgd(std::vector<Parameter*> params, double lr, double momentum = 0.9,
+      double weight_decay = 0.0);
+
+  void step() override;
+
+ private:
+  std::vector<Tensor> velocity_;
+  double momentum_;
+  double weight_decay_;
+};
+
+/// Adam with bias correction and optional L2 weight decay; provided
+/// as the modern alternative to the paper's SGD recipe for users
+/// adopting the library outside the reproduction setting.
+class Adam : public Optimizer {
+ public:
+  Adam(std::vector<Parameter*> params, double lr, double beta1 = 0.9,
+       double beta2 = 0.999, double eps = 1e-8, double weight_decay = 0.0);
+
+  void step() override;
+
+  int steps_taken() const { return t_; }
+
+ private:
+  std::vector<Tensor> m_;
+  std::vector<Tensor> v_;
+  double beta1_;
+  double beta2_;
+  double eps_;
+  double weight_decay_;
+  int t_ = 0;
+};
+
+/// Step learning-rate schedule: lr is multiplied by `factor` at each
+/// milestone epoch ("divided by 10 at the 100th, 150th and 300th
+/// epochs" in the paper's setup).
+class StepLrSchedule {
+ public:
+  StepLrSchedule(double initial_lr, std::vector<int> milestones, double factor = 0.1);
+
+  /// Learning rate in effect during `epoch` (0-based).
+  double lr_at(int epoch) const;
+
+ private:
+  double initial_lr_;
+  std::vector<int> milestones_;
+  double factor_;
+};
+
+/// Cosine annealing from `initial_lr` down to `min_lr` over
+/// `total_epochs` (the last epoch runs at min_lr exactly).
+class CosineLrSchedule {
+ public:
+  CosineLrSchedule(double initial_lr, int total_epochs, double min_lr = 0.0);
+
+  double lr_at(int epoch) const;
+
+ private:
+  double initial_lr_;
+  int total_epochs_;
+  double min_lr_;
+};
+
+}  // namespace cq::nn

@@ -1,0 +1,97 @@
+#include "nn/pooling.h"
+
+#include <limits>
+#include <stdexcept>
+
+namespace cq::nn {
+
+MaxPool2d::MaxPool2d(int kernel, int stride)
+    : kernel_(kernel), stride_(stride < 0 ? kernel : stride) {}
+
+Tensor MaxPool2d::forward(const Tensor& input) {
+  if (input.rank() != 4) throw std::invalid_argument("MaxPool2d: rank-4 input required");
+  in_shape_ = input.shape();
+  const int batch = input.dim(0);
+  const int channels = input.dim(1);
+  const int ih = input.dim(2);
+  const int iw = input.dim(3);
+  const int oh = (ih - kernel_) / stride_ + 1;
+  const int ow = (iw - kernel_) / stride_ + 1;
+
+  Tensor out({batch, channels, oh, ow});
+  argmax_.assign(out.numel(), 0);
+  std::size_t oidx = 0;
+  for (int n = 0; n < batch; ++n) {
+    for (int c = 0; c < channels; ++c) {
+      const std::size_t plane_off =
+          (static_cast<std::size_t>(n) * channels + c) * ih * iw;
+      const float* plane = input.data() + plane_off;
+      for (int y = 0; y < oh; ++y) {
+        for (int x = 0; x < ow; ++x, ++oidx) {
+          float best = -std::numeric_limits<float>::infinity();
+          int best_idx = 0;
+          for (int ky = 0; ky < kernel_; ++ky) {
+            const int iy = y * stride_ + ky;
+            for (int kx = 0; kx < kernel_; ++kx) {
+              const int ix = x * stride_ + kx;
+              const int idx = iy * iw + ix;
+              if (plane[idx] > best) {
+                best = plane[idx];
+                best_idx = idx;
+              }
+            }
+          }
+          out[oidx] = best;
+          argmax_[oidx] = static_cast<int>(plane_off) + best_idx;
+        }
+      }
+    }
+  }
+  return out;
+}
+
+Tensor MaxPool2d::backward(const Tensor& grad_output) {
+  Tensor grad_input(in_shape_);
+  for (std::size_t o = 0; o < grad_output.numel(); ++o) {
+    grad_input[static_cast<std::size_t>(argmax_[o])] += grad_output[o];
+  }
+  return grad_input;
+}
+
+Tensor GlobalAvgPool::forward(const Tensor& input) {
+  if (input.rank() != 4) throw std::invalid_argument("GlobalAvgPool: rank-4 input required");
+  in_shape_ = input.shape();
+  const int batch = input.dim(0);
+  const int channels = input.dim(1);
+  const int spatial = input.dim(2) * input.dim(3);
+  Tensor out({batch, channels});
+  const float inv = 1.0f / static_cast<float>(spatial);
+  for (int n = 0; n < batch; ++n) {
+    for (int c = 0; c < channels; ++c) {
+      const float* plane = input.data() + (static_cast<std::size_t>(n) * channels + c) * spatial;
+      double acc = 0.0;
+      for (int s = 0; s < spatial; ++s) acc += plane[s];
+      out.at(n, c) = static_cast<float>(acc) * inv;
+    }
+  }
+  return out;
+}
+
+Tensor GlobalAvgPool::backward(const Tensor& grad_output) {
+  Tensor grad_input(in_shape_);
+  const int batch = in_shape_[0];
+  const int channels = in_shape_[1];
+  const int spatial = in_shape_[2] * in_shape_[3];
+  const float inv = 1.0f / static_cast<float>(spatial);
+  for (int n = 0; n < batch; ++n) {
+    for (int c = 0; c < channels; ++c) {
+      const float g = grad_output.at(n, c) * inv;
+      float* plane =
+          grad_input.data() + (static_cast<std::size_t>(n) * channels + c) * spatial;
+      for (int s = 0; s < spatial; ++s) plane[s] = g;
+    }
+  }
+  return grad_input;
+}
+
+}  // namespace cq::nn

@@ -1,0 +1,35 @@
+#pragma once
+
+#include "nn/module.h"
+
+namespace cq::nn {
+
+/// Max pooling over non-overlapping square windows (NCHW).
+/// Caches the winning index of each window for backward routing.
+class MaxPool2d : public Module {
+ public:
+  explicit MaxPool2d(int kernel, int stride = -1);
+
+  Tensor forward(const Tensor& input) override;
+  Tensor backward(const Tensor& grad_output) override;
+  std::string name() const override { return "MaxPool2d"; }
+
+ private:
+  int kernel_;
+  int stride_;
+  tensor::Shape in_shape_;
+  std::vector<int> argmax_;  ///< flat input index per output element
+};
+
+/// Global average pooling: [N, C, H, W] -> [N, C].
+class GlobalAvgPool : public Module {
+ public:
+  Tensor forward(const Tensor& input) override;
+  Tensor backward(const Tensor& grad_output) override;
+  std::string name() const override { return "GlobalAvgPool"; }
+
+ private:
+  tensor::Shape in_shape_;
+};
+
+}  // namespace cq::nn

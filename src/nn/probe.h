@@ -1,0 +1,52 @@
+#pragma once
+
+#include "nn/module.h"
+
+namespace cq::nn {
+
+/// Identity module that records the activation tensor it forwards and
+/// the gradient tensor that flows back through it.
+///
+/// Probes are placed after the ReLU of each scored layer; the CQ
+/// importance collector reads `activation()` and `gradient()` to form
+/// the per-neuron Taylor scores |a * dPhi/da| (paper Eq. 5). Recording
+/// is off by default so training pays no memory cost.
+class Probe : public Module {
+ public:
+  explicit Probe(std::string name = "probe") : name_(std::move(name)) {}
+
+  Tensor forward(const Tensor& input) override {
+    if (recording_) activation_ = input;
+    return input;
+  }
+
+  Tensor backward(const Tensor& grad_output) override {
+    if (recording_) gradient_ = grad_output;
+    return grad_output;
+  }
+
+  std::string name() const override { return name_; }
+
+  void set_recording(bool on) {
+    recording_ = on;
+    if (!on) {
+      activation_ = Tensor();
+      gradient_ = Tensor();
+    }
+  }
+  bool recording() const { return recording_; }
+
+  /// Activation captured by the last forward ([N, C, H, W] for conv
+  /// layers, [N, F] for fully-connected layers).
+  const Tensor& activation() const { return activation_; }
+  /// Gradient captured by the last backward (same shape).
+  const Tensor& gradient() const { return gradient_; }
+
+ private:
+  std::string name_;
+  bool recording_ = false;
+  Tensor activation_;
+  Tensor gradient_;
+};
+
+}  // namespace cq::nn

@@ -1,0 +1,125 @@
+#include "nn/trainer.h"
+
+#include <algorithm>
+#include <memory>
+
+#include "util/logging.h"
+
+namespace cq::nn {
+
+Tensor gather_batch(const Tensor& images, const std::vector<std::size_t>& indices) {
+  tensor::Shape shape = images.shape();
+  const std::size_t sample_size = images.numel() / static_cast<std::size_t>(shape[0]);
+  shape[0] = static_cast<int>(indices.size());
+  Tensor out(shape);
+  for (std::size_t i = 0; i < indices.size(); ++i) {
+    const float* src = images.data() + indices[i] * sample_size;
+    std::copy(src, src + sample_size, out.data() + i * sample_size);
+  }
+  return out;
+}
+
+std::vector<EpochStats> Trainer::fit(Module& model, const Tensor& images,
+                                     const std::vector<int>& labels, Module* teacher) {
+  const auto count = static_cast<std::size_t>(images.dim(0));
+  util::Rng rng(config_.seed);
+  std::unique_ptr<Optimizer> optimizer;
+  if (config_.optimizer == OptimizerKind::kAdam) {
+    optimizer = std::make_unique<Adam>(model.parameters(), config_.lr, config_.adam_beta1,
+                                       config_.adam_beta2, config_.adam_eps,
+                                       config_.weight_decay);
+  } else {
+    optimizer = std::make_unique<Sgd>(model.parameters(), config_.lr, config_.momentum,
+                                      config_.weight_decay);
+  }
+  const StepLrSchedule step_schedule(config_.lr, config_.lr_milestones, config_.lr_decay);
+  const CosineLrSchedule cosine_schedule(config_.lr, config_.epochs);
+  const auto lr_at = [&](int epoch) {
+    return config_.lr_schedule == LrScheduleKind::kCosine ? cosine_schedule.lr_at(epoch)
+                                                          : step_schedule.lr_at(epoch);
+  };
+  SoftmaxCrossEntropy ce;
+  KnowledgeDistillLoss kd(config_.kd_alpha);
+  if (teacher != nullptr) teacher->set_training(false);
+
+  std::vector<EpochStats> history;
+  std::vector<std::size_t> order(count);
+  for (std::size_t i = 0; i < count; ++i) order[i] = i;
+
+  for (int epoch = 0; epoch < config_.epochs; ++epoch) {
+    model.set_training(true);
+    optimizer->set_lr(lr_at(epoch));
+    rng.shuffle(order);
+
+    double loss_sum = 0.0;
+    std::size_t correct = 0;
+    std::size_t seen = 0;
+    for (std::size_t start = 0; start < count; start += static_cast<std::size_t>(config_.batch_size)) {
+      const std::size_t stop = std::min(count, start + static_cast<std::size_t>(config_.batch_size));
+      const std::vector<std::size_t> idx(order.begin() + static_cast<std::ptrdiff_t>(start),
+                                         order.begin() + static_cast<std::ptrdiff_t>(stop));
+      Tensor batch = gather_batch(images, idx);
+      if (config_.augment) batch = config_.augment(batch, rng);
+      std::vector<int> batch_labels(idx.size());
+      for (std::size_t i = 0; i < idx.size(); ++i) batch_labels[i] = labels[idx[i]];
+
+      optimizer->zero_grad();
+      Tensor logits = model.forward(batch);
+
+      double loss = 0.0;
+      Tensor grad;
+      if (teacher != nullptr) {
+        const Tensor teacher_logits = teacher->forward(batch);
+        loss = kd.forward(logits, teacher_logits, batch_labels);
+        grad = kd.backward();
+      } else {
+        loss = ce.forward(logits, batch_labels);
+        grad = ce.backward();
+      }
+      model.backward(grad);
+      optimizer->step();
+
+      loss_sum += loss * static_cast<double>(idx.size());
+      for (std::size_t i = 0; i < idx.size(); ++i) {
+        if (logits.argmax_row(static_cast<int>(i)) == batch_labels[i]) ++correct;
+      }
+      seen += idx.size();
+    }
+
+    EpochStats stats;
+    stats.epoch = epoch;
+    stats.loss = loss_sum / static_cast<double>(seen);
+    stats.train_accuracy = static_cast<double>(correct) / static_cast<double>(seen);
+    stats.lr = optimizer->lr();
+    history.push_back(stats);
+    if (config_.verbose) {
+      util::log_info() << "epoch " << epoch << " loss " << stats.loss << " acc "
+                       << stats.train_accuracy << " lr " << stats.lr;
+    }
+  }
+  return history;
+}
+
+double Trainer::evaluate(Module& model, const Tensor& images, const std::vector<int>& labels,
+                         int batch_size) {
+  const auto count = static_cast<std::size_t>(images.dim(0));
+  if (count == 0) return 0.0;
+  const bool was_training = model.training();
+  model.set_training(false);
+  std::size_t correct = 0;
+  for (std::size_t start = 0; start < count; start += static_cast<std::size_t>(batch_size)) {
+    const std::size_t stop = std::min(count, start + static_cast<std::size_t>(batch_size));
+    std::vector<std::size_t> idx;
+    idx.reserve(stop - start);
+    for (std::size_t i = start; i < stop; ++i) idx.push_back(i);
+    Tensor batch = gather_batch(images, idx);
+    const Tensor logits = model.forward(batch);
+    for (std::size_t i = 0; i < idx.size(); ++i) {
+      if (logits.argmax_row(static_cast<int>(i)) == labels[idx[i]]) ++correct;
+    }
+  }
+  model.set_training(was_training);
+  return static_cast<double>(correct) / static_cast<double>(count);
+}
+
+}  // namespace cq::nn

@@ -1,0 +1,86 @@
+#pragma once
+
+#include <functional>
+#include <vector>
+
+#include "nn/loss.h"
+#include "nn/module.h"
+#include "nn/optimizer.h"
+#include "util/rng.h"
+
+namespace cq::nn {
+
+/// Optimizer selection for a training run. The paper's recipe is SGD
+/// with momentum; Adam is the library's alternative for new workloads.
+enum class OptimizerKind { kSgd, kAdam };
+
+/// Learning-rate schedule selection: step milestones (the paper) or
+/// cosine annealing to zero over the run.
+enum class LrScheduleKind { kStep, kCosine };
+
+/// Hyper-parameters of a training run (defaults mirror the paper's
+/// setup scaled to this repository's CPU-sized experiments).
+struct TrainConfig {
+  int epochs = 10;
+  int batch_size = 50;
+  double lr = 0.05;
+  double momentum = 0.9;
+  double weight_decay = 5e-4;
+  std::vector<int> lr_milestones;  ///< epochs at which lr is cut
+  double lr_decay = 0.1;
+  std::uint64_t seed = 1;
+  bool verbose = false;
+  /// Knowledge-distillation mixing factor used when a teacher is
+  /// given to fit(); the paper sets alpha = 0.3 in Eq. (10).
+  double kd_alpha = 0.3;
+
+  OptimizerKind optimizer = OptimizerKind::kSgd;
+  LrScheduleKind lr_schedule = LrScheduleKind::kStep;
+  double adam_beta1 = 0.9;
+  double adam_beta2 = 0.999;
+  double adam_eps = 1e-8;
+
+  /// Optional per-batch training-time augmentation (see
+  /// data::Augmenter::as_fn()); receives the gathered batch and the
+  /// trainer's RNG, returns the batch actually trained on. Evaluation
+  /// never applies it.
+  std::function<Tensor(const Tensor&, util::Rng&)> augment;
+};
+
+/// Per-epoch record of a fit() run.
+struct EpochStats {
+  int epoch = 0;
+  double loss = 0.0;
+  double train_accuracy = 0.0;
+  double lr = 0.0;
+};
+
+/// Copies the sample rows listed in `indices` out of an image tensor
+/// whose axis 0 is the sample axis.
+Tensor gather_batch(const Tensor& images, const std::vector<std::size_t>& indices);
+
+/// Mini-batch SGD training driver.
+///
+/// With a `teacher` the student is refined with the knowledge-
+/// distillation loss of Eq. (10) (paper Section III-D); without one it
+/// trains with plain cross-entropy. The teacher runs in eval mode and
+/// receives no gradient.
+class Trainer {
+ public:
+  explicit Trainer(TrainConfig config) : config_(std::move(config)) {}
+
+  /// Trains `model` and returns the per-epoch statistics.
+  std::vector<EpochStats> fit(Module& model, const Tensor& images,
+                              const std::vector<int>& labels, Module* teacher = nullptr);
+
+  /// Top-1 accuracy of `model` on the given set (eval mode, batched).
+  static double evaluate(Module& model, const Tensor& images, const std::vector<int>& labels,
+                         int batch_size = 100);
+
+  const TrainConfig& config() const { return config_; }
+
+ private:
+  TrainConfig config_;
+};
+
+}  // namespace cq::nn

@@ -1,0 +1,63 @@
+#include "quant/bitwidth.h"
+
+#include <algorithm>
+
+namespace cq::quant {
+
+double BitArrangement::average_bits() const {
+  double bit_weight_sum = 0.0;
+  double weight_count = 0.0;
+  for (const auto& layer : layers_) {
+    for (const int b : layer.filter_bits) {
+      bit_weight_sum += static_cast<double>(b) * static_cast<double>(layer.weights_per_filter);
+      weight_count += static_cast<double>(layer.weights_per_filter);
+    }
+  }
+  return weight_count == 0.0 ? 0.0 : bit_weight_sum / weight_count;
+}
+
+std::size_t BitArrangement::total_weights() const {
+  std::size_t n = 0;
+  for (const auto& layer : layers_) n += layer.filter_bits.size() * layer.weights_per_filter;
+  return n;
+}
+
+std::size_t BitArrangement::weights_with_bits(int bits) const {
+  std::size_t n = 0;
+  for (const auto& layer : layers_) {
+    for (const int b : layer.filter_bits) {
+      if (b == bits) n += layer.weights_per_filter;
+    }
+  }
+  return n;
+}
+
+std::size_t BitArrangement::filters_with_bits(int bits) const {
+  std::size_t n = 0;
+  for (const auto& layer : layers_) {
+    n += static_cast<std::size_t>(
+        std::count(layer.filter_bits.begin(), layer.filter_bits.end(), bits));
+  }
+  return n;
+}
+
+double BitArrangement::storage_bits(int pruned_bits) const {
+  double bits = 0.0;
+  for (const auto& layer : layers_) {
+    for (const int b : layer.filter_bits) {
+      bits += static_cast<double>(b > 0 ? b : pruned_bits) *
+              static_cast<double>(layer.weights_per_filter);
+    }
+  }
+  return bits;
+}
+
+int BitArrangement::max_bits() const {
+  int m = 0;
+  for (const auto& layer : layers_) {
+    for (const int b : layer.filter_bits) m = std::max(m, b);
+  }
+  return m;
+}
+
+}  // namespace cq::quant

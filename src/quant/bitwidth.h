@@ -1,0 +1,105 @@
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace cq::quant {
+
+/// Interface implemented by weight layers whose filters/neurons can be
+/// quantized to individual bit-widths (Conv2d output channels, Linear
+/// output neurons). This is the hook the CQ search drives.
+class QuantizableLayer {
+ public:
+  virtual ~QuantizableLayer() = default;
+
+  /// Number of filters (conv output channels) or neurons (FC rows).
+  virtual int num_filters() const = 0;
+
+  /// Weights owned by one filter/neuron (used for the average
+  /// bit-width statistic of Section IV: sum(b_i)/N over weights).
+  virtual std::size_t weights_per_filter() const = 0;
+
+  /// Assigns per-filter bit-widths; size must equal num_filters().
+  /// 0 bits prunes the filter (weights and bias forced to zero).
+  virtual void set_filter_bits(std::vector<int> bits) = 0;
+
+  /// Restores full-precision behaviour (no fake quantization).
+  virtual void clear_filter_bits() = 0;
+
+  /// Current per-filter bits; empty when running full precision.
+  virtual const std::vector<int>& filter_bits() const = 0;
+
+  /// Read-only view of the master weights of filter `k` (used by
+  /// magnitude-based allocation baselines and diagnostics).
+  virtual std::span<const float> filter_weights(int k) const = 0;
+
+  /// Mutable view of the master weights of filter `k`. The deployment
+  /// loader writes decoded quantizer codes back through this view.
+  virtual std::span<float> mutable_filter_weights(int k) = 0;
+
+  /// max|w| over the layer — the symmetric clip bound of Eq. (1).
+  virtual float weight_abs_max() const = 0;
+
+  /// Freezes the symmetric clip bound at `hi` (> 0) instead of
+  /// recomputing max|w| on every forward. Needed for bit-exact
+  /// artifact round-trips: once pruned filters are zeroed, max|w| of
+  /// the decoded weights can shrink below the range the codes were
+  /// produced with. hi <= 0 restores the dynamic per-forward range.
+  virtual void set_weight_range_override(float hi) = 0;
+  virtual float weight_range_override() const = 0;
+
+  /// Low-precision accumulator simulation hook (WrapNet baseline);
+  /// layers that do not support it ignore the call.
+  virtual void set_accumulator_wrap(float period) { (void)period; }
+};
+
+/// Per-layer slice of a bit-width arrangement.
+struct LayerBits {
+  std::string layer_name;
+  std::vector<int> filter_bits;        ///< bits per filter/neuron
+  std::size_t weights_per_filter = 0;  ///< weight count each filter owns
+};
+
+/// A complete bit-width arrangement over the quantizable layers of a
+/// model — the object the threshold search produces (Section III-C)
+/// and Figure 6/7 visualize.
+class BitArrangement {
+ public:
+  void add_layer(LayerBits layer) { layers_.push_back(std::move(layer)); }
+
+  const std::vector<LayerBits>& layers() const { return layers_; }
+  std::vector<LayerBits>& layers() { return layers_; }
+
+  /// Weighted average bit-width: sum over weights of their bit-width
+  /// divided by the total number of (quantizable) weights. Matches the
+  /// paper's definition, which excludes the first and output layers
+  /// simply because they never appear in the arrangement.
+  double average_bits() const;
+
+  /// Total quantizable weights described by the arrangement.
+  std::size_t total_weights() const;
+
+  /// Number of weights assigned exactly `bits` bits (Figure 7 rows).
+  std::size_t weights_with_bits(int bits) const;
+
+  /// Number of filters assigned exactly `bits` bits.
+  std::size_t filters_with_bits(int bits) const;
+
+  /// Largest bit-width present (0 for an empty arrangement).
+  int max_bits() const;
+
+  /// Weight-storage cost of the arrangement in bits. Pruned (0-bit)
+  /// filters cost `pruned_bits` per weight (default 0: dense formats
+  /// that skip pruned filters entirely; use 1 to model a keep-mask).
+  double storage_bits(int pruned_bits = 0) const;
+  double storage_bytes(int pruned_bits = 0) const {
+    return storage_bits(pruned_bits) / 8.0;
+  }
+
+ private:
+  std::vector<LayerBits> layers_;
+};
+
+}  // namespace cq::quant

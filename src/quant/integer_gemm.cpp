@@ -1,0 +1,35 @@
+#include "quant/integer_gemm.h"
+
+#include <cstring>
+
+namespace cq::quant {
+
+std::int64_t wrap_accumulator(std::int64_t v, int bits) {
+  if (bits <= 0 || bits >= 64) return v;
+  const std::uint64_t mask = (std::uint64_t{1} << bits) - 1;
+  std::uint64_t u = static_cast<std::uint64_t>(v) & mask;
+  // Sign-extend bit (bits-1).
+  const std::uint64_t sign_bit = std::uint64_t{1} << (bits - 1);
+  if (u & sign_bit) u |= ~mask;
+  return static_cast<std::int64_t>(u);
+}
+
+void integer_gemm(const std::int32_t* a, const std::int32_t* b, std::int64_t* c, int m,
+                  int k, int n, int acc_bits) {
+  std::memset(c, 0, sizeof(std::int64_t) * static_cast<std::size_t>(m) * n);
+  for (int i = 0; i < m; ++i) {
+    const std::int32_t* arow = a + static_cast<std::size_t>(i) * k;
+    std::int64_t* crow = c + static_cast<std::size_t>(i) * n;
+    for (int p = 0; p < k; ++p) {
+      const std::int64_t av = arow[p];
+      if (av == 0) continue;
+      const std::int32_t* brow = b + static_cast<std::size_t>(p) * n;
+      for (int j = 0; j < n; ++j) crow[j] += av * brow[j];
+    }
+    if (acc_bits > 0) {
+      for (int j = 0; j < n; ++j) crow[j] = wrap_accumulator(crow[j], acc_bits);
+    }
+  }
+}
+
+}  // namespace cq::quant

@@ -1,0 +1,23 @@
+#pragma once
+
+#include <cstdint>
+
+namespace cq::quant {
+
+/// Reduces `v` into the value a signed two's-complement accumulator of
+/// `bits` bits would hold after overflow wrap-around. Because modular
+/// arithmetic commutes with addition, wrapping the final sum once is
+/// bit-identical to wrapping after every MAC — which is what low-
+/// precision accumulator hardware (the WrapNet setting) does.
+/// bits <= 0 or bits >= 64 disables wrapping.
+std::int64_t wrap_accumulator(std::int64_t v, int bits);
+
+/// Integer GEMM C[M,N] = wrap(A[M,K] * B[K,N]) with an `acc_bits`-bit
+/// signed accumulator. Inputs are integer codes (e.g. centered
+/// quantizer codes); output is the wrapped integer partial sum, to be
+/// rescaled by the caller. This is the arithmetic core of the WrapNet
+/// baseline's low-precision-accumulator inference.
+void integer_gemm(const std::int32_t* a, const std::int32_t* b, std::int64_t* c, int m,
+                  int k, int n, int acc_bits);
+
+}  // namespace cq::quant

@@ -1,0 +1,46 @@
+#pragma once
+
+#include <span>
+
+namespace cq::quant {
+
+/// Clipping range [lo, hi] of a uniform quantizer (Eq. 1 of the paper).
+/// Weights use a symmetric range (lo = -hi, hi = max|w| of the layer);
+/// ReLU activations use lo = 0 and a calibrated hi.
+struct UniformRange {
+  float lo = 0.0f;
+  float hi = 0.0f;
+
+  bool valid() const { return hi > lo; }
+};
+
+/// Number of representable levels for `bits` (2^bits); bits <= 0 -> 1
+/// level, i.e. everything quantizes to the lower clip bound (pruned
+/// weights map to 0 via a symmetric range).
+int levels_for_bits(int bits);
+
+/// Applies Eq. (1)-(3): clip x to [r.lo, r.hi], normalize, round to
+/// levels_for_bits(bits) levels, rescale. bits == 0 returns 0
+/// (the paper's "0-bit means pruned" convention).
+float quantize_one(float x, UniformRange r, int bits);
+
+/// Vectorized quantize_one over a span; dst may alias src.
+void quantize_span(std::span<const float> src, std::span<float> dst, UniformRange r,
+                   int bits);
+
+/// Symmetric weight range of Eq. (1): [-max|w|, max|w|] over `weights`.
+/// An all-zero span yields an invalid (degenerate) range; callers treat
+/// that layer as already pruned.
+UniformRange symmetric_range(std::span<const float> weights);
+
+/// Integer code of x under the quantizer (0 .. levels-1); used by the
+/// integer inference engine. bits must be >= 1.
+int encode(float x, UniformRange r, int bits);
+
+/// Real value of integer code `q` (inverse of encode).
+float decode(int q, UniformRange r, int bits);
+
+/// Worst-case quantization error (half of one quantization interval).
+float max_quantization_error(UniformRange r, int bits);
+
+}  // namespace cq::quant

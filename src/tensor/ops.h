@@ -1,0 +1,47 @@
+#pragma once
+
+#include "tensor/tensor.h"
+
+namespace cq::tensor {
+
+/// C = A * B for row-major A[M,K], B[K,N], C[M,N].
+/// `accumulate` adds into C instead of overwriting it.
+void gemm(const float* a, const float* b, float* c, int m, int k, int n,
+          bool accumulate = false);
+
+/// C = A^T * B for A[K,M], B[K,N], C[M,N].
+void gemm_at_b(const float* a, const float* b, float* c, int k, int m, int n,
+               bool accumulate = false);
+
+/// C = A * B^T for A[M,K], B[N,K], C[M,N].
+void gemm_a_bt(const float* a, const float* b, float* c, int m, int k, int n,
+               bool accumulate = false);
+
+/// Geometry of a 2-D convolution / pooling window.
+struct ConvGeometry {
+  int in_c = 0, in_h = 0, in_w = 0;
+  int kernel = 3;
+  int stride = 1;
+  int pad = 1;
+
+  int out_h() const { return (in_h + 2 * pad - kernel) / stride + 1; }
+  int out_w() const { return (in_w + 2 * pad - kernel) / stride + 1; }
+  /// Rows of the im2col matrix: in_c * kernel * kernel.
+  int patch_size() const { return in_c * kernel * kernel; }
+};
+
+/// im2col for one image: input [C,H,W] (contiguous) is unfolded into
+/// `cols` of shape [patch_size, out_h*out_w], zero padding applied.
+void im2col(const float* input, const ConvGeometry& g, float* cols);
+
+/// Inverse scatter-add of im2col: accumulates `cols` back into
+/// `input_grad` (must be zeroed by the caller for a fresh gradient).
+void col2im(const float* cols, const ConvGeometry& g, float* input_grad);
+
+/// Row-wise softmax of a rank-2 tensor (numerically stable).
+Tensor softmax_rows(const Tensor& logits);
+
+/// log-softmax of a rank-2 tensor, row-wise.
+Tensor log_softmax_rows(const Tensor& logits);
+
+}  // namespace cq::tensor

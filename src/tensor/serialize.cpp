@@ -1,0 +1,69 @@
+#include "tensor/serialize.h"
+
+#include <cstdint>
+#include <fstream>
+#include <stdexcept>
+
+namespace cq::tensor {
+
+namespace {
+
+constexpr char kMagic[4] = {'C', 'Q', 'T', '1'};
+
+void write_u32(std::ofstream& out, std::uint32_t v) {
+  out.write(reinterpret_cast<const char*>(&v), sizeof(v));
+}
+
+std::uint32_t read_u32(std::ifstream& in) {
+  std::uint32_t v = 0;
+  in.read(reinterpret_cast<char*>(&v), sizeof(v));
+  if (!in) throw std::runtime_error("tensor checkpoint: truncated file");
+  return v;
+}
+
+}  // namespace
+
+void save_tensors(const std::string& path, const std::map<std::string, Tensor>& tensors) {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) throw std::runtime_error("save_tensors: cannot open " + path);
+  out.write(kMagic, sizeof(kMagic));
+  write_u32(out, static_cast<std::uint32_t>(tensors.size()));
+  for (const auto& [name, t] : tensors) {
+    write_u32(out, static_cast<std::uint32_t>(name.size()));
+    out.write(name.data(), static_cast<std::streamsize>(name.size()));
+    write_u32(out, static_cast<std::uint32_t>(t.rank()));
+    for (std::size_t d = 0; d < t.rank(); ++d)
+      write_u32(out, static_cast<std::uint32_t>(t.dim(d)));
+    out.write(reinterpret_cast<const char*>(t.data()),
+              static_cast<std::streamsize>(t.numel() * sizeof(float)));
+  }
+  if (!out) throw std::runtime_error("save_tensors: write failed for " + path);
+}
+
+std::map<std::string, Tensor> load_tensors(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) throw std::runtime_error("load_tensors: cannot open " + path);
+  char magic[4];
+  in.read(magic, sizeof(magic));
+  if (!in || std::string(magic, 4) != std::string(kMagic, 4)) {
+    throw std::runtime_error("load_tensors: bad magic in " + path);
+  }
+  const std::uint32_t count = read_u32(in);
+  std::map<std::string, Tensor> tensors;
+  for (std::uint32_t i = 0; i < count; ++i) {
+    const std::uint32_t name_len = read_u32(in);
+    std::string name(name_len, '\0');
+    in.read(name.data(), name_len);
+    const std::uint32_t rank = read_u32(in);
+    Shape shape(rank);
+    for (auto& d : shape) d = static_cast<int>(read_u32(in));
+    Tensor t(shape);
+    in.read(reinterpret_cast<char*>(t.data()),
+            static_cast<std::streamsize>(t.numel() * sizeof(float)));
+    if (!in) throw std::runtime_error("load_tensors: truncated data in " + path);
+    tensors.emplace(std::move(name), std::move(t));
+  }
+  return tensors;
+}
+
+}  // namespace cq::tensor

@@ -1,0 +1,20 @@
+#pragma once
+
+#include <map>
+#include <string>
+
+#include "tensor/tensor.h"
+
+namespace cq::tensor {
+
+/// Binary tensor checkpoint format:
+///   magic "CQT1" | u32 entry count | entries
+/// each entry: u32 name length | name bytes | u32 rank | u32 dims... |
+/// float32 data. Little-endian (host) byte order; intended for
+/// same-machine checkpointing of trained models between benches.
+void save_tensors(const std::string& path, const std::map<std::string, Tensor>& tensors);
+
+/// Loads a checkpoint written by save_tensors. Throws on format errors.
+std::map<std::string, Tensor> load_tensors(const std::string& path);
+
+}  // namespace cq::tensor

@@ -1,0 +1,176 @@
+#include "tensor/tensor.h"
+
+#include <cassert>
+#include <cmath>
+#include <sstream>
+#include <stdexcept>
+
+namespace cq::tensor {
+
+std::size_t shape_numel(const Shape& shape) {
+  std::size_t n = 1;
+  for (const int d : shape) {
+    if (d < 0) throw std::invalid_argument("negative dimension in shape");
+    n *= static_cast<std::size_t>(d);
+  }
+  return n;
+}
+
+std::string shape_to_string(const Shape& shape) {
+  std::ostringstream os;
+  os << "[";
+  for (std::size_t i = 0; i < shape.size(); ++i) {
+    if (i) os << ", ";
+    os << shape[i];
+  }
+  os << "]";
+  return os.str();
+}
+
+Tensor::Tensor(Shape shape) : shape_(std::move(shape)), data_(shape_numel(shape_), 0.0f) {}
+
+Tensor::Tensor(Shape shape, std::vector<float> values)
+    : shape_(std::move(shape)), data_(std::move(values)) {
+  if (data_.size() != shape_numel(shape_)) {
+    throw std::invalid_argument("Tensor: value count " + std::to_string(data_.size()) +
+                                " does not match shape " + shape_to_string(shape_));
+  }
+}
+
+Tensor Tensor::zeros(Shape shape) { return Tensor(std::move(shape)); }
+
+Tensor Tensor::ones(Shape shape) { return full(std::move(shape), 1.0f); }
+
+Tensor Tensor::full(Shape shape, float value) {
+  Tensor t(std::move(shape));
+  t.fill(value);
+  return t;
+}
+
+Tensor Tensor::randn(Shape shape, util::Rng& rng, float stddev) {
+  Tensor t(std::move(shape));
+  for (auto& v : t.data_) v = static_cast<float>(rng.normal(0.0, stddev));
+  return t;
+}
+
+Tensor Tensor::rand_uniform(Shape shape, util::Rng& rng, float lo, float hi) {
+  Tensor t(std::move(shape));
+  for (auto& v : t.data_) v = static_cast<float>(rng.uniform(lo, hi));
+  return t;
+}
+
+float& Tensor::at(int r, int c) {
+  assert(rank() == 2);
+  return data_[static_cast<std::size_t>(r) * shape_[1] + c];
+}
+
+float Tensor::at(int r, int c) const {
+  assert(rank() == 2);
+  return data_[static_cast<std::size_t>(r) * shape_[1] + c];
+}
+
+float& Tensor::at(int n, int c, int h, int w) {
+  assert(rank() == 4);
+  const std::size_t idx =
+      ((static_cast<std::size_t>(n) * shape_[1] + c) * shape_[2] + h) * shape_[3] + w;
+  return data_[idx];
+}
+
+float Tensor::at(int n, int c, int h, int w) const {
+  assert(rank() == 4);
+  const std::size_t idx =
+      ((static_cast<std::size_t>(n) * shape_[1] + c) * shape_[2] + h) * shape_[3] + w;
+  return data_[idx];
+}
+
+Tensor Tensor::reshape(Shape new_shape) const {
+  if (shape_numel(new_shape) != numel()) {
+    throw std::invalid_argument("reshape: numel mismatch " + shape_to_string(shape_) +
+                                " -> " + shape_to_string(new_shape));
+  }
+  return Tensor(std::move(new_shape), data_);
+}
+
+void Tensor::fill(float value) {
+  for (auto& v : data_) v = value;
+}
+
+Tensor& Tensor::operator+=(const Tensor& rhs) {
+  if (shape_ != rhs.shape_) throw std::invalid_argument("operator+=: shape mismatch");
+  for (std::size_t i = 0; i < data_.size(); ++i) data_[i] += rhs.data_[i];
+  return *this;
+}
+
+Tensor& Tensor::operator-=(const Tensor& rhs) {
+  if (shape_ != rhs.shape_) throw std::invalid_argument("operator-=: shape mismatch");
+  for (std::size_t i = 0; i < data_.size(); ++i) data_[i] -= rhs.data_[i];
+  return *this;
+}
+
+Tensor& Tensor::operator*=(float scalar) {
+  for (auto& v : data_) v *= scalar;
+  return *this;
+}
+
+double Tensor::sum() const {
+  double s = 0.0;
+  for (const float v : data_) s += v;
+  return s;
+}
+
+double Tensor::mean() const { return data_.empty() ? 0.0 : sum() / static_cast<double>(data_.size()); }
+
+float Tensor::abs_max() const {
+  float m = 0.0f;
+  for (const float v : data_) m = std::max(m, std::fabs(v));
+  return m;
+}
+
+std::span<float> Tensor::row(int r) {
+  assert(rank() == 2);
+  return {data_.data() + static_cast<std::size_t>(r) * shape_[1],
+          static_cast<std::size_t>(shape_[1])};
+}
+
+std::span<const float> Tensor::row(int r) const {
+  assert(rank() == 2);
+  return {data_.data() + static_cast<std::size_t>(r) * shape_[1],
+          static_cast<std::size_t>(shape_[1])};
+}
+
+int Tensor::argmax_row(int r) const {
+  const auto values = row(r);
+  int best = 0;
+  for (int c = 1; c < shape_[1]; ++c) {
+    if (values[static_cast<std::size_t>(c)] > values[static_cast<std::size_t>(best)]) best = c;
+  }
+  return best;
+}
+
+bool Tensor::allclose(const Tensor& other, float tol) const {
+  if (shape_ != other.shape_) return false;
+  for (std::size_t i = 0; i < data_.size(); ++i) {
+    if (std::fabs(data_[i] - other.data_[i]) > tol) return false;
+  }
+  return true;
+}
+
+Tensor operator+(const Tensor& a, const Tensor& b) {
+  Tensor out = a;
+  out += b;
+  return out;
+}
+
+Tensor operator-(const Tensor& a, const Tensor& b) {
+  Tensor out = a;
+  out -= b;
+  return out;
+}
+
+Tensor operator*(const Tensor& a, float scalar) {
+  Tensor out = a;
+  out *= scalar;
+  return out;
+}
+
+}  // namespace cq::tensor

@@ -1,0 +1,107 @@
+#pragma once
+
+#include <cstddef>
+#include <initializer_list>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "util/rng.h"
+
+namespace cq::tensor {
+
+/// Shape of a dense tensor; dimension sizes in row-major order.
+using Shape = std::vector<int>;
+
+/// Number of elements described by `shape` (empty shape -> 1 scalar).
+std::size_t shape_numel(const Shape& shape);
+
+/// Human-readable "[a, b, c]" form for diagnostics.
+std::string shape_to_string(const Shape& shape);
+
+/// Dense float32 tensor with contiguous row-major storage.
+///
+/// This is the only numeric container in the library. Convolutional
+/// activations use NCHW layout; weight tensors use [out, in, kh, kw].
+/// The class has value semantics (copy = deep copy) and never
+/// allocates behind the caller's back once constructed.
+class Tensor {
+ public:
+  /// Empty scalar-less tensor (numel() == 0).
+  Tensor() = default;
+
+  /// Zero-initialized tensor of the given shape.
+  explicit Tensor(Shape shape);
+
+  /// Tensor wrapping a copy of `values`; size must equal shape_numel.
+  Tensor(Shape shape, std::vector<float> values);
+
+  static Tensor zeros(Shape shape);
+  static Tensor ones(Shape shape);
+  static Tensor full(Shape shape, float value);
+  /// I.i.d. normal entries with the given stddev.
+  static Tensor randn(Shape shape, util::Rng& rng, float stddev = 1.0f);
+  /// I.i.d. uniform entries in [lo, hi).
+  static Tensor rand_uniform(Shape shape, util::Rng& rng, float lo, float hi);
+
+  const Shape& shape() const { return shape_; }
+  int dim(std::size_t axis) const { return shape_[axis]; }
+  std::size_t rank() const { return shape_.size(); }
+  std::size_t numel() const { return data_.size(); }
+  bool empty() const { return data_.empty(); }
+
+  float* data() { return data_.data(); }
+  const float* data() const { return data_.data(); }
+  std::span<float> span() { return {data_.data(), data_.size()}; }
+  std::span<const float> span() const { return {data_.data(), data_.size()}; }
+
+  float& operator[](std::size_t i) { return data_[i]; }
+  float operator[](std::size_t i) const { return data_[i]; }
+
+  /// 2-D indexed access; requires rank() == 2.
+  float& at(int r, int c);
+  float at(int r, int c) const;
+  /// 4-D indexed access; requires rank() == 4 (NCHW).
+  float& at(int n, int c, int h, int w);
+  float at(int n, int c, int h, int w) const;
+
+  /// Returns a tensor sharing no storage with this one but holding the
+  /// same data under a new shape. numel must match.
+  Tensor reshape(Shape new_shape) const;
+
+  /// Sets every element to `value`.
+  void fill(float value);
+
+  /// In-place elementwise operations; shapes must match exactly.
+  Tensor& operator+=(const Tensor& rhs);
+  Tensor& operator-=(const Tensor& rhs);
+  Tensor& operator*=(float scalar);
+
+  /// Sum of all elements (double accumulator).
+  double sum() const;
+  /// Mean of all elements; 0 for empty tensors.
+  double mean() const;
+  /// Maximum absolute value; 0 for empty tensors.
+  float abs_max() const;
+
+  /// Row `r` of a rank-2 tensor as a span of length dim(1).
+  std::span<float> row(int r);
+  std::span<const float> row(int r) const;
+
+  /// Index of the maximum element in row `r` (rank-2).
+  int argmax_row(int r) const;
+
+  /// True when shapes are equal and elements differ by at most `tol`.
+  bool allclose(const Tensor& other, float tol = 1e-5f) const;
+
+ private:
+  Shape shape_;
+  std::vector<float> data_;
+};
+
+/// Elementwise out-of-place helpers; shapes must match.
+Tensor operator+(const Tensor& a, const Tensor& b);
+Tensor operator-(const Tensor& a, const Tensor& b);
+Tensor operator*(const Tensor& a, float scalar);
+
+}  // namespace cq::tensor

@@ -1,0 +1,25 @@
+#pragma once
+
+#include <map>
+#include <string>
+
+namespace cq::util {
+
+/// Minimal `--key=value` / `--flag` parser for the benches and
+/// examples. Unknown keys are kept (callers may query freely); values
+/// are returned through typed getters with defaults.
+class Cli {
+ public:
+  Cli(int argc, char** argv);
+
+  bool has(const std::string& key) const;
+  std::string get(const std::string& key, const std::string& fallback) const;
+  long get_int(const std::string& key, long fallback) const;
+  double get_double(const std::string& key, double fallback) const;
+  bool get_bool(const std::string& key, bool fallback) const;
+
+ private:
+  std::map<std::string, std::string> values_;
+};
+
+}  // namespace cq::util

@@ -1,0 +1,45 @@
+#include "util/crc32.h"
+
+#include <array>
+
+namespace cq::util {
+namespace {
+
+std::array<std::uint32_t, 256> make_table() {
+  std::array<std::uint32_t, 256> table{};
+  for (std::uint32_t i = 0; i < 256; ++i) {
+    std::uint32_t c = i;
+    for (int bit = 0; bit < 8; ++bit) {
+      c = (c & 1u) ? 0xEDB88320u ^ (c >> 1) : (c >> 1);
+    }
+    table[i] = c;
+  }
+  return table;
+}
+
+const std::array<std::uint32_t, 256>& table() {
+  static const std::array<std::uint32_t, 256> t = make_table();
+  return t;
+}
+
+}  // namespace
+
+void Crc32::update(std::span<const std::byte> bytes) {
+  std::uint32_t c = state_;
+  for (std::byte b : bytes) {
+    c = table()[(c ^ static_cast<std::uint32_t>(b)) & 0xFFu] ^ (c >> 8);
+  }
+  state_ = c;
+}
+
+void Crc32::update(const void* data, std::size_t size) {
+  update(std::span<const std::byte>(static_cast<const std::byte*>(data), size));
+}
+
+std::uint32_t crc32(const void* data, std::size_t size) {
+  Crc32 c;
+  c.update(data, size);
+  return c.value();
+}
+
+}  // namespace cq::util

@@ -1,0 +1,31 @@
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+
+namespace cq::util {
+
+/// Incremental CRC-32 (IEEE 802.3 polynomial, the zlib/PNG variant).
+/// Used to detect corruption of deployment artifacts before any of
+/// their contents are interpreted.
+class Crc32 {
+ public:
+  /// Folds `bytes` into the running checksum.
+  void update(std::span<const std::byte> bytes);
+  void update(const void* data, std::size_t size);
+
+  /// Finalized checksum of everything updated so far. The object can
+  /// keep accumulating afterwards; value() is side-effect free.
+  std::uint32_t value() const { return state_ ^ 0xFFFFFFFFu; }
+
+  void reset() { state_ = 0xFFFFFFFFu; }
+
+ private:
+  std::uint32_t state_ = 0xFFFFFFFFu;
+};
+
+/// One-shot convenience wrapper.
+std::uint32_t crc32(const void* data, std::size_t size);
+
+}  // namespace cq::util

@@ -1,0 +1,37 @@
+#include "util/csv.h"
+
+#include <stdexcept>
+
+namespace cq::util {
+
+CsvWriter::CsvWriter(const std::string& path, const std::vector<std::string>& header)
+    : out_(path) {
+  if (!out_) throw std::runtime_error("CsvWriter: cannot open " + path);
+  write_row(header);
+}
+
+void CsvWriter::add_row(const std::vector<std::string>& row) {
+  write_row(row);
+  ++rows_;
+}
+
+void CsvWriter::write_row(const std::vector<std::string>& row) {
+  for (std::size_t i = 0; i < row.size(); ++i) {
+    if (i) out_ << ',';
+    out_ << escape(row[i]);
+  }
+  out_ << '\n';
+}
+
+std::string CsvWriter::escape(const std::string& cell) {
+  if (cell.find_first_of(",\"\n") == std::string::npos) return cell;
+  std::string quoted = "\"";
+  for (const char c : cell) {
+    if (c == '"') quoted += '"';
+    quoted += c;
+  }
+  quoted += '"';
+  return quoted;
+}
+
+}  // namespace cq::util

@@ -1,0 +1,30 @@
+#pragma once
+
+#include <fstream>
+#include <string>
+#include <vector>
+
+namespace cq::util {
+
+/// Small CSV writer for persisting experiment series (one file per
+/// figure). Escaping handles commas/quotes/newlines per RFC 4180.
+class CsvWriter {
+ public:
+  /// Opens `path` for writing and emits `header` as the first row.
+  /// Throws std::runtime_error when the file cannot be opened.
+  CsvWriter(const std::string& path, const std::vector<std::string>& header);
+
+  void add_row(const std::vector<std::string>& row);
+
+  /// Number of data rows written so far (excluding the header).
+  std::size_t rows() const { return rows_; }
+
+ private:
+  void write_row(const std::vector<std::string>& row);
+  static std::string escape(const std::string& cell);
+
+  std::ofstream out_;
+  std::size_t rows_ = 0;
+};
+
+}  // namespace cq::util

@@ -1,0 +1,136 @@
+#include "util/stats.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <sstream>
+
+namespace cq::util {
+
+namespace {
+
+template <typename T>
+Summary summarize_impl(std::span<const T> values) {
+  Summary s;
+  s.count = values.size();
+  if (values.empty()) return s;
+  double sum = 0.0;
+  double lo = values[0];
+  double hi = values[0];
+  for (const T v : values) {
+    sum += static_cast<double>(v);
+    lo = std::min(lo, static_cast<double>(v));
+    hi = std::max(hi, static_cast<double>(v));
+  }
+  s.mean = sum / static_cast<double>(values.size());
+  double var = 0.0;
+  for (const T v : values) {
+    const double d = static_cast<double>(v) - s.mean;
+    var += d * d;
+  }
+  s.stddev = std::sqrt(var / static_cast<double>(values.size()));
+  s.min = lo;
+  s.max = hi;
+  return s;
+}
+
+}  // namespace
+
+Summary summarize(std::span<const float> values) { return summarize_impl(values); }
+Summary summarize(std::span<const double> values) { return summarize_impl(values); }
+
+Histogram::Histogram(double lo, double hi, std::size_t bins)
+    : lo_(lo), hi_(hi), counts_(bins == 0 ? 1 : bins, 0) {}
+
+void Histogram::add(double value) {
+  const double span = hi_ - lo_;
+  std::size_t bin = 0;
+  if (span > 0.0) {
+    const double t = (value - lo_) / span;
+    const auto raw = static_cast<long long>(t * static_cast<double>(counts_.size()));
+    bin = static_cast<std::size_t>(std::clamp<long long>(
+        raw, 0, static_cast<long long>(counts_.size()) - 1));
+  }
+  ++counts_[bin];
+  ++total_;
+}
+
+void Histogram::add_all(std::span<const float> values) {
+  for (const float v : values) add(v);
+}
+
+double Histogram::bin_center(std::size_t bin) const {
+  const double w = (hi_ - lo_) / static_cast<double>(counts_.size());
+  return lo_ + (static_cast<double>(bin) + 0.5) * w;
+}
+
+std::string Histogram::render(std::size_t width) const {
+  const std::size_t peak = *std::max_element(counts_.begin(), counts_.end());
+  std::ostringstream os;
+  for (std::size_t b = 0; b < counts_.size(); ++b) {
+    const std::size_t bar =
+        peak == 0 ? 0 : (counts_[b] * width + peak - 1) / peak;
+    char label[64];
+    std::snprintf(label, sizeof(label), "%8.2f | ", bin_center(b));
+    os << label << std::string(bar, '#') << " " << counts_[b] << "\n";
+  }
+  return os.str();
+}
+
+std::vector<std::size_t> argsort(std::span<const float> values) {
+  std::vector<std::size_t> idx(values.size());
+  std::iota(idx.begin(), idx.end(), std::size_t{0});
+  std::stable_sort(idx.begin(), idx.end(),
+                   [&](std::size_t a, std::size_t b) { return values[a] < values[b]; });
+  return idx;
+}
+
+std::vector<std::size_t> argsort_desc(std::span<const float> values) {
+  std::vector<std::size_t> idx(values.size());
+  std::iota(idx.begin(), idx.end(), std::size_t{0});
+  std::stable_sort(idx.begin(), idx.end(),
+                   [&](std::size_t a, std::size_t b) { return values[a] > values[b]; });
+  return idx;
+}
+
+namespace {
+
+/// Tie-averaged ranks of `values` (rank 1 = smallest).
+std::vector<double> tied_ranks(std::span<const double> values) {
+  std::vector<std::size_t> idx(values.size());
+  std::iota(idx.begin(), idx.end(), std::size_t{0});
+  std::stable_sort(idx.begin(), idx.end(),
+                   [&](std::size_t a, std::size_t b) { return values[a] < values[b]; });
+  std::vector<double> ranks(values.size(), 0.0);
+  std::size_t i = 0;
+  while (i < idx.size()) {
+    std::size_t j = i;
+    while (j + 1 < idx.size() && values[idx[j + 1]] == values[idx[i]]) ++j;
+    const double avg = (static_cast<double>(i) + static_cast<double>(j)) / 2.0 + 1.0;
+    for (std::size_t k = i; k <= j; ++k) ranks[idx[k]] = avg;
+    i = j + 1;
+  }
+  return ranks;
+}
+
+}  // namespace
+
+double spearman(std::span<const double> a, std::span<const double> b) {
+  if (a.size() != b.size() || a.size() < 2) return 0.0;
+  const std::vector<double> ra = tied_ranks(a);
+  const std::vector<double> rb = tied_ranks(b);
+  const auto n = static_cast<double>(a.size());
+  double mean = (n + 1.0) / 2.0;
+  double cov = 0.0;
+  double var_a = 0.0;
+  double var_b = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    cov += (ra[i] - mean) * (rb[i] - mean);
+    var_a += (ra[i] - mean) * (ra[i] - mean);
+    var_b += (rb[i] - mean) * (rb[i] - mean);
+  }
+  if (var_a <= 0.0 || var_b <= 0.0) return 0.0;
+  return cov / std::sqrt(var_a * var_b);
+}
+
+}  // namespace cq::util

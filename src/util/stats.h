@@ -1,0 +1,62 @@
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace cq::util {
+
+/// Summary statistics of a sample.
+struct Summary {
+  std::size_t count = 0;
+  double mean = 0.0;
+  double stddev = 0.0;  ///< population standard deviation
+  double min = 0.0;
+  double max = 0.0;
+};
+
+/// Computes count/mean/stddev/min/max of `values` (empty -> zeros).
+Summary summarize(std::span<const float> values);
+Summary summarize(std::span<const double> values);
+
+/// Fixed-width histogram over [lo, hi] with `bins` buckets.
+/// Values outside the range are clamped into the edge buckets.
+class Histogram {
+ public:
+  Histogram(double lo, double hi, std::size_t bins);
+
+  void add(double value);
+  void add_all(std::span<const float> values);
+
+  std::size_t bins() const { return counts_.size(); }
+  std::size_t count(std::size_t bin) const { return counts_[bin]; }
+  std::size_t total() const { return total_; }
+  /// Center of bucket `bin`.
+  double bin_center(std::size_t bin) const;
+  double lo() const { return lo_; }
+  double hi() const { return hi_; }
+
+  /// Renders an ASCII bar chart, one bucket per line, bars scaled to
+  /// `width` characters. Used by the figure benches.
+  std::string render(std::size_t width = 40) const;
+
+ private:
+  double lo_;
+  double hi_;
+  std::vector<std::size_t> counts_;
+  std::size_t total_ = 0;
+};
+
+/// Returns the indices that sort `values` ascending (stable).
+std::vector<std::size_t> argsort(std::span<const float> values);
+
+/// Returns the indices that sort `values` descending (stable).
+std::vector<std::size_t> argsort_desc(std::span<const float> values);
+
+/// Spearman rank correlation of paired samples (tie-averaged ranks).
+/// Returns 0 for fewer than two pairs or when either side has zero
+/// rank variance.
+double spearman(std::span<const double> a, std::span<const double> b);
+
+}  // namespace cq::util

@@ -1,0 +1,57 @@
+#include "util/table.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <sstream>
+
+namespace cq::util {
+
+Table::Table(std::vector<std::string> header) : header_(std::move(header)) {}
+
+void Table::add_row(std::vector<std::string> row) { rows_.push_back(std::move(row)); }
+
+std::string Table::num(double value, int precision) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*f", precision, value);
+  return buf;
+}
+
+std::string Table::render() const {
+  std::size_t cols = header_.size();
+  for (const auto& r : rows_) cols = std::max(cols, r.size());
+  std::vector<std::size_t> width(cols, 0);
+  auto measure = [&](const std::vector<std::string>& row) {
+    for (std::size_t c = 0; c < row.size(); ++c)
+      width[c] = std::max(width[c], row[c].size());
+  };
+  measure(header_);
+  for (const auto& r : rows_) measure(r);
+
+  auto line = [&] {
+    std::string s = "+";
+    for (std::size_t c = 0; c < cols; ++c) s += std::string(width[c] + 2, '-') + "+";
+    return s + "\n";
+  };
+  auto emit = [&](const std::vector<std::string>& row) {
+    std::string s = "|";
+    for (std::size_t c = 0; c < cols; ++c) {
+      const std::string cell = c < row.size() ? row[c] : "";
+      s += " " + cell + std::string(width[c] - cell.size(), ' ') + " |";
+    }
+    return s + "\n";
+  };
+
+  std::ostringstream os;
+  os << line() << emit(header_) << line();
+  for (const auto& r : rows_) os << emit(r);
+  os << line();
+  return os.str();
+}
+
+std::string ascii_bar(double value, double max_value, std::size_t width) {
+  if (max_value <= 0.0) return "";
+  const double t = std::clamp(value / max_value, 0.0, 1.0);
+  return std::string(static_cast<std::size_t>(t * static_cast<double>(width) + 0.5), '#');
+}
+
+}  // namespace cq::util

@@ -1,0 +1,34 @@
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace cq::util {
+
+/// Minimal ASCII table renderer used by the benches to print
+/// paper-style result rows (Figure 4/5 style comparisons).
+class Table {
+ public:
+  explicit Table(std::vector<std::string> header);
+
+  /// Appends a row; missing cells render empty, extra cells are kept.
+  void add_row(std::vector<std::string> row);
+
+  /// Convenience: formats doubles with `precision` decimals.
+  static std::string num(double value, int precision = 2);
+
+  /// Renders with column alignment and +---+ separators.
+  std::string render() const;
+
+  std::size_t rows() const { return rows_.size(); }
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Renders a horizontal ASCII bar of `value` relative to `max_value`,
+/// `width` characters wide; used for bar-chart style figures.
+std::string ascii_bar(double value, double max_value, std::size_t width = 40);
+
+}  // namespace cq::util

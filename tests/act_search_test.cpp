@@ -1,0 +1,151 @@
+#include <gtest/gtest.h>
+
+#include "core/act_search.h"
+#include "nn/models/mlp.h"
+#include "nn/models/vgg_small.h"
+
+namespace cq::core {
+namespace {
+
+LayerScores make_layer(const std::string& name, std::vector<float> phi) {
+  LayerScores layer;
+  layer.name = name;
+  layer.is_conv = false;
+  layer.channels = static_cast<int>(phi.size());
+  layer.filter_phi = phi;
+  layer.neuron_gamma = std::move(phi);
+  return layer;
+}
+
+TEST(ActBits, RejectsBadBounds) {
+  ActBitsConfig config;
+  config.min_bits = 4;
+  config.max_bits = 2;
+  EXPECT_THROW(allocate_activation_bits({make_layer("a", {1.0f})}, config),
+               std::invalid_argument);
+  config = {};
+  config.avg_bits = 12;
+  config.max_bits = 8;
+  EXPECT_THROW(allocate_activation_bits({make_layer("a", {1.0f})}, config),
+               std::invalid_argument);
+}
+
+TEST(ActBits, EmptyScoresGiveEmptyResult) {
+  const ActBitsResult result = allocate_activation_bits({});
+  EXPECT_TRUE(result.bits.empty());
+  EXPECT_EQ(result.achieved_avg, 0.0);
+}
+
+TEST(ActBits, UniformScoresGiveUniformBits) {
+  ActBitsConfig config;
+  config.avg_bits = 4;
+  const ActBitsResult result = allocate_activation_bits(
+      {make_layer("a", {2.0f, 2.0f}), make_layer("b", {2.0f}), make_layer("c", {2.0f})},
+      config);
+  for (const int b : result.bits) EXPECT_EQ(b, 4);
+  EXPECT_EQ(result.achieved_avg, 4.0);
+}
+
+TEST(ActBits, AllZeroScoresDegradeToUniform) {
+  ActBitsConfig config;
+  config.avg_bits = 3;
+  const ActBitsResult result = allocate_activation_bits(
+      {make_layer("a", {0.0f}), make_layer("b", {0.0f})}, config);
+  for (const int b : result.bits) EXPECT_EQ(b, 3);
+}
+
+TEST(ActBits, HigherScoreNeverGetsFewerBits) {
+  ActBitsConfig config;
+  config.avg_bits = 4;
+  config.min_bits = 1;
+  config.max_bits = 8;
+  const ActBitsResult result = allocate_activation_bits(
+      {make_layer("low", {0.5f}), make_layer("mid", {3.0f}), make_layer("high", {9.0f}),
+       make_layer("mid2", {3.0f})},
+      config);
+  EXPECT_LE(result.bits[0], result.bits[1]);
+  EXPECT_LE(result.bits[1], result.bits[2]);
+  EXPECT_EQ(result.bits[1], result.bits[3]);
+}
+
+TEST(ActBits, AverageNeverExceedsBudget) {
+  for (int avg = 1; avg <= 8; ++avg) {
+    ActBitsConfig config;
+    config.avg_bits = avg;
+    config.min_bits = 1;
+    config.max_bits = 8;
+    const ActBitsResult result = allocate_activation_bits(
+        {make_layer("a", {10.0f}), make_layer("b", {9.5f}), make_layer("c", {0.1f}),
+         make_layer("d", {0.05f})},
+        config);
+    EXPECT_LE(result.achieved_avg, static_cast<double>(avg)) << "avg " << avg;
+    for (const int b : result.bits) {
+      EXPECT_GE(b, 1);
+      EXPECT_LE(b, 8);
+    }
+  }
+}
+
+TEST(ActBits, SkewedScoresSpreadTheBits) {
+  ActBitsConfig config;
+  config.avg_bits = 4;
+  const ActBitsResult result = allocate_activation_bits(
+      {make_layer("hot", {10.0f}), make_layer("cold", {0.2f})}, config);
+  EXPECT_GT(result.bits[0], result.bits[1]);
+  EXPECT_GT(result.bits[0], 4);
+  EXPECT_LT(result.bits[1], 4);
+}
+
+TEST(ApplyActBits, RejectsSizeMismatch) {
+  nn::Mlp model({6, {8, 8, 8}, 3, 1});
+  ActBitsResult result;
+  result.bits = {4};  // model has two scored layers
+  EXPECT_THROW(apply_activation_bits(model, result), std::invalid_argument);
+}
+
+TEST(ApplyActBits, SetsScoredQuantizersOnly) {
+  nn::VggSmallConfig config;
+  config.image_size = 8;
+  config.c1 = 4;
+  config.c2 = 4;
+  config.c3 = 4;
+  config.f1 = 8;
+  config.f2 = 8;
+  config.f3 = 8;
+  nn::VggSmall model(config);
+  model.set_activation_bits(4);  // includes the first layer's quantizer
+
+  ActBitsResult result;
+  const auto scored = model.scored_layers();
+  for (std::size_t i = 0; i < scored.size(); ++i) {
+    result.layer_names.push_back(scored[i].name);
+    result.bits.push_back(static_cast<int>(i % 3) + 2);
+  }
+  apply_activation_bits(model, result);
+
+  for (std::size_t i = 0; i < scored.size(); ++i) {
+    ASSERT_NE(scored[i].act_quant, nullptr) << scored[i].name;
+    EXPECT_EQ(scored[i].act_quant->bits(), result.bits[i]) << scored[i].name;
+  }
+  // The first layer's quantizer (not scored) kept the uniform setting.
+  EXPECT_EQ(model.activation_quantizers().front()->bits(), 4);
+}
+
+TEST(ApplyActBits, EveryModelZooScoredLayerHasAQuantizer) {
+  nn::Mlp mlp({6, {8, 8, 8}, 3, 1});
+  for (const auto& ref : mlp.scored_layers()) EXPECT_NE(ref.act_quant, nullptr);
+
+  nn::VggSmallConfig vgg_cfg;
+  vgg_cfg.image_size = 8;
+  vgg_cfg.c1 = 4;
+  vgg_cfg.c2 = 4;
+  vgg_cfg.c3 = 4;
+  vgg_cfg.f1 = 8;
+  vgg_cfg.f2 = 8;
+  vgg_cfg.f3 = 8;
+  nn::VggSmall vgg(vgg_cfg);
+  for (const auto& ref : vgg.scored_layers()) EXPECT_NE(ref.act_quant, nullptr);
+}
+
+}  // namespace
+}  // namespace cq::core

@@ -1,0 +1,176 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+#include "data/augment.h"
+#include "util/rng.h"
+
+namespace cq::data {
+namespace {
+
+using tensor::Tensor;
+
+Tensor ramp_batch(int n, int c, int h, int w) {
+  Tensor t({n, c, h, w});
+  for (std::size_t i = 0; i < t.numel(); ++i) t[i] = static_cast<float>(i % 97) * 0.1f;
+  return t;
+}
+
+TEST(Augmenter, RejectsNonNchwInput) {
+  Augmenter aug;
+  util::Rng rng(1);
+  Tensor flat({4, 9});
+  EXPECT_THROW(aug.apply(flat, rng), std::invalid_argument);
+}
+
+TEST(Augmenter, DisabledConfigIsIdentity) {
+  AugmentConfig config;
+  config.hflip = false;
+  config.pad = 0;
+  config.cutout = 0;
+  config.noise_stddev = 0.0f;
+  Augmenter aug(config);
+  util::Rng rng(2);
+  const Tensor batch = ramp_batch(3, 2, 5, 5);
+  const Tensor out = aug.apply(batch, rng);
+  for (std::size_t i = 0; i < batch.numel(); ++i) EXPECT_EQ(out[i], batch[i]);
+}
+
+TEST(Augmenter, PreservesShape) {
+  Augmenter aug({true, 2, 3, 0.1f});
+  util::Rng rng(3);
+  const Tensor batch = ramp_batch(4, 3, 8, 8);
+  const Tensor out = aug.apply(batch, rng);
+  EXPECT_EQ(out.shape(), batch.shape());
+}
+
+TEST(Augmenter, SameSeedSameOutput) {
+  Augmenter aug({true, 2, 2, 0.05f});
+  const Tensor batch = ramp_batch(5, 3, 6, 6);
+  util::Rng rng_a(7);
+  util::Rng rng_b(7);
+  const Tensor a = aug.apply(batch, rng_a);
+  const Tensor b = aug.apply(batch, rng_b);
+  for (std::size_t i = 0; i < a.numel(); ++i) ASSERT_EQ(a[i], b[i]);
+}
+
+TEST(Augmenter, FlipOnlyProducesIdentityOrExactMirror) {
+  AugmentConfig config;
+  config.hflip = true;
+  config.pad = 0;
+  Augmenter aug(config);
+  const Tensor batch = ramp_batch(1, 1, 4, 6);
+  int flipped = 0;
+  int identity = 0;
+  for (std::uint64_t seed = 0; seed < 32; ++seed) {
+    util::Rng rng(seed);
+    const Tensor out = aug.apply(batch, rng);
+    bool is_identity = true;
+    bool is_mirror = true;
+    for (int y = 0; y < 4; ++y) {
+      for (int x = 0; x < 6; ++x) {
+        const float src = batch[static_cast<std::size_t>(y) * 6 + x];
+        const float o = out[static_cast<std::size_t>(y) * 6 + x];
+        const float mirrored = batch[static_cast<std::size_t>(y) * 6 + (5 - x)];
+        if (o != src) is_identity = false;
+        if (o != mirrored) is_mirror = false;
+      }
+    }
+    EXPECT_TRUE(is_identity || is_mirror) << "seed " << seed;
+    flipped += is_mirror && !is_identity;
+    identity += is_identity;
+  }
+  // Both outcomes must actually occur (p(miss) < 1e-9 over 32 draws).
+  EXPECT_GT(flipped, 0);
+  EXPECT_GT(identity, 0);
+}
+
+TEST(Augmenter, CropKeepsPixelValuesFromSourceOrZero) {
+  AugmentConfig config;
+  config.hflip = false;
+  config.pad = 2;
+  Augmenter aug(config);
+  const Tensor batch = ramp_batch(1, 1, 5, 5);
+  std::set<float> source(batch.data(), batch.data() + batch.numel());
+  source.insert(0.0f);  // padding
+  util::Rng rng(11);
+  const Tensor out = aug.apply(batch, rng);
+  for (std::size_t i = 0; i < out.numel(); ++i) {
+    EXPECT_TRUE(source.count(out[i]) > 0) << "pixel " << i;
+  }
+}
+
+TEST(Augmenter, CropShiftsAreBoundedByPad) {
+  // With pad=1 and a distinctive center pixel, the center can move at
+  // most one step in each direction.
+  AugmentConfig config;
+  config.hflip = false;
+  config.pad = 1;
+  Augmenter aug(config);
+  Tensor batch({1, 1, 5, 5});
+  batch[12] = 99.0f;  // center of the 5x5
+  for (std::uint64_t seed = 0; seed < 16; ++seed) {
+    util::Rng rng(seed);
+    const Tensor out = aug.apply(batch, rng);
+    for (std::size_t i = 0; i < out.numel(); ++i) {
+      if (out[i] != 99.0f) continue;
+      const int y = static_cast<int>(i) / 5;
+      const int x = static_cast<int>(i) % 5;
+      EXPECT_LE(std::abs(y - 2), 1);
+      EXPECT_LE(std::abs(x - 2), 1);
+    }
+  }
+}
+
+TEST(Augmenter, CutoutZeroesAtMostSideSquaredPixelsPerChannel) {
+  AugmentConfig config;
+  config.hflip = false;
+  config.pad = 0;
+  config.cutout = 2;
+  Augmenter aug(config);
+  Tensor batch = Tensor::full({1, 2, 6, 6}, 1.0f);
+  util::Rng rng(13);
+  const Tensor out = aug.apply(batch, rng);
+  int zeros_c0 = 0;
+  int zeros_c1 = 0;
+  for (int i = 0; i < 36; ++i) {
+    zeros_c0 += out[static_cast<std::size_t>(i)] == 0.0f;
+    zeros_c1 += out[static_cast<std::size_t>(36 + i)] == 0.0f;
+  }
+  EXPECT_GT(zeros_c0, 0);
+  EXPECT_LE(zeros_c0, 4);
+  EXPECT_EQ(zeros_c0, zeros_c1);  // same square across channels
+}
+
+TEST(Augmenter, NoiseChangesEveryPixelSlightly) {
+  AugmentConfig config;
+  config.hflip = false;
+  config.pad = 0;
+  config.noise_stddev = 0.01f;
+  Augmenter aug(config);
+  const Tensor batch = Tensor::full({1, 1, 4, 4}, 0.5f);
+  util::Rng rng(17);
+  const Tensor out = aug.apply(batch, rng);
+  for (std::size_t i = 0; i < out.numel(); ++i) {
+    EXPECT_NE(out[i], 0.5f);
+    EXPECT_NEAR(out[i], 0.5f, 0.1f);
+  }
+}
+
+TEST(Augmenter, AsFnIsUsableWithoutTheAugmenterAlive) {
+  std::function<Tensor(const Tensor&, util::Rng&)> fn;
+  {
+    AugmentConfig config;
+    config.hflip = false;
+    config.pad = 1;
+    fn = Augmenter(config).as_fn();
+  }
+  util::Rng rng(19);
+  const Tensor batch = ramp_batch(2, 1, 4, 4);
+  const Tensor out = fn(batch, rng);
+  EXPECT_EQ(out.shape(), batch.shape());
+}
+
+}  // namespace
+}  // namespace cq::data

@@ -1,0 +1,173 @@
+#include <gtest/gtest.h>
+
+#include "baselines/allocators.h"
+#include "baselines/apn.h"
+#include "baselines/wrapnet.h"
+#include "nn/models/mlp.h"
+#include "nn/trainer.h"
+
+namespace cq::baselines {
+namespace {
+
+data::DataSplit make_split(std::uint64_t seed) {
+  util::Rng rng(seed);
+  auto gen = [&](int per_class) {
+    data::Dataset d;
+    const int n = 3 * per_class;
+    d.images = nn::Tensor({n, 6});
+    d.labels.resize(static_cast<std::size_t>(n));
+    for (int i = 0; i < n; ++i) {
+      const int cls = i / per_class;
+      for (int f = 0; f < 6; ++f) {
+        d.images.at(i, f) = static_cast<float>(rng.normal(f % 3 == cls ? 1.5 : 0.0, 0.4));
+      }
+      d.labels[static_cast<std::size_t>(i)] = cls;
+    }
+    return d;
+  };
+  data::DataSplit split;
+  split.train = gen(40);
+  split.val = gen(10);
+  split.test = gen(20);
+  return split;
+}
+
+nn::Mlp trained(const data::DataSplit& split, std::uint64_t seed) {
+  nn::Mlp model({6, {24, 16, 12}, 3, seed});
+  nn::TrainConfig tc;
+  tc.epochs = 20;
+  tc.batch_size = 20;
+  tc.lr = 0.05;
+  nn::Trainer trainer(tc);
+  trainer.fit(model, split.train.images, split.train.labels);
+  return model;
+}
+
+TEST(ApplyUniformBits, SetsEveryScoredFilter) {
+  nn::Mlp model({6, {12, 10, 8}, 3, 1});
+  const quant::BitArrangement arr = apply_uniform_bits(model, 3);
+  EXPECT_DOUBLE_EQ(arr.average_bits(), 3.0);
+  ASSERT_EQ(arr.layers().size(), 2u);  // first layer excluded
+  for (const auto& scored : model.scored_layers()) {
+    for (const auto* layer : scored.layers) {
+      for (const int b : layer->filter_bits()) EXPECT_EQ(b, 3);
+    }
+  }
+}
+
+TEST(Apn, QuantizesAndRecoversAccuracy) {
+  const data::DataSplit split = make_split(21);
+  nn::Mlp model = trained(split, 2);
+  const double fp = nn::Trainer::evaluate(model, split.test.images, split.test.labels);
+  ASSERT_GT(fp, 0.8);
+
+  ApnConfig cfg;
+  cfg.weight_bits = 3;
+  cfg.activation_bits = 3;
+  cfg.refine.epochs = 8;
+  cfg.refine.batch_size = 20;
+  cfg.refine.lr = 0.02;
+  ApnQuantizer apn(cfg);
+  const BaselineReport report = apn.run(model, split);
+  EXPECT_DOUBLE_EQ(report.achieved_avg_bits, 3.0);
+  EXPECT_NEAR(report.fp_accuracy, fp, 1e-9);
+  EXPECT_GT(report.quant_accuracy, fp - 0.25);
+  for (nn::ActQuant* aq : model.activation_quantizers()) EXPECT_EQ(aq->bits(), 3);
+}
+
+TEST(Apn, RefinementHelpsAtLowBits) {
+  const data::DataSplit split = make_split(23);
+  nn::Mlp model = trained(split, 3);
+  ApnConfig cfg;
+  cfg.weight_bits = 1;
+  cfg.activation_bits = 4;
+  cfg.refine.epochs = 10;
+  cfg.refine.batch_size = 20;
+  cfg.refine.lr = 0.02;
+  ApnQuantizer apn(cfg);
+  const BaselineReport report = apn.run(model, split);
+  EXPECT_GE(report.quant_accuracy, report.quant_accuracy_pre_refine - 0.05);
+}
+
+TEST(WrapNet, RunsAndWrapIsApplied) {
+  const data::DataSplit split = make_split(25);
+  nn::Mlp model = trained(split, 4);
+  WnConfig cfg;
+  cfg.weight_bits = 2;
+  cfg.activation_bits = 4;
+  cfg.accumulator_bits = 12;
+  cfg.refine.epochs = 4;
+  cfg.refine.batch_size = 20;
+  cfg.refine.lr = 0.02;
+  WnQuantizer wn(cfg);
+  const BaselineReport report = wn.run(model, split);
+  EXPECT_DOUBLE_EQ(report.achieved_avg_bits, 2.0);
+  // The wrap hook must be active on scored layers.
+  for (const auto& scored : model.scored_layers()) {
+    auto* fc = dynamic_cast<nn::Linear*>(scored.layers.front());
+    ASSERT_NE(fc, nullptr);
+    EXPECT_GT(fc->accumulator_wrap(), 0.0f);
+  }
+}
+
+TEST(WrapNet, NarrowAccumulatorHurtsMore) {
+  const data::DataSplit split = make_split(27);
+  nn::Mlp wide_model = trained(split, 5);
+  auto narrow_model = wide_model.clone();  // same trained weights
+
+  WnConfig wide;
+  wide.weight_bits = 2;
+  wide.activation_bits = 4;
+  wide.accumulator_bits = 30;  // effectively no wrapping
+  wide.refine.epochs = 0;      // isolate the wrap effect
+  WnConfig narrow = wide;
+  narrow.accumulator_bits = 6;  // aggressive wrapping
+
+  const BaselineReport wide_report = WnQuantizer(wide).run(wide_model, split);
+  const BaselineReport narrow_report = WnQuantizer(narrow).run(*narrow_model, split);
+  EXPECT_GE(wide_report.quant_accuracy_pre_refine,
+            narrow_report.quant_accuracy_pre_refine);
+}
+
+TEST(Allocators, MagnitudeScoresNormalizedPerLayer) {
+  nn::Mlp model({6, {12, 10, 8}, 3, 6});
+  const auto scores = magnitude_scores(model);
+  ASSERT_EQ(scores.size(), 2u);
+  for (const auto& layer : scores) {
+    float mx = 0.0f;
+    for (const float v : layer.filter_phi) {
+      EXPECT_GE(v, 0.0f);
+      EXPECT_LE(v, 1.0f + 1e-6f);
+      mx = std::max(mx, v);
+    }
+    EXPECT_NEAR(mx, 1.0f, 1e-6f);  // layer max normalized to 1
+    EXPECT_EQ(layer.filter_phi.size(), static_cast<std::size_t>(layer.channels));
+  }
+}
+
+TEST(Allocators, RandomScoresDeterministicPerSeed) {
+  nn::Mlp model({6, {12, 10, 8}, 3, 7});
+  const auto a = random_scores(model, 42);
+  const auto b = random_scores(model, 42);
+  const auto c = random_scores(model, 43);
+  ASSERT_EQ(a.size(), b.size());
+  EXPECT_EQ(a[0].filter_phi, b[0].filter_phi);
+  EXPECT_NE(a[0].filter_phi, c[0].filter_phi);
+}
+
+TEST(Allocators, ScoresUsableByThresholdSearch) {
+  const data::DataSplit split = make_split(29);
+  nn::Mlp model = trained(split, 8);
+  const auto scores = magnitude_scores(model);
+  core::SearchConfig cfg;
+  cfg.max_bits = 4;
+  cfg.desired_avg_bits = 2.0;
+  cfg.t1 = 0.4;
+  cfg.eval_samples = 30;
+  core::ThresholdSearch search(cfg);
+  const core::SearchResult result = search.run(model, scores, split.val);
+  EXPECT_LE(result.achieved_avg_bits, 2.0 + 1e-9);
+}
+
+}  // namespace
+}  // namespace cq::baselines

@@ -1,0 +1,67 @@
+#include <gtest/gtest.h>
+
+#include "../bench/harness.h"
+
+namespace cq::bench {
+namespace {
+
+TEST(BenchScale, DefaultsAreFullScale) {
+  const char* argv[] = {"prog"};
+  const util::Cli cli(1, const_cast<char**>(argv));
+  const BenchScale s = BenchScale::from_cli(cli);
+  EXPECT_EQ(s.train_per_class_c10, 150);
+  EXPECT_EQ(s.fp_epochs, 5);
+  EXPECT_EQ(s.refine_epochs, 2);
+}
+
+TEST(BenchScale, FastShrinksEverything) {
+  const char* argv[] = {"prog", "--fast"};
+  const util::Cli cli(2, const_cast<char**>(argv));
+  const BenchScale s = BenchScale::from_cli(cli);
+  EXPECT_LT(s.train_per_class_c10, 150);
+  EXPECT_LT(s.fp_epochs, 5);
+  EXPECT_LT(s.importance_samples, 20);
+}
+
+TEST(BenchScale, ExplicitOverridesBeatFast) {
+  const char* argv[] = {"prog", "--fast", "--fp_epochs=9"};
+  const util::Cli cli(3, const_cast<char**>(argv));
+  const BenchScale s = BenchScale::from_cli(cli);
+  EXPECT_EQ(s.fp_epochs, 9);
+}
+
+TEST(BenchDatasets, ClassCountsMatchPaper) {
+  const char* argv[] = {"prog", "--fast"};
+  const util::Cli cli(2, const_cast<char**>(argv));
+  const BenchScale s = BenchScale::from_cli(cli);
+  const data::DataSplit c10 = dataset_c10(s);
+  EXPECT_EQ(c10.train.num_classes(), 10);
+  const data::DataSplit c100 = dataset_c100(s);
+  EXPECT_EQ(c100.train.num_classes(), 100);
+}
+
+TEST(BenchModels, MatchPaperConfigs) {
+  auto vgg = make_vgg_small(10);
+  EXPECT_EQ(vgg->scored_layers().size(), 7u);
+  auto x1 = make_resnet20(10, 1);
+  auto x5 = make_resnet20(100, 5);
+  // x5 filters are exactly 5x the x1 widths, as in the paper.
+  EXPECT_EQ(x5->scored_layers().front().layers.front()->num_filters(),
+            5 * x1->scored_layers().front().layers.front()->num_filters());
+}
+
+TEST(BenchConfigs, CqConfigCarriesPaperParameters) {
+  const char* argv[] = {"prog"};
+  const util::Cli cli(1, const_cast<char**>(argv));
+  const BenchScale s = BenchScale::from_cli(cli);
+  const core::CqConfig cfg = make_cq_config(2.0, 2, s);
+  EXPECT_DOUBLE_EQ(cfg.search.desired_avg_bits, 2.0);
+  EXPECT_DOUBLE_EQ(cfg.search.t1, 0.5);    // paper Section III-C
+  EXPECT_DOUBLE_EQ(cfg.search.decay, 0.8); // paper Section III-C
+  EXPECT_EQ(cfg.search.max_bits, 4);       // paper bit range {0..4}
+  EXPECT_DOUBLE_EQ(cfg.refine.alpha, 0.3); // paper Section IV
+  EXPECT_EQ(cfg.activation_bits, 2);
+}
+
+}  // namespace
+}  // namespace cq::bench

@@ -1,0 +1,86 @@
+#include <gtest/gtest.h>
+
+#include "nn/models/checkpoint.h"
+#include "nn/models/mlp.h"
+#include "nn/models/vgg_small.h"
+
+namespace cq::nn {
+namespace {
+
+VggSmallConfig tiny_vgg() {
+  VggSmallConfig cfg;
+  cfg.image_size = 8;
+  cfg.num_classes = 4;
+  cfg.c1 = 4;
+  cfg.c2 = 4;
+  cfg.c3 = 4;
+  cfg.f1 = 8;
+  cfg.f2 = 8;
+  cfg.f3 = 8;
+  return cfg;
+}
+
+TEST(Checkpoint, RoundTripsMlp) {
+  const std::string path = testing::TempDir() + "/mlp.ckpt";
+  Mlp original({6, {10, 8}, 3, 1});
+  save_checkpoint(path, original);
+
+  Mlp loaded({6, {10, 8}, 3, 2});  // different init
+  ASSERT_TRUE(load_checkpoint(path, loaded));
+  util::Rng rng(3);
+  const Tensor x = Tensor::randn({4, 6}, rng);
+  original.set_training(false);
+  loaded.set_training(false);
+  EXPECT_TRUE(original.forward(x).allclose(loaded.forward(x)));
+}
+
+TEST(Checkpoint, RoundTripsBatchNormBuffers) {
+  const std::string path = testing::TempDir() + "/vgg.ckpt";
+  VggSmall original(tiny_vgg());
+  util::Rng rng(4);
+  // Accumulate nontrivial running statistics first.
+  original.set_training(true);
+  for (int i = 0; i < 3; ++i) original.forward(Tensor::randn({4, 3, 8, 8}, rng));
+  save_checkpoint(path, original);
+
+  VggSmallConfig cfg2 = tiny_vgg();
+  cfg2.seed = 77;
+  VggSmall loaded(cfg2);
+  ASSERT_TRUE(load_checkpoint(path, loaded));
+  original.set_training(false);
+  loaded.set_training(false);
+  const Tensor x = Tensor::randn({2, 3, 8, 8}, rng);
+  EXPECT_TRUE(original.forward(x).allclose(loaded.forward(x), 1e-5f));
+}
+
+TEST(Checkpoint, RejectsArchitectureMismatchWithoutMutation) {
+  const std::string path = testing::TempDir() + "/mismatch.ckpt";
+  Mlp small({6, {10, 8}, 3, 1});
+  save_checkpoint(path, small);
+
+  Mlp other({6, {12, 8}, 3, 5});
+  const Tensor before = other.parameters()[0]->value;
+  EXPECT_FALSE(load_checkpoint(path, other));
+  EXPECT_TRUE(other.parameters()[0]->value.allclose(before, 0.0f));
+}
+
+TEST(Checkpoint, MissingFileThrows) {
+  Mlp model({4, {6}, 2, 1});
+  EXPECT_THROW(load_checkpoint("/nonexistent/dir/x.ckpt", model), std::runtime_error);
+}
+
+TEST(Checkpoint, QuantizationStateIsNotPersisted) {
+  // Checkpoints hold master weights only; bit assignments are
+  // reproducible from a stored SearchResult instead.
+  const std::string path = testing::TempDir() + "/quant.ckpt";
+  Mlp model({6, {10, 8}, 3, 1});
+  model.scored_layers()[0].layers.front()->set_filter_bits(std::vector<int>(8, 2));
+  save_checkpoint(path, model);
+
+  Mlp loaded({6, {10, 8}, 3, 9});
+  ASSERT_TRUE(load_checkpoint(path, loaded));
+  EXPECT_TRUE(loaded.scored_layers()[0].layers.front()->filter_bits().empty());
+}
+
+}  // namespace
+}  // namespace cq::nn

@@ -1,0 +1,203 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/class_damage.h"
+#include "core/importance.h"
+#include "nn/models/mlp.h"
+#include "nn/trainer.h"
+#include "util/stats.h"
+
+namespace cq::core {
+namespace {
+
+data::DataSplit make_split(std::uint64_t seed) {
+  util::Rng rng(seed);
+  auto gen = [&](int per_class) {
+    data::Dataset d;
+    const int n = 3 * per_class;
+    d.images = nn::Tensor({n, 6});
+    d.labels.resize(static_cast<std::size_t>(n));
+    for (int i = 0; i < n; ++i) {
+      const int cls = i / per_class;
+      for (int f = 0; f < 6; ++f) {
+        d.images.at(i, f) = static_cast<float>(rng.normal(f % 3 == cls ? 1.5 : 0.0, 0.4));
+      }
+      d.labels[static_cast<std::size_t>(i)] = cls;
+    }
+    return d;
+  };
+  data::DataSplit split;
+  split.train = gen(40);
+  split.val = gen(15);
+  split.test = gen(25);
+  return split;
+}
+
+nn::Mlp trained(const data::DataSplit& split, std::uint64_t seed) {
+  nn::Mlp model({6, {24, 16, 12}, 3, seed});
+  nn::TrainConfig tc;
+  tc.epochs = 20;
+  tc.batch_size = 20;
+  tc.lr = 0.05;
+  nn::Trainer(tc).fit(model, split.train.images, split.train.labels);
+  return model;
+}
+
+TEST(Spearman, PerfectAndInverseOrderings) {
+  const std::vector<double> a = {1, 2, 3, 4, 5};
+  const std::vector<double> up = {10, 20, 30, 40, 50};
+  const std::vector<double> down = {5, 4, 3, 2, 1};
+  EXPECT_NEAR(util::spearman(a, up), 1.0, 1e-12);
+  EXPECT_NEAR(util::spearman(a, down), -1.0, 1e-12);
+}
+
+TEST(Spearman, TiesAndDegenerateInputs) {
+  const std::vector<double> a = {1, 1, 2, 2};
+  const std::vector<double> b = {3, 3, 7, 7};
+  EXPECT_NEAR(util::spearman(a, b), 1.0, 1e-12);
+  const std::vector<double> constant = {4, 4, 4, 4};
+  EXPECT_EQ(util::spearman(a, constant), 0.0);
+  EXPECT_EQ(util::spearman(std::vector<double>{}, std::vector<double>{}), 0.0);
+  const std::vector<double> one = {1};
+  EXPECT_EQ(util::spearman(one, one), 0.0);
+}
+
+TEST(KeepClassScores, OffByDefaultAndOnWhenRequested) {
+  const data::DataSplit split = make_split(1);
+  nn::Mlp model = trained(split, 1);
+
+  ImportanceConfig off;
+  off.samples_per_class = 10;
+  const auto plain = ImportanceCollector(off).collect(model, split.val);
+  for (const LayerScores& layer : plain) EXPECT_TRUE(layer.class_filter_beta.empty());
+
+  ImportanceConfig on = off;
+  on.keep_class_scores = true;
+  const auto kept = ImportanceCollector(on).collect(model, split.val);
+  for (const LayerScores& layer : kept) {
+    ASSERT_EQ(layer.class_filter_beta.size(), 3u);
+    for (const auto& row : layer.class_filter_beta) {
+      EXPECT_EQ(row.size(), layer.filter_phi.size());
+      for (const float beta : row) {
+        EXPECT_GE(beta, 0.0f);
+        EXPECT_LE(beta, 1.0f);
+      }
+    }
+  }
+}
+
+TEST(KeepClassScores, ClassSumDominatesPhi) {
+  // phi = max_s sum_m beta(neuron) <= sum_m max_s beta(neuron): the
+  // per-class filter betas must sum to at least phi on every filter.
+  const data::DataSplit split = make_split(2);
+  nn::Mlp model = trained(split, 2);
+  ImportanceConfig cfg;
+  cfg.samples_per_class = 10;
+  cfg.keep_class_scores = true;
+  const auto scores = ImportanceCollector(cfg).collect(model, split.val);
+  for (const LayerScores& layer : scores) {
+    for (std::size_t k = 0; k < layer.filter_phi.size(); ++k) {
+      float sum = 0.0f;
+      for (const auto& row : layer.class_filter_beta) sum += row[k];
+      EXPECT_GE(sum + 1e-5f, layer.filter_phi[k]) << layer.name << " filter " << k;
+    }
+  }
+}
+
+TEST(ClassDamage, RequiresClassMatrices) {
+  const data::DataSplit split = make_split(3);
+  nn::Mlp model = trained(split, 3);
+  auto quant = model.clone();
+  ImportanceConfig cfg;
+  cfg.samples_per_class = 10;
+  const auto scores = ImportanceCollector(cfg).collect(model, split.val);
+  EXPECT_THROW(analyze_class_damage(model, *quant, scores, split.test),
+               std::invalid_argument);
+}
+
+TEST(ClassDamage, UnquantizedModelRetainsEverythingAndDropsNothing) {
+  const data::DataSplit split = make_split(4);
+  nn::Mlp model = trained(split, 4);
+  auto quant = model.clone();
+  ImportanceConfig cfg;
+  cfg.samples_per_class = 10;
+  cfg.keep_class_scores = true;
+  const auto scores = ImportanceCollector(cfg).collect(model, split.val);
+
+  const ClassDamageReport report =
+      analyze_class_damage(model, *quant, scores, split.test);
+  ASSERT_EQ(report.retained_importance.size(), 3u);
+  for (int m = 0; m < 3; ++m) {
+    EXPECT_EQ(report.retained_importance[static_cast<std::size_t>(m)], 1.0);
+    EXPECT_NEAR(report.accuracy_drop[static_cast<std::size_t>(m)], 0.0, 1e-12);
+  }
+}
+
+TEST(ClassDamage, RetainedImportanceMatchesHandComputation) {
+  const data::DataSplit split = make_split(5);
+  nn::Mlp model = trained(split, 5);
+  auto quant = model.clone();
+  ImportanceConfig cfg;
+  cfg.samples_per_class = 10;
+  cfg.keep_class_scores = true;
+  const auto scores = ImportanceCollector(cfg).collect(model, split.val);
+
+  // Known pattern: alternate 4/0 bits on the first scored layer, full
+  // 4 bits on the second.
+  auto scored = quant->scored_layers();
+  ASSERT_EQ(scored.size(), 2u);
+  const int filters = scored[0].layers.front()->num_filters();
+  std::vector<int> bits(static_cast<std::size_t>(filters));
+  for (int k = 0; k < filters; ++k) bits[static_cast<std::size_t>(k)] = k % 2 == 0 ? 4 : 0;
+  scored[0].layers.front()->set_filter_bits(bits);
+  scored[1].layers.front()->set_filter_bits(std::vector<int>(
+      static_cast<std::size_t>(scored[1].layers.front()->num_filters()), 4));
+
+  const ClassDamageReport report =
+      analyze_class_damage(model, *quant, scores, split.test);
+  for (int m = 0; m < 3; ++m) {
+    double total = 0.0;
+    double kept = 0.0;
+    const auto& beta = scores[0].class_filter_beta[static_cast<std::size_t>(m)];
+    for (int k = 0; k < filters; ++k) {
+      total += beta[static_cast<std::size_t>(k)];
+      kept += beta[static_cast<std::size_t>(k)] * (k % 2 == 0 ? 1.0 : 0.0);
+    }
+    for (const float b2 : scores[1].class_filter_beta[static_cast<std::size_t>(m)]) {
+      total += b2;
+      kept += b2;  // every filter of layer 2 keeps max bits
+    }
+    const double expected = total > 0.0 ? kept / total : 1.0;
+    EXPECT_NEAR(report.retained_importance[static_cast<std::size_t>(m)], expected, 1e-9);
+    EXPECT_GE(report.retained_importance[static_cast<std::size_t>(m)], 0.0);
+    EXPECT_LE(report.retained_importance[static_cast<std::size_t>(m)], 1.0);
+  }
+  EXPECT_GE(report.rank_correlation, -1.0);
+  EXPECT_LE(report.rank_correlation, 1.0);
+}
+
+TEST(ClassDamage, DropsAreConsistentWithPerClassAccuracies) {
+  const data::DataSplit split = make_split(6);
+  nn::Mlp model = trained(split, 6);
+  auto quant = model.clone();
+  ImportanceConfig cfg;
+  cfg.samples_per_class = 10;
+  cfg.keep_class_scores = true;
+  const auto scores = ImportanceCollector(cfg).collect(model, split.val);
+  for (const auto& ref : quant->scored_layers()) {
+    for (auto* layer : ref.layers) {
+      layer->set_filter_bits(
+          std::vector<int>(static_cast<std::size_t>(layer->num_filters()), 1));
+    }
+  }
+  const ClassDamageReport report =
+      analyze_class_damage(model, *quant, scores, split.test);
+  for (std::size_t m = 0; m < 3; ++m) {
+    EXPECT_NEAR(report.accuracy_drop[m], report.fp_accuracy[m] - report.quant_accuracy[m],
+                1e-12);
+  }
+}
+
+}  // namespace
+}  // namespace cq::core

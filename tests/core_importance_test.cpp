@@ -1,0 +1,179 @@
+#include <gtest/gtest.h>
+#include <cmath>
+
+#include "core/importance.h"
+#include "data/synthetic.h"
+#include "nn/models/mlp.h"
+#include "nn/models/vgg_small.h"
+#include "nn/trainer.h"
+
+namespace cq::core {
+namespace {
+
+/// Tiny 3-class flat dataset with class-coded features.
+data::Dataset make_flat_dataset(int per_class, int features, util::Rng& rng) {
+  data::Dataset d;
+  const int n = 3 * per_class;
+  d.images = nn::Tensor({n, features});
+  d.labels.resize(static_cast<std::size_t>(n));
+  for (int i = 0; i < n; ++i) {
+    const int cls = i / per_class;
+    for (int f = 0; f < features; ++f) {
+      d.images.at(i, f) = static_cast<float>(rng.normal(f == cls ? 2.0 : 0.0, 0.3));
+    }
+    d.labels[static_cast<std::size_t>(i)] = cls;
+  }
+  return d;
+}
+
+TEST(Importance, ScoresBoundedByClassCount) {
+  util::Rng rng(1);
+  nn::Mlp model({6, {12, 10}, 3, 2});
+  const data::Dataset val = make_flat_dataset(8, 6, rng);
+  ImportanceCollector collector({1e-50, 8});
+  const auto scores = collector.collect(model, val);
+  ASSERT_EQ(scores.size(), 1u);
+  for (const float g : scores[0].neuron_gamma) {
+    EXPECT_GE(g, 0.0f);
+    EXPECT_LE(g, 3.0f + 1e-5f);
+  }
+}
+
+TEST(Importance, DeadNeuronScoresZero) {
+  util::Rng rng(2);
+  nn::Mlp model({6, {12, 10}, 3, 3});
+  // Kill neuron 4 of the scored hidden layer: zero its incoming row.
+  auto scored = model.scored_layers();
+  auto* fc = dynamic_cast<nn::Linear*>(scored[0].layers.front());
+  ASSERT_NE(fc, nullptr);
+  for (int c = 0; c < fc->in_features(); ++c) fc->weight().value.at(4, c) = 0.0f;
+  fc->bias().value[4] = 0.0f;
+
+  const data::Dataset val = make_flat_dataset(8, 6, rng);
+  ImportanceCollector collector;
+  const auto scores = collector.collect(model, val);
+  EXPECT_FLOAT_EQ(scores[0].neuron_gamma[4], 0.0f);
+  EXPECT_FLOAT_EQ(scores[0].filter_phi[4], 0.0f);
+}
+
+TEST(Importance, DisconnectedFromOutputScoresZero) {
+  util::Rng rng(3);
+  // Neuron with activation but zero outgoing weights: a = relu(...) > 0
+  // but dPhi/da = 0, so the Taylor score (Eq. 5) must vanish.
+  nn::Mlp model({6, {12, 10}, 3, 4});
+  auto params = model.parameters();
+  // Parameters: fc0.w, fc0.b, fc1.w, fc1.b, fc_out.w, fc_out.b.
+  nn::Parameter* out_w = params[4];
+  ASSERT_EQ(out_w->value.shape(), (tensor::Shape{3, 10}));
+  for (int r = 0; r < 3; ++r) out_w->value.at(r, 7) = 0.0f;  // cut neuron 7
+
+  const data::Dataset val = make_flat_dataset(8, 6, rng);
+  ImportanceCollector collector;
+  const auto scores = collector.collect(model, val);
+  EXPECT_FLOAT_EQ(scores[0].neuron_gamma[7], 0.0f);
+}
+
+TEST(Importance, RestoresModelState) {
+  util::Rng rng(4);
+  nn::Mlp model({6, {12, 10}, 3, 5});
+  model.set_training(true);
+  const data::Dataset val = make_flat_dataset(4, 6, rng);
+  ImportanceCollector collector;
+  collector.collect(model, val);
+  EXPECT_TRUE(model.training());
+  for (const auto& scored : model.scored_layers()) {
+    EXPECT_FALSE(scored.probe->recording());
+  }
+  // Parameter gradients cleared afterwards.
+  for (nn::Parameter* p : model.parameters()) {
+    for (std::size_t i = 0; i < p->grad.numel(); ++i) EXPECT_EQ(p->grad[i], 0.0f);
+  }
+}
+
+TEST(Importance, SamplesPerClassLimitsWork) {
+  util::Rng rng(5);
+  nn::Mlp model({6, {12, 10}, 3, 6});
+  const data::Dataset val = make_flat_dataset(10, 6, rng);
+  ImportanceCollector few({1e-50, 2});
+  ImportanceCollector many({1e-50, 10});
+  // Both must produce valid scores; with fewer samples beta is coarser.
+  const auto s_few = few.collect(model, val);
+  const auto s_many = many.collect(model, val);
+  ASSERT_EQ(s_few.size(), s_many.size());
+  for (const float g : s_few[0].neuron_gamma) {
+    // With Ns=2, beta per class is a multiple of 0.5.
+    const float doubled = 2.0f * g;
+    EXPECT_NEAR(doubled, std::round(doubled), 1e-4);
+  }
+}
+
+TEST(Importance, EmptyDatasetThrows) {
+  nn::Mlp model({6, {12, 10}, 3, 7});
+  data::Dataset empty;
+  empty.images = nn::Tensor({0, 6});
+  ImportanceCollector collector;
+  EXPECT_THROW(collector.collect(model, empty), std::invalid_argument);
+}
+
+TEST(Importance, ConvScoresReducedPerFilter) {
+  util::Rng rng(8);
+  nn::VggSmallConfig cfg;
+  cfg.image_size = 8;
+  cfg.num_classes = 3;
+  cfg.c1 = 4;
+  cfg.c2 = 4;
+  cfg.c3 = 4;
+  cfg.f1 = 8;
+  cfg.f2 = 8;
+  cfg.f3 = 8;
+  nn::VggSmall model(cfg);
+
+  data::SyntheticVisionConfig dcfg;
+  dcfg.num_classes = 3;
+  dcfg.image_size = 8;
+  dcfg.train_per_class = 2;
+  dcfg.val_per_class = 4;
+  dcfg.test_per_class = 2;
+  const data::DataSplit split = data::make_synthetic_vision(dcfg);
+
+  ImportanceCollector collector({1e-50, 4});
+  const auto scores = collector.collect(model, split.val);
+  ASSERT_EQ(scores.size(), 7u);
+  // Conv layers: phi has one entry per filter and phi == max over the
+  // filter's spatial neurons.
+  for (const auto& layer : scores) {
+    ASSERT_EQ(layer.filter_phi.size(), static_cast<std::size_t>(layer.channels));
+    for (int c = 0; c < layer.channels; ++c) {
+      float expected = 0.0f;
+      for (int s = 0; s < layer.spatial; ++s) {
+        expected = std::max(
+            expected, layer.neuron_gamma[static_cast<std::size_t>(c) * layer.spatial + s]);
+      }
+      EXPECT_FLOAT_EQ(layer.filter_phi[static_cast<std::size_t>(c)], expected);
+    }
+  }
+  EXPECT_GT(max_score(scores), 0.0f);
+  EXPECT_EQ(total_filters(scores), 4u + 4u + 4u + 4u + 8u + 8u + 8u);
+}
+
+TEST(Importance, TrainedModelHasClassStructure) {
+  // After training, a reasonable model must contain neurons important
+  // to multiple classes (gamma > 1) — the paper's core observation.
+  util::Rng rng(9);
+  nn::Mlp model({6, {16, 12}, 3, 10});
+  const data::Dataset train = make_flat_dataset(40, 6, rng);
+  nn::TrainConfig tc;
+  tc.epochs = 15;
+  tc.batch_size = 20;
+  tc.lr = 0.05;
+  nn::Trainer trainer(tc);
+  trainer.fit(model, train.images, train.labels);
+  ASSERT_GT(nn::Trainer::evaluate(model, train.images, train.labels), 0.9);
+
+  ImportanceCollector collector({1e-50, 10});
+  const auto scores = collector.collect(model, train);
+  EXPECT_GT(max_score(scores), 1.5f);
+}
+
+}  // namespace
+}  // namespace cq::core

@@ -1,0 +1,176 @@
+#include <gtest/gtest.h>
+
+#include "core/pipeline.h"
+#include "core/refine.h"
+#include "data/synthetic.h"
+#include "nn/models/mlp.h"
+#include "nn/trainer.h"
+
+namespace cq::core {
+namespace {
+
+/// Flat 3-class dataset split for MLP pipelines.
+data::DataSplit make_flat_split(int train_pc, int val_pc, int test_pc, int features,
+                                std::uint64_t seed) {
+  util::Rng rng(seed);
+  auto gen = [&](int per_class) {
+    data::Dataset d;
+    const int n = 3 * per_class;
+    d.images = nn::Tensor({n, features});
+    d.labels.resize(static_cast<std::size_t>(n));
+    for (int i = 0; i < n; ++i) {
+      const int cls = i / per_class;
+      for (int f = 0; f < features; ++f) {
+        d.images.at(i, f) = static_cast<float>(rng.normal(f % 3 == cls ? 1.5 : 0.0, 0.4));
+      }
+      d.labels[static_cast<std::size_t>(i)] = cls;
+    }
+    return d;
+  };
+  data::DataSplit split;
+  split.train = gen(train_pc);
+  split.val = gen(val_pc);
+  split.test = gen(test_pc);
+  return split;
+}
+
+nn::Mlp trained_model(const data::DataSplit& split, int features, std::uint64_t seed) {
+  nn::Mlp model({features, {24, 16, 12}, 3, seed});
+  nn::TrainConfig tc;
+  tc.epochs = 20;
+  tc.batch_size = 20;
+  tc.lr = 0.05;
+  nn::Trainer trainer(tc);
+  trainer.fit(model, split.train.images, split.train.labels);
+  return model;
+}
+
+TEST(Refiner, ImprovesQuantizedAccuracy) {
+  const data::DataSplit split = make_flat_split(40, 10, 20, 6, 11);
+  nn::Mlp model = trained_model(split, 6, 1);
+  auto teacher = model.clone();
+
+  // Aggressive uniform 1-bit quantization hurts; refinement must help.
+  for (const auto& scored : model.scored_layers()) {
+    for (auto* layer : scored.layers) {
+      layer->set_filter_bits(std::vector<int>(
+          static_cast<std::size_t>(layer->num_filters()), 1));
+    }
+  }
+  RefineConfig rc;
+  rc.epochs = 10;
+  rc.batch_size = 20;
+  rc.lr = 0.02;
+  Refiner refiner(rc);
+  const RefineResult result = refiner.run(model, *teacher, split.train, split.test);
+  EXPECT_GE(result.accuracy_after, result.accuracy_before - 0.05);
+  EXPECT_EQ(result.history.size(), 10u);
+  // Quantization is still in force after refinement.
+  EXPECT_FALSE(model.scored_layers()[0].layers.front()->filter_bits().empty());
+}
+
+TEST(CqPipeline, EndToEndOnMlp) {
+  const data::DataSplit split = make_flat_split(40, 12, 20, 6, 13);
+  nn::Mlp model = trained_model(split, 6, 2);
+  const double fp_acc =
+      nn::Trainer::evaluate(model, split.test.images, split.test.labels);
+  ASSERT_GT(fp_acc, 0.8);
+
+  CqConfig cfg;
+  cfg.importance.samples_per_class = 10;
+  cfg.search.max_bits = 4;
+  cfg.search.desired_avg_bits = 2.0;
+  cfg.search.t1 = 0.5;
+  cfg.search.eval_samples = 36;
+  cfg.refine.epochs = 8;
+  cfg.refine.batch_size = 20;
+  cfg.refine.lr = 0.02;
+  cfg.activation_bits = 4;
+  CqPipeline pipeline(cfg);
+  const CqReport report = pipeline.run(model, split);
+
+  EXPECT_NEAR(report.fp_accuracy, fp_acc, 1e-9);
+  EXPECT_LE(report.achieved_avg_bits, 2.0 + 1e-9);
+  EXPECT_EQ(report.thresholds.size(), 4u);
+  EXPECT_FALSE(report.scores.empty());
+  // The refined quantized model keeps most of the FP accuracy.
+  EXPECT_GT(report.quant_accuracy, fp_acc - 0.25);
+  // Model is left with quantization applied.
+  EXPECT_FALSE(model.scored_layers()[0].layers.front()->filter_bits().empty());
+  for (nn::ActQuant* aq : model.activation_quantizers()) EXPECT_EQ(aq->bits(), 4);
+}
+
+TEST(CqPipeline, UniformActivationBitsAreReported) {
+  const data::DataSplit split = make_flat_split(30, 10, 10, 6, 19);
+  nn::Mlp model = trained_model(split, 6, 5);
+  CqConfig cfg;
+  cfg.importance.samples_per_class = 8;
+  cfg.search.desired_avg_bits = 3.0;
+  cfg.search.eval_samples = 30;
+  cfg.refine.epochs = 1;
+  cfg.activation_bits = 3;
+  const CqReport report = CqPipeline(cfg).run(model, split);
+  ASSERT_EQ(report.activation_bits.size(), report.scores.size());
+  for (const int b : report.activation_bits) EXPECT_EQ(b, 3);
+}
+
+TEST(CqPipeline, ClassBasedActivationBitsRespectTheAverage) {
+  const data::DataSplit split = make_flat_split(30, 12, 10, 6, 23);
+  nn::Mlp model = trained_model(split, 6, 6);
+  CqConfig cfg;
+  cfg.importance.samples_per_class = 8;
+  cfg.search.desired_avg_bits = 3.0;
+  cfg.search.eval_samples = 30;
+  cfg.refine.epochs = 1;
+  cfg.activation_bits = 4;
+  cfg.class_based_activation_bits = true;
+  const CqReport report = CqPipeline(cfg).run(model, split);
+
+  ASSERT_EQ(report.activation_bits.size(), report.scores.size());
+  double sum = 0.0;
+  for (const int b : report.activation_bits) {
+    EXPECT_GE(b, 1);
+    EXPECT_LE(b, 8);
+    sum += b;
+  }
+  EXPECT_LE(sum / static_cast<double>(report.activation_bits.size()), 4.0 + 1e-9);
+
+  // The scored layers' quantizers carry the per-layer assignment.
+  const auto scored = model.scored_layers();
+  for (std::size_t i = 0; i < scored.size(); ++i) {
+    ASSERT_NE(scored[i].act_quant, nullptr);
+    EXPECT_EQ(scored[i].act_quant->bits(), report.activation_bits[i]);
+  }
+}
+
+TEST(CqPipeline, ArrangementAverageMatchesReport) {
+  const data::DataSplit split = make_flat_split(30, 10, 10, 6, 17);
+  nn::Mlp model = trained_model(split, 6, 3);
+  CqConfig cfg;
+  cfg.search.desired_avg_bits = 2.5;
+  cfg.search.t1 = 0.4;
+  cfg.search.eval_samples = 30;
+  cfg.refine.epochs = 2;
+  cfg.refine.batch_size = 30;
+  CqPipeline pipeline(cfg);
+  const CqReport report = pipeline.run(model, split);
+  EXPECT_NEAR(report.arrangement.average_bits(), report.achieved_avg_bits, 1e-9);
+}
+
+TEST(CqPipeline, RefinementDoesNotBreakBudget) {
+  const data::DataSplit split = make_flat_split(30, 10, 10, 6, 19);
+  nn::Mlp model = trained_model(split, 6, 4);
+  CqConfig cfg;
+  cfg.search.desired_avg_bits = 1.5;
+  cfg.search.t1 = 0.4;
+  cfg.search.eval_samples = 30;
+  cfg.refine.epochs = 4;
+  cfg.refine.batch_size = 30;
+  CqPipeline pipeline(cfg);
+  const CqReport report = pipeline.run(model, split);
+  // Bits are structural: refinement trains weights, not bit-widths.
+  EXPECT_NEAR(model.bit_arrangement().average_bits(), report.achieved_avg_bits, 1e-9);
+}
+
+}  // namespace
+}  // namespace cq::core

@@ -1,0 +1,236 @@
+#include <gtest/gtest.h>
+#include <cmath>
+
+#include "core/search.h"
+#include "data/synthetic.h"
+#include "nn/models/mlp.h"
+#include "nn/trainer.h"
+
+namespace cq::core {
+namespace {
+
+TEST(BitsForScore, CountingRule) {
+  const std::vector<double> p = {1.0, 2.0, 3.0, 4.0};
+  EXPECT_EQ(ThresholdSearch::bits_for_score(0.5f, p), 0);   // below p1 -> pruned
+  EXPECT_EQ(ThresholdSearch::bits_for_score(1.5f, p), 1);
+  EXPECT_EQ(ThresholdSearch::bits_for_score(2.0f, p), 2);   // inclusive at p_k
+  EXPECT_EQ(ThresholdSearch::bits_for_score(3.9f, p), 3);
+  EXPECT_EQ(ThresholdSearch::bits_for_score(9.0f, p), 4);   // above pN -> N
+}
+
+TEST(BitsForScore, AllZeroThresholdsGiveMaxBits) {
+  const std::vector<double> p = {0.0, 0.0, 0.0};
+  EXPECT_EQ(ThresholdSearch::bits_for_score(0.0f, p), 3);
+}
+
+/// Builds an MLP with two scored layers and hand-made scores.
+struct SearchFixture {
+  SearchFixture() : model({4, {10, 8, 6}, 3, 1}) {
+    auto scored = model.scored_layers();
+    // Layer fc1: 8 neurons, scores 0..7; layer fc2: 6 neurons, 0..5.
+    LayerScores s1;
+    s1.name = scored[0].name;
+    s1.is_conv = false;
+    s1.channels = 8;
+    for (int i = 0; i < 8; ++i) s1.filter_phi.push_back(static_cast<float>(i));
+    s1.neuron_gamma = s1.filter_phi;
+    LayerScores s2;
+    s2.name = scored[1].name;
+    s2.is_conv = false;
+    s2.channels = 6;
+    for (int i = 0; i < 6; ++i) s2.filter_phi.push_back(static_cast<float>(i));
+    s2.neuron_gamma = s2.filter_phi;
+    scores = {s1, s2};
+  }
+
+  nn::Mlp model;
+  std::vector<LayerScores> scores;
+};
+
+data::Dataset random_val(int n, util::Rng& rng) {
+  data::Dataset d;
+  d.images = nn::Tensor::randn({n, 4}, rng);
+  d.labels.resize(static_cast<std::size_t>(n));
+  for (int i = 0; i < n; ++i) d.labels[static_cast<std::size_t>(i)] = i % 3;
+  return d;
+}
+
+TEST(ApplyThresholds, SetsBitsByCountingRule) {
+  SearchFixture fx;
+  const std::vector<double> p = {1.0, 3.0, 5.0, 7.0};
+  const quant::BitArrangement arr =
+      ThresholdSearch::apply_thresholds(fx.model, fx.scores, p);
+  ASSERT_EQ(arr.layers().size(), 2u);
+  // fc1 scores 0..7 -> bits 0,1,1,2,2,3,3,4.
+  EXPECT_EQ(arr.layers()[0].filter_bits, (std::vector<int>{0, 1, 1, 2, 2, 3, 3, 4}));
+  // fc2 scores 0..5 -> bits 0,1,1,2,2,3.
+  EXPECT_EQ(arr.layers()[1].filter_bits, (std::vector<int>{0, 1, 1, 2, 2, 3}));
+  // The model's layers received exactly these bits.
+  EXPECT_EQ(fx.model.scored_layers()[0].layers.front()->filter_bits(),
+            arr.layers()[0].filter_bits);
+}
+
+TEST(Search, ReachesRequestedBudget) {
+  SearchFixture fx;
+  util::Rng rng(2);
+  const data::Dataset val = random_val(30, rng);
+  SearchConfig cfg;
+  cfg.max_bits = 4;
+  cfg.desired_avg_bits = 2.0;
+  cfg.t1 = 0.0;  // never limited by accuracy on this random data
+  cfg.eval_samples = 30;
+  ThresholdSearch search(cfg);
+  const SearchResult result = search.run(fx.model, fx.scores, val);
+  EXPECT_LE(result.achieved_avg_bits, 2.0 + 1e-9);
+  EXPECT_GT(result.achieved_avg_bits, 0.0);
+  EXPECT_EQ(result.thresholds.size(), 4u);
+}
+
+TEST(Search, ThresholdsAreMonotone) {
+  SearchFixture fx;
+  util::Rng rng(3);
+  const data::Dataset val = random_val(30, rng);
+  SearchConfig cfg;
+  cfg.max_bits = 4;
+  cfg.desired_avg_bits = 1.0;
+  cfg.t1 = 0.9;  // high target forces early threshold stops
+  cfg.eval_samples = 30;
+  ThresholdSearch search(cfg);
+  const SearchResult result = search.run(fx.model, fx.scores, val);
+  for (std::size_t k = 1; k < result.thresholds.size(); ++k) {
+    EXPECT_GE(result.thresholds[k], result.thresholds[k - 1]);
+  }
+}
+
+TEST(Search, TargetsDecayByR) {
+  SearchFixture fx;
+  util::Rng rng(4);
+  const data::Dataset val = random_val(30, rng);
+  SearchConfig cfg;
+  cfg.max_bits = 3;
+  cfg.desired_avg_bits = 0.1;  // force all thresholds to be searched
+  cfg.t1 = 0.8;
+  cfg.decay = 0.5;
+  cfg.eval_samples = 30;
+  ThresholdSearch search(cfg);
+  const SearchResult result = search.run(fx.model, fx.scores, val);
+  // Non-fallback trace entries carry T_k = T1 * R^(k-1).
+  for (const auto& stop : result.trace) {
+    if (stop.fallback) continue;
+    EXPECT_NEAR(stop.target, 0.8 * std::pow(0.5, stop.k - 1), 1e-12);
+  }
+}
+
+TEST(Search, FallbackSweepReachesTinyBudget) {
+  SearchFixture fx;
+  util::Rng rng(5);
+  const data::Dataset val = random_val(30, rng);
+  SearchConfig cfg;
+  cfg.max_bits = 4;
+  cfg.desired_avg_bits = 0.5;
+  // An unreachable accuracy target stops every phase-1 threshold at its
+  // first step, leaving the budget unmet — the paper's fallback case.
+  cfg.t1 = 1.1;
+  cfg.eval_samples = 30;
+  ThresholdSearch search(cfg);
+  const SearchResult result = search.run(fx.model, fx.scores, val);
+  EXPECT_LE(result.achieved_avg_bits, 0.5 + 1e-9);
+  bool has_fallback = false;
+  for (const auto& stop : result.trace) has_fallback |= stop.fallback;
+  EXPECT_TRUE(has_fallback);
+}
+
+TEST(Search, LargeBudgetKeepsEverythingHighBit) {
+  SearchFixture fx;
+  util::Rng rng(6);
+  const data::Dataset val = random_val(30, rng);
+  SearchConfig cfg;
+  cfg.max_bits = 4;
+  cfg.desired_avg_bits = 4.0;  // already satisfied at init
+  cfg.t1 = 0.99;
+  cfg.eval_samples = 30;
+  ThresholdSearch search(cfg);
+  const SearchResult result = search.run(fx.model, fx.scores, val);
+  EXPECT_NEAR(result.achieved_avg_bits, 4.0, 1e-9);
+  for (const auto& layer : result.arrangement.layers()) {
+    for (const int b : layer.filter_bits) EXPECT_EQ(b, 4);
+  }
+}
+
+TEST(Search, ArrangementMatchesModelState) {
+  SearchFixture fx;
+  util::Rng rng(7);
+  const data::Dataset val = random_val(30, rng);
+  SearchConfig cfg;
+  cfg.max_bits = 4;
+  cfg.desired_avg_bits = 2.0;
+  cfg.t1 = 0.0;
+  cfg.eval_samples = 30;
+  ThresholdSearch search(cfg);
+  const SearchResult result = search.run(fx.model, fx.scores, val);
+  const auto scored = fx.model.scored_layers();
+  ASSERT_EQ(result.arrangement.layers().size(), scored.size());
+  for (std::size_t l = 0; l < scored.size(); ++l) {
+    EXPECT_EQ(scored[l].layers.front()->filter_bits(),
+              result.arrangement.layers()[l].filter_bits);
+  }
+}
+
+TEST(Search, HigherScoresNeverGetFewerBits) {
+  SearchFixture fx;
+  util::Rng rng(8);
+  const data::Dataset val = random_val(30, rng);
+  SearchConfig cfg;
+  cfg.max_bits = 4;
+  cfg.desired_avg_bits = 1.5;
+  cfg.t1 = 0.3;
+  cfg.eval_samples = 30;
+  ThresholdSearch search(cfg);
+  const SearchResult result = search.run(fx.model, fx.scores, val);
+  for (std::size_t l = 0; l < fx.scores.size(); ++l) {
+    const auto& phi = fx.scores[l].filter_phi;
+    const auto& bits = result.arrangement.layers()[l].filter_bits;
+    for (std::size_t a = 0; a < phi.size(); ++a) {
+      for (std::size_t b = 0; b < phi.size(); ++b) {
+        if (phi[a] > phi[b]) { EXPECT_GE(bits[a], bits[b]) << "layer " << l; }
+      }
+    }
+  }
+}
+
+TEST(Search, CountsEvaluations) {
+  SearchFixture fx;
+  util::Rng rng(9);
+  const data::Dataset val = random_val(30, rng);
+  SearchConfig cfg;
+  cfg.max_bits = 4;
+  cfg.desired_avg_bits = 2.0;
+  cfg.t1 = 0.0;
+  cfg.eval_samples = 30;
+  ThresholdSearch search(cfg);
+  const SearchResult result = search.run(fx.model, fx.scores, val);
+  EXPECT_GT(result.evaluations, 0);
+  // The skip-unchanged optimization keeps evals far below step count.
+  EXPECT_LT(result.evaluations, 200);
+}
+
+class BudgetSweep : public testing::TestWithParam<double> {};
+
+TEST_P(BudgetSweep, AchievedBitsRespectBudget) {
+  SearchFixture fx;
+  util::Rng rng(10);
+  const data::Dataset val = random_val(30, rng);
+  SearchConfig cfg;
+  cfg.max_bits = 4;
+  cfg.desired_avg_bits = GetParam();
+  cfg.t1 = 0.0;
+  cfg.eval_samples = 30;
+  ThresholdSearch search(cfg);
+  const SearchResult result = search.run(fx.model, fx.scores, val);
+  EXPECT_LE(result.achieved_avg_bits, GetParam() + 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(Budgets, BudgetSweep, testing::Values(0.5, 1.0, 1.5, 2.0, 3.0, 3.5));
+
+}  // namespace
+}  // namespace cq::core

@@ -1,0 +1,192 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <fstream>
+
+#include "data/cifar10.h"
+#include "data/synthetic.h"
+#include "nn/models/mlp.h"
+#include "nn/trainer.h"
+
+namespace cq::data {
+namespace {
+
+SyntheticVisionConfig tiny_config() {
+  SyntheticVisionConfig cfg;
+  cfg.num_classes = 4;
+  cfg.image_size = 8;
+  cfg.train_per_class = 10;
+  cfg.val_per_class = 5;
+  cfg.test_per_class = 5;
+  return cfg;
+}
+
+TEST(Dataset, NumClassesAndClassIndices) {
+  Dataset d;
+  d.images = Tensor({4, 2});
+  d.labels = {0, 2, 2, 1};
+  EXPECT_EQ(d.num_classes(), 3);
+  EXPECT_EQ(d.indices_of_class(2), (std::vector<std::size_t>{1, 2}));
+  EXPECT_TRUE(d.indices_of_class(5).empty());
+}
+
+TEST(Dataset, SubsetCopiesRows) {
+  Dataset d;
+  d.images = Tensor({3, 2}, {1, 2, 3, 4, 5, 6});
+  d.labels = {7, 8, 9};
+  const Dataset s = d.subset({2, 0});
+  EXPECT_EQ(s.size(), 2u);
+  EXPECT_FLOAT_EQ(s.images.at(0, 0), 5.0f);
+  EXPECT_EQ(s.labels[0], 9);
+  EXPECT_EQ(s.labels[1], 7);
+}
+
+TEST(Dataset, TakeLimitsCount) {
+  Dataset d;
+  d.images = Tensor({5, 1});
+  d.labels = {0, 1, 2, 3, 4};
+  EXPECT_EQ(d.take(3).size(), 3u);
+  EXPECT_EQ(d.take(99).size(), 5u);
+}
+
+TEST(Dataset, StratifiedTakeBalancesClasses) {
+  // Class-major storage: 6 of class 0, then 6 of class 1.
+  Dataset d;
+  d.images = Tensor({12, 1});
+  d.labels = {0, 0, 0, 0, 0, 0, 1, 1, 1, 1, 1, 1};
+  const Dataset s = d.stratified_take(6);
+  int c0 = 0;
+  for (const int l : s.labels) c0 += (l == 0);
+  EXPECT_EQ(c0, 3);
+  EXPECT_EQ(s.size(), 6u);
+}
+
+TEST(Synthetic, ShapesAndLabelRanges) {
+  const DataSplit split = make_synthetic_vision(tiny_config());
+  EXPECT_EQ(split.train.size(), 40u);
+  EXPECT_EQ(split.val.size(), 20u);
+  EXPECT_EQ(split.test.size(), 20u);
+  EXPECT_EQ(split.train.images.shape(), (tensor::Shape{40, 3, 8, 8}));
+  EXPECT_EQ(split.train.num_classes(), 4);
+  for (const int l : split.train.labels) {
+    EXPECT_GE(l, 0);
+    EXPECT_LT(l, 4);
+  }
+}
+
+TEST(Synthetic, DeterministicForSameSeed) {
+  const DataSplit a = make_synthetic_vision(tiny_config());
+  const DataSplit b = make_synthetic_vision(tiny_config());
+  EXPECT_TRUE(a.train.images.allclose(b.train.images));
+  EXPECT_EQ(a.train.labels, b.train.labels);
+}
+
+TEST(Synthetic, DifferentSeedsDiffer) {
+  SyntheticVisionConfig cfg = tiny_config();
+  const DataSplit a = make_synthetic_vision(cfg);
+  cfg.seed = 1234;
+  const DataSplit b = make_synthetic_vision(cfg);
+  EXPECT_FALSE(a.train.images.allclose(b.train.images));
+}
+
+TEST(Synthetic, ClassesAreSeparated) {
+  // Per-class mean images must differ far more between classes than
+  // the sampling noise within a class — otherwise nothing is learnable.
+  const DataSplit split = make_synthetic_vision(tiny_config());
+  const auto& d = split.train;
+  const std::size_t sample = d.images.numel() / d.size();
+  std::vector<std::vector<double>> means(4, std::vector<double>(sample, 0.0));
+  std::vector<int> counts(4, 0);
+  for (std::size_t i = 0; i < d.size(); ++i) {
+    const int c = d.labels[i];
+    ++counts[static_cast<std::size_t>(c)];
+    for (std::size_t p = 0; p < sample; ++p) {
+      means[static_cast<std::size_t>(c)][p] += d.images[i * sample + p];
+    }
+  }
+  for (int c = 0; c < 4; ++c) {
+    for (auto& v : means[static_cast<std::size_t>(c)]) v /= counts[static_cast<std::size_t>(c)];
+  }
+  double min_dist = 1e30;
+  for (int a = 0; a < 4; ++a) {
+    for (int b = a + 1; b < 4; ++b) {
+      double dist = 0.0;
+      for (std::size_t p = 0; p < sample; ++p) {
+        const double diff = means[static_cast<std::size_t>(a)][p] - means[static_cast<std::size_t>(b)][p];
+        dist += diff * diff;
+      }
+      min_dist = std::min(min_dist, std::sqrt(dist));
+    }
+  }
+  EXPECT_GT(min_dist, 1.0);
+}
+
+TEST(Synthetic, LearnableByMlp) {
+  SyntheticVisionConfig cfg = tiny_config();
+  cfg.train_per_class = 40;
+  const DataSplit split = make_synthetic_vision(cfg);
+  const int features = 3 * 8 * 8;
+  nn::Mlp model({features, {32}, 4, 1});
+  const Tensor flat_train = split.train.images.reshape(
+      {static_cast<int>(split.train.size()), features});
+  nn::TrainConfig tc;
+  tc.epochs = 15;
+  tc.batch_size = 20;
+  tc.lr = 0.02;
+  nn::Trainer trainer(tc);
+  trainer.fit(model, flat_train, split.train.labels);
+  const Tensor flat_test =
+      split.test.images.reshape({static_cast<int>(split.test.size()), features});
+  EXPECT_GT(nn::Trainer::evaluate(model, flat_test, split.test.labels), 0.7);
+}
+
+TEST(Synthetic, PresetsMatchPaperClassCounts) {
+  EXPECT_EQ(synthetic_cifar10_like().num_classes, 10);
+  EXPECT_EQ(synthetic_cifar100_like().num_classes, 100);
+}
+
+TEST(Cifar10, LoadsWellFormedBatch) {
+  const std::string path = testing::TempDir() + "/cifar_batch.bin";
+  {
+    std::ofstream out(path, std::ios::binary);
+    // Two records: label 3 with all-128 pixels, label 9 with all-0.
+    std::vector<unsigned char> rec(3073, 128);
+    rec[0] = 3;
+    out.write(reinterpret_cast<const char*>(rec.data()), 3073);
+    std::fill(rec.begin(), rec.end(), 0);
+    rec[0] = 9;
+    out.write(reinterpret_cast<const char*>(rec.data()), 3073);
+  }
+  EXPECT_TRUE(is_cifar10_batch(path));
+  const Dataset d = load_cifar10_batch(path);
+  ASSERT_EQ(d.size(), 2u);
+  EXPECT_EQ(d.labels[0], 3);
+  EXPECT_EQ(d.labels[1], 9);
+  EXPECT_EQ(d.images.shape(), (tensor::Shape{2, 3, 32, 32}));
+  // 128/255 normalized by channel-0 stats.
+  EXPECT_NEAR(d.images.at(0, 0, 0, 0), (128.0f / 255.0f - 0.4914f) / 0.2470f, 1e-4);
+}
+
+TEST(Cifar10, MaxRecordsLimits) {
+  const std::string path = testing::TempDir() + "/cifar_batch2.bin";
+  {
+    std::ofstream out(path, std::ios::binary);
+    std::vector<unsigned char> rec(3073, 1);
+    for (int i = 0; i < 3; ++i) out.write(reinterpret_cast<const char*>(rec.data()), 3073);
+  }
+  EXPECT_EQ(load_cifar10_batch(path, 2).size(), 2u);
+}
+
+TEST(Cifar10, RejectsMalformedFile) {
+  const std::string path = testing::TempDir() + "/not_cifar.bin";
+  {
+    std::ofstream out(path, std::ios::binary);
+    out << "garbage";
+  }
+  EXPECT_FALSE(is_cifar10_batch(path));
+  EXPECT_THROW(load_cifar10_batch(path), std::runtime_error);
+  EXPECT_THROW(load_cifar10_batch("/nonexistent/file.bin"), std::runtime_error);
+}
+
+}  // namespace
+}  // namespace cq::data

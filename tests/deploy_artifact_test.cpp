@@ -1,0 +1,366 @@
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "deploy/artifact.h"
+#include "nn/models/mlp.h"
+#include "nn/models/resnet20.h"
+#include "nn/models/vgg_small.h"
+#include "tensor/tensor.h"
+#include "util/rng.h"
+
+namespace cq::deploy {
+namespace {
+
+using tensor::Tensor;
+
+std::string temp_path(const std::string& name) {
+  return ::testing::TempDir() + "cq_artifact_" + name;
+}
+
+/// Assigns a repeating 4,3,2,1,0 bit pattern to every scored layer and
+/// calibrates + enables 3-bit activation quantization — a stand-in for
+/// a finished CQ run that exercises every bit bucket.
+void quantize_for_test(nn::Model& model, const Tensor& calib) {
+  model.calibrate_activations(calib, calib.dim(0));
+  model.set_activation_bits(3);
+  const int pattern[] = {4, 3, 2, 1, 0};
+  for (const nn::ScoredLayerRef& ref : model.scored_layers()) {
+    for (quant::QuantizableLayer* layer : ref.layers) {
+      std::vector<int> bits(static_cast<std::size_t>(layer->num_filters()));
+      for (std::size_t k = 0; k < bits.size(); ++k) bits[k] = pattern[k % 5];
+      layer->set_filter_bits(std::move(bits));
+    }
+  }
+}
+
+void expect_identical_outputs(nn::Model& a, nn::Model& b, const Tensor& input) {
+  a.set_training(false);
+  b.set_training(false);
+  const Tensor out_a = a.forward(input);
+  const Tensor out_b = b.forward(input);
+  ASSERT_EQ(out_a.shape(), out_b.shape());
+  for (std::size_t i = 0; i < out_a.numel(); ++i) {
+    ASSERT_EQ(out_a[i], out_b[i]) << "logit " << i;
+  }
+}
+
+TEST(ArchDescriptor, MissingParameterThrows) {
+  ArchDescriptor arch;
+  arch.kind = "VggSmall";
+  EXPECT_THROW(instantiate_model(arch), ArtifactError);
+}
+
+TEST(ArchDescriptor, UnknownKindThrows) {
+  ArchDescriptor arch;
+  arch.kind = "Transformer";
+  EXPECT_THROW(instantiate_model(arch), ArtifactError);
+}
+
+TEST(ArchDescriptor, MlpHiddenLayersRoundTrip) {
+  nn::MlpConfig config;
+  config.in_features = 8;
+  config.hidden = {24, 17, 9};
+  config.num_classes = 5;
+  config.seed = 42;
+  nn::Mlp mlp(config);
+  const ArchDescriptor arch = describe_model(mlp);
+  EXPECT_EQ(arch.kind, "Mlp");
+  auto rebuilt = instantiate_model(arch);
+  auto* typed = dynamic_cast<nn::Mlp*>(rebuilt.get());
+  ASSERT_NE(typed, nullptr);
+  EXPECT_EQ(typed->config().hidden, config.hidden);
+  EXPECT_EQ(typed->config().in_features, config.in_features);
+  EXPECT_EQ(typed->config().num_classes, config.num_classes);
+}
+
+TEST(ArchDescriptor, ResNetConfigRoundTrips) {
+  nn::ResNet20Config config;
+  config.base_width = 3;
+  config.expand = 2;
+  config.num_classes = 7;
+  config.image_size = 8;
+  nn::ResNet20 model(config);
+  auto rebuilt = instantiate_model(describe_model(model));
+  auto* typed = dynamic_cast<nn::ResNet20*>(rebuilt.get());
+  ASSERT_NE(typed, nullptr);
+  EXPECT_EQ(typed->config().base_width, 3);
+  EXPECT_EQ(typed->config().expand, 2);
+  EXPECT_EQ(typed->config().num_classes, 7);
+}
+
+TEST(ExportModel, RequiresQuantizedLayers) {
+  nn::MlpConfig config;
+  config.in_features = 6;
+  config.hidden = {10, 10};
+  nn::Mlp mlp(config);
+  EXPECT_THROW(export_model(mlp), std::invalid_argument);
+}
+
+TEST(ExportModel, MlpArtifactReproducesOutputsExactly) {
+  nn::MlpConfig config;
+  config.in_features = 12;
+  config.hidden = {20, 16};
+  config.num_classes = 4;
+  nn::Mlp mlp(config);
+  util::Rng rng(5);
+  const Tensor calib = Tensor::randn({16, 12}, rng);
+  quantize_for_test(mlp, calib);
+
+  const QuantizedArtifact artifact = export_model(mlp);
+  auto restored = instantiate(artifact);
+
+  const Tensor input = Tensor::randn({8, 12}, rng);
+  expect_identical_outputs(mlp, *restored, input);
+}
+
+TEST(ExportModel, VggArtifactReproducesOutputsExactly) {
+  nn::VggSmallConfig config;
+  config.image_size = 8;
+  config.c1 = 4;
+  config.c2 = 6;
+  config.c3 = 8;
+  config.f1 = 20;
+  config.f2 = 14;
+  config.f3 = 10;
+  nn::VggSmall vgg(config);
+  util::Rng rng(6);
+  // A few training-mode forwards give batch-norm nontrivial running stats.
+  vgg.set_training(true);
+  for (int i = 0; i < 3; ++i) {
+    (void)vgg.forward(Tensor::randn({4, 3, 8, 8}, rng));
+  }
+  const Tensor calib = Tensor::randn({8, 3, 8, 8}, rng);
+  quantize_for_test(vgg, calib);
+
+  const QuantizedArtifact artifact = export_model(vgg);
+  auto restored = instantiate(artifact);
+
+  const Tensor input = Tensor::randn({5, 3, 8, 8}, rng);
+  expect_identical_outputs(vgg, *restored, input);
+}
+
+TEST(ExportModel, ResNetArtifactReproducesOutputsExactly) {
+  nn::ResNet20Config config;
+  config.image_size = 8;
+  config.base_width = 2;
+  config.expand = 1;
+  nn::ResNet20 model(config);
+  util::Rng rng(7);
+  model.set_training(true);
+  for (int i = 0; i < 3; ++i) {
+    (void)model.forward(Tensor::randn({4, 3, 8, 8}, rng));
+  }
+  const Tensor calib = Tensor::randn({8, 3, 8, 8}, rng);
+  quantize_for_test(model, calib);
+
+  const QuantizedArtifact artifact = export_model(model);
+  auto restored = instantiate(artifact);
+
+  const Tensor input = Tensor::randn({5, 3, 8, 8}, rng);
+  expect_identical_outputs(model, *restored, input);
+}
+
+TEST(ExportModel, DenseStateExcludesPackedWeights) {
+  nn::MlpConfig config;
+  config.in_features = 10;
+  config.hidden = {12, 12};
+  nn::Mlp mlp(config);
+  util::Rng rng(8);
+  quantize_for_test(mlp, Tensor::randn({4, 10}, rng));
+  const QuantizedArtifact artifact = export_model(mlp);
+
+  // Mlp parameters: (W,b) per Linear. Layers: first, hidden2, output —
+  // of which only the middle hidden layer is scored/packed.
+  EXPECT_EQ(artifact.packed_layers.size(), 1u);
+  std::size_t dense_weights = 0;
+  for (const auto& [key, t] : artifact.dense) dense_weights += t.numel();
+  std::size_t all_weights = 0;
+  for (nn::Parameter* p : mlp.parameters()) all_weights += p->value.numel();
+  const std::size_t packed_weights = static_cast<std::size_t>(
+      artifact.packed_layers[0].num_filters * artifact.packed_layers[0].weights_per_filter);
+  EXPECT_EQ(dense_weights + packed_weights, all_weights);
+}
+
+TEST(Artifact, SaveLoadRoundTripPreservesOutputs) {
+  nn::MlpConfig config;
+  config.in_features = 9;
+  config.hidden = {14, 11};
+  config.num_classes = 3;
+  nn::Mlp mlp(config);
+  util::Rng rng(9);
+  quantize_for_test(mlp, Tensor::randn({8, 9}, rng));
+
+  const std::string path = temp_path("roundtrip.cqar");
+  save_artifact(path, export_model(mlp));
+  const QuantizedArtifact loaded = load_artifact(path);
+  auto restored = instantiate(loaded);
+
+  const Tensor input = Tensor::randn({6, 9}, rng);
+  expect_identical_outputs(mlp, *restored, input);
+  std::remove(path.c_str());
+}
+
+TEST(Artifact, LoadRejectsMissingFile) {
+  EXPECT_THROW(load_artifact(temp_path("does_not_exist.cqar")), ArtifactError);
+}
+
+TEST(Artifact, LoadRejectsBadMagic) {
+  const std::string path = temp_path("bad_magic.cqar");
+  std::ofstream(path, std::ios::binary) << "NOTANARTIFACTFILE_PADDING_PADDING";
+  EXPECT_THROW(load_artifact(path), ArtifactError);
+  std::remove(path.c_str());
+}
+
+TEST(Artifact, LoadRejectsTruncatedFile) {
+  nn::MlpConfig config;
+  config.in_features = 6;
+  config.hidden = {8, 8};
+  nn::Mlp mlp(config);
+  util::Rng rng(10);
+  quantize_for_test(mlp, Tensor::randn({4, 6}, rng));
+  const std::string path = temp_path("truncated.cqar");
+  save_artifact(path, export_model(mlp));
+
+  std::ifstream in(path, std::ios::binary);
+  std::vector<char> bytes((std::istreambuf_iterator<char>(in)), {});
+  in.close();
+  bytes.resize(bytes.size() / 2);
+  std::ofstream(path, std::ios::binary | std::ios::trunc)
+      .write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+  EXPECT_THROW(load_artifact(path), ArtifactError);
+  std::remove(path.c_str());
+}
+
+TEST(Artifact, LoadRejectsBitFlipAnywhereInPayload) {
+  nn::MlpConfig config;
+  config.in_features = 6;
+  config.hidden = {8, 8};
+  nn::Mlp mlp(config);
+  util::Rng rng(11);
+  quantize_for_test(mlp, Tensor::randn({4, 6}, rng));
+  const std::string path = temp_path("corrupt.cqar");
+  save_artifact(path, export_model(mlp));
+
+  std::ifstream in(path, std::ios::binary);
+  std::vector<char> pristine((std::istreambuf_iterator<char>(in)), {});
+  in.close();
+
+  // Flip one bit at several payload offsets; the CRC must catch every one.
+  constexpr std::size_t header = 4 + 4 + 8;
+  for (std::size_t offset = header; offset + 4 < pristine.size();
+       offset += pristine.size() / 7 + 1) {
+    std::vector<char> corrupted = pristine;
+    corrupted[offset] = static_cast<char>(corrupted[offset] ^ 0x01);
+    std::ofstream(path, std::ios::binary | std::ios::trunc)
+        .write(corrupted.data(), static_cast<std::streamsize>(corrupted.size()));
+    EXPECT_THROW(load_artifact(path), ArtifactError) << "offset " << offset;
+  }
+  std::remove(path.c_str());
+}
+
+TEST(Artifact, LoadRejectsTamperedHeaderFields) {
+  nn::MlpConfig config;
+  config.in_features = 6;
+  config.hidden = {8, 8};
+  nn::Mlp mlp(config);
+  util::Rng rng(14);
+  quantize_for_test(mlp, Tensor::randn({4, 6}, rng));
+  const std::string path = temp_path("header.cqar");
+  save_artifact(path, export_model(mlp));
+
+  std::ifstream in(path, std::ios::binary);
+  std::vector<char> pristine((std::istreambuf_iterator<char>(in)), {});
+  in.close();
+
+  // The header is not covered by the payload CRC, so every field must
+  // be validated explicitly: magic (bytes 0-3), version (4-7),
+  // payload size (8-15).
+  for (const std::size_t offset : {0u, 4u, 8u}) {
+    std::vector<char> corrupted = pristine;
+    corrupted[offset] = static_cast<char>(corrupted[offset] ^ 0x01);
+    std::ofstream(path, std::ios::binary | std::ios::trunc)
+        .write(corrupted.data(), static_cast<std::streamsize>(corrupted.size()));
+    EXPECT_THROW(load_artifact(path), ArtifactError) << "header offset " << offset;
+  }
+  std::remove(path.c_str());
+}
+
+TEST(Artifact, LoadRejectsTrailingGarbage) {
+  nn::MlpConfig config;
+  config.in_features = 6;
+  config.hidden = {8, 8};
+  nn::Mlp mlp(config);
+  util::Rng rng(15);
+  quantize_for_test(mlp, Tensor::randn({4, 6}, rng));
+  const std::string path = temp_path("trailing.cqar");
+  save_artifact(path, export_model(mlp));
+  std::ofstream(path, std::ios::binary | std::ios::app) << "EXTRA";
+  EXPECT_THROW(load_artifact(path), ArtifactError);
+  std::remove(path.c_str());
+}
+
+TEST(Artifact, InstantiateRejectsWrongArchitecture) {
+  // A valid artifact for one architecture must not load into a
+  // descriptor claiming a different (incompatible) one.
+  nn::MlpConfig config;
+  config.in_features = 6;
+  config.hidden = {8, 8};
+  nn::Mlp mlp(config);
+  util::Rng rng(16);
+  quantize_for_test(mlp, Tensor::randn({4, 6}, rng));
+  QuantizedArtifact artifact = export_model(mlp);
+  artifact.arch.params["hidden0"] = 16;  // wrong width
+  EXPECT_THROW(instantiate(artifact), ArtifactError);
+}
+
+TEST(Artifact, SizeReportShowsCompression) {
+  nn::VggSmallConfig config;
+  config.image_size = 8;
+  config.c1 = 4;
+  config.c2 = 8;
+  config.c3 = 8;
+  config.f1 = 32;
+  config.f2 = 24;
+  config.f3 = 16;
+  nn::VggSmall vgg(config);
+  util::Rng rng(12);
+  quantize_for_test(vgg, Tensor::randn({4, 3, 8, 8}, rng));
+  const QuantizedArtifact artifact = export_model(vgg);
+  const SizeReport report = size_report(artifact);
+
+  EXPECT_GT(report.packed_code_bytes, 0u);
+  EXPECT_GT(report.dense_bytes, 0u);
+  EXPECT_GT(report.fp32_weight_bytes, report.packed_code_bytes)
+      << "packed codes must be smaller than fp32 weights";
+  EXPECT_GT(report.compression_ratio(), 1.0);
+  // The 4,3,2,1,0 pattern averages 2 bits/weight = 1/16 of fp32.
+  EXPECT_LT(static_cast<double>(report.packed_code_bytes),
+            0.11 * static_cast<double>(report.fp32_weight_bytes));
+}
+
+TEST(Artifact, ActivationCalibrationSurvivesRoundTrip) {
+  nn::MlpConfig config;
+  config.in_features = 7;
+  config.hidden = {9, 9};
+  nn::Mlp mlp(config);
+  util::Rng rng(13);
+  quantize_for_test(mlp, Tensor::randn({8, 7}, rng));
+
+  const QuantizedArtifact artifact = export_model(mlp);
+  auto restored = instantiate(artifact);
+  const auto original_aqs = mlp.activation_quantizers();
+  const auto restored_aqs = restored->activation_quantizers();
+  ASSERT_EQ(original_aqs.size(), restored_aqs.size());
+  for (std::size_t i = 0; i < original_aqs.size(); ++i) {
+    EXPECT_EQ(restored_aqs[i]->bits(), original_aqs[i]->bits());
+    EXPECT_EQ(restored_aqs[i]->max_activation(), original_aqs[i]->max_activation());
+    EXPECT_FALSE(restored_aqs[i]->calibrating());
+  }
+}
+
+}  // namespace
+}  // namespace cq::deploy

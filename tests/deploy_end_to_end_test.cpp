@@ -1,0 +1,187 @@
+#include <gtest/gtest.h>
+
+#include <cstdio>
+
+#include "core/pipeline.h"
+#include "data/synthetic.h"
+#include "deploy/artifact.h"
+#include "hw/cost_model.h"
+#include "nn/models/vgg_small.h"
+#include "nn/trainer.h"
+
+namespace cq::deploy {
+namespace {
+
+using tensor::Tensor;
+
+/// Small but real end-to-end fixture: synthetic 4-class data, a tiny
+/// VGG, a short FP training run and one CQ pipeline pass. Shared by
+/// all tests in this file (built once — training dominates the cost).
+class DeployEndToEnd : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    data::SyntheticVisionConfig data_cfg;
+    data_cfg.num_classes = 4;
+    data_cfg.image_size = 8;
+    data_cfg.train_per_class = 40;
+    data_cfg.val_per_class = 10;
+    data_cfg.test_per_class = 10;
+    split_ = new data::DataSplit(data::make_synthetic_vision(data_cfg));
+
+    nn::VggSmallConfig model_cfg;
+    model_cfg.image_size = 8;
+    model_cfg.num_classes = 4;
+    model_cfg.c1 = 4;
+    model_cfg.c2 = 6;
+    model_cfg.c3 = 8;
+    model_cfg.f1 = 24;
+    model_cfg.f2 = 16;
+    model_cfg.f3 = 12;
+    model_ = new nn::VggSmall(model_cfg);
+
+    nn::TrainConfig train_cfg;
+    train_cfg.epochs = 3;
+    train_cfg.batch_size = 20;
+    train_cfg.lr = 0.02;
+    nn::Trainer(train_cfg).fit(*model_, split_->train.images, split_->train.labels);
+
+    core::CqConfig cq_cfg;
+    cq_cfg.search.desired_avg_bits = 2.0;
+    cq_cfg.search.eval_samples = 40;
+    cq_cfg.refine.epochs = 1;
+    cq_cfg.activation_bits = 2;
+    cq_cfg.importance.samples_per_class = 5;
+    report_ = new core::CqReport(core::CqPipeline(cq_cfg).run(*model_, *split_));
+  }
+
+  static void TearDownTestSuite() {
+    delete report_;
+    delete model_;
+    delete split_;
+    report_ = nullptr;
+    model_ = nullptr;
+    split_ = nullptr;
+  }
+
+  static data::DataSplit* split_;
+  static nn::VggSmall* model_;
+  static core::CqReport* report_;
+};
+
+data::DataSplit* DeployEndToEnd::split_ = nullptr;
+nn::VggSmall* DeployEndToEnd::model_ = nullptr;
+core::CqReport* DeployEndToEnd::report_ = nullptr;
+
+TEST_F(DeployEndToEnd, PipelineHitsTheBitBudget) {
+  EXPECT_LE(report_->achieved_avg_bits, 2.0 + 1e-9);
+  EXPECT_GT(report_->achieved_avg_bits, 0.0);
+}
+
+TEST_F(DeployEndToEnd, ArtifactMatchesTrainingSideAccuracyExactly) {
+  const QuantizedArtifact artifact = export_model(*model_);
+  auto device = instantiate(artifact);
+  const double train_side =
+      nn::Trainer::evaluate(*model_, split_->test.images, split_->test.labels);
+  const double device_side =
+      nn::Trainer::evaluate(*device, split_->test.images, split_->test.labels);
+  EXPECT_EQ(train_side, device_side);
+}
+
+TEST_F(DeployEndToEnd, SaveLoadPreservesEverything) {
+  const std::string path = ::testing::TempDir() + "cq_e2e.cqar";
+  save_artifact(path, export_model(*model_));
+  const QuantizedArtifact loaded = load_artifact(path);
+  auto device = instantiate(loaded);
+  EXPECT_EQ(nn::Trainer::evaluate(*model_, split_->test.images, split_->test.labels),
+            nn::Trainer::evaluate(*device, split_->test.images, split_->test.labels));
+  std::remove(path.c_str());
+}
+
+TEST_F(DeployEndToEnd, ReexportIsByteIdentical) {
+  // Deployment must be a fixed point: exporting the instantiated model
+  // again yields the same packed payloads and ranges.
+  const QuantizedArtifact first = export_model(*model_);
+  auto device = instantiate(first);
+  const QuantizedArtifact second = export_model(*device);
+  ASSERT_EQ(first.packed_layers.size(), second.packed_layers.size());
+  for (std::size_t i = 0; i < first.packed_layers.size(); ++i) {
+    const PackedLayer& a = first.packed_layers[i];
+    const PackedLayer& b = second.packed_layers[i];
+    EXPECT_EQ(a.name, b.name);
+    EXPECT_EQ(a.range_hi, b.range_hi) << a.name;
+    EXPECT_EQ(a.filter_bits, b.filter_bits) << a.name;
+    EXPECT_EQ(a.codes, b.codes) << a.name;
+  }
+}
+
+TEST_F(DeployEndToEnd, ArtifactBitsMatchSearchArrangement) {
+  const QuantizedArtifact artifact = export_model(*model_);
+  std::size_t i = 0;
+  for (const auto& layer : report_->arrangement.layers()) {
+    ASSERT_LT(i, artifact.packed_layers.size());
+    const PackedLayer& packed = artifact.packed_layers[i];
+    ASSERT_EQ(packed.filter_bits.size(), layer.filter_bits.size()) << layer.layer_name;
+    for (std::size_t k = 0; k < layer.filter_bits.size(); ++k) {
+      EXPECT_EQ(static_cast<int>(packed.filter_bits[k]), layer.filter_bits[k]);
+    }
+    ++i;
+  }
+  EXPECT_EQ(i, artifact.packed_layers.size());
+}
+
+TEST_F(DeployEndToEnd, HwTraceSeesTheQuantizedArrangement) {
+  Tensor sample({1, 3, 8, 8});
+  for (std::size_t i = 0; i < sample.numel(); ++i) sample[i] = split_->test.images[i];
+  const auto workloads = hw::trace_workloads(*model_, sample, 2);
+
+  // Average bits over the traced workloads equals the search result.
+  double bit_weight_sum = 0.0;
+  double weights = 0.0;
+  for (const hw::LayerWorkload& w : workloads) {
+    for (const int b : w.filter_bits) {
+      bit_weight_sum += static_cast<double>(b) * static_cast<double>(w.weights_per_filter);
+      weights += static_cast<double>(w.weights_per_filter);
+    }
+  }
+  EXPECT_NEAR(bit_weight_sum / weights, report_->achieved_avg_bits, 1e-9);
+}
+
+TEST_F(DeployEndToEnd, CompressionBeatsEightToOne) {
+  // 2.0 average bits over fp32 weights: the packed payload alone must
+  // be ~16x smaller; the artifact (with fp32 residue) at least 4x.
+  const SizeReport size = size_report(export_model(*model_));
+  EXPECT_LT(static_cast<double>(size.packed_code_bytes),
+            static_cast<double>(size.fp32_weight_bytes) / 8.0);
+  EXPECT_GT(size.compression_ratio(), 4.0);
+}
+
+TEST(DeployPathology, PrunedMaxWeightStillRoundTripsExactly) {
+  // The pathology the range override exists for: the layer's largest
+  // weight lives in a *pruned* filter, so max|w| of the decoded
+  // weights shrinks; without the frozen range the re-quantization grid
+  // would shift and outputs would drift.
+  util::Rng rng(21);
+  nn::Linear original(6, 3, rng);
+  // Force the global max into filter 0, then prune filter 0.
+  for (float& w : original.mutable_filter_weights(0)) w = 0.9f;
+  original.weight().value[0] = 2.5f;  // the layer max, in filter 0
+  original.set_filter_bits({0, 3, 2});
+
+  const PackedLayer packed = pack_layer(original, "fc");
+  EXPECT_EQ(packed.range_hi, 2.5f);
+
+  util::Rng rng2(22);
+  nn::Linear restored(6, 3, rng2);
+  unpack_layer(packed, restored);
+  // Decoded master weights no longer contain 2.5, but the frozen range does.
+  EXPECT_LT(restored.weight().value.abs_max(), 2.5f);
+  EXPECT_EQ(restored.weight_range_override(), 2.5f);
+
+  const tensor::Tensor input = tensor::Tensor::randn({4, 6}, rng2);
+  tensor::Tensor out_a = original.forward(input);
+  tensor::Tensor out_b = restored.forward(input);
+  for (std::size_t i = 0; i < out_a.numel(); ++i) ASSERT_EQ(out_a[i], out_b[i]);
+}
+
+}  // namespace
+}  // namespace cq::deploy

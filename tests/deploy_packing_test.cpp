@@ -1,0 +1,178 @@
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+#include <vector>
+
+#include "deploy/packing.h"
+#include "nn/conv2d.h"
+#include "nn/linear.h"
+#include "tensor/tensor.h"
+#include "util/rng.h"
+
+namespace cq::deploy {
+namespace {
+
+using nn::Conv2d;
+using nn::Linear;
+using tensor::Tensor;
+
+/// Forward both layers on the same input and require bit-identical
+/// effective weights — the contract unpack_layer guarantees.
+template <typename Layer>
+void expect_same_effective(Layer& a, Layer& b, const Tensor& input) {
+  const Tensor out_a = a.forward(input);
+  const Tensor out_b = b.forward(input);
+  ASSERT_EQ(a.effective_weight().numel(), b.effective_weight().numel());
+  for (std::size_t i = 0; i < a.effective_weight().numel(); ++i) {
+    ASSERT_EQ(a.effective_weight()[i], b.effective_weight()[i]) << "weight " << i;
+  }
+  ASSERT_EQ(out_a.numel(), out_b.numel());
+  for (std::size_t i = 0; i < out_a.numel(); ++i) {
+    ASSERT_EQ(out_a[i], out_b[i]) << "output " << i;
+  }
+}
+
+TEST(PackLayer, RequiresABitArrangement) {
+  util::Rng rng(1);
+  Linear layer(4, 3, rng);
+  EXPECT_THROW(pack_layer(layer, "fc"), std::invalid_argument);
+}
+
+TEST(PackLayer, RejectsBitWidthsAbove16) {
+  util::Rng rng(1);
+  Linear layer(4, 2, rng);
+  layer.set_filter_bits({17, 4});
+  EXPECT_THROW(pack_layer(layer, "fc"), std::invalid_argument);
+}
+
+TEST(PackLayer, PrunedFiltersContributeNoPayload) {
+  util::Rng rng(2);
+  Linear layer(10, 4, rng);
+  layer.set_filter_bits({0, 0, 0, 0});
+  const PackedLayer packed = pack_layer(layer, "fc");
+  EXPECT_EQ(packed.payload_bits(), 0u);
+  EXPECT_TRUE(packed.codes.empty());
+  EXPECT_EQ(packed.bits_per_weight(), 0.0);
+}
+
+TEST(PackLayer, PayloadBitsMatchArrangement) {
+  util::Rng rng(3);
+  Linear layer(16, 3, rng);
+  layer.set_filter_bits({4, 0, 2});
+  const PackedLayer packed = pack_layer(layer, "fc");
+  EXPECT_EQ(packed.payload_bits(), 16u * 4 + 16u * 2);
+  EXPECT_EQ(packed.codes.size(), (16u * 6 + 7) / 8);
+  EXPECT_NEAR(packed.bits_per_weight(), 6.0 / 3.0, 1e-12);
+}
+
+TEST(UnpackLayer, RoundTripsLinearBitExactly) {
+  util::Rng rng(4);
+  Linear original(12, 6, rng);
+  original.set_filter_bits({4, 3, 2, 1, 0, 4});
+  const PackedLayer packed = pack_layer(original, "fc");
+
+  util::Rng rng2(999);  // deliberately different init
+  Linear restored(12, 6, rng2);
+  unpack_layer(packed, restored);
+
+  EXPECT_EQ(restored.filter_bits(), original.filter_bits());
+  EXPECT_GT(restored.weight_range_override(), 0.0f);
+
+  util::Rng rng3(5);
+  const Tensor input = Tensor::randn({3, 12}, rng3);
+  expect_same_effective(original, restored, input);
+}
+
+TEST(UnpackLayer, RoundTripsConvBitExactly) {
+  util::Rng rng(6);
+  Conv2d original(3, 5, 3, 1, 1, rng);
+  original.set_filter_bits({4, 2, 0, 1, 3});
+  const PackedLayer packed = pack_layer(original, "conv");
+
+  util::Rng rng2(1234);
+  Conv2d restored(3, 5, 3, 1, 1, rng2);
+  unpack_layer(packed, restored);
+
+  util::Rng rng3(7);
+  const Tensor input = Tensor::randn({2, 3, 8, 8}, rng3);
+  expect_same_effective(original, restored, input);
+}
+
+TEST(UnpackLayer, PrunedFiltersDecodeToZeroWeights) {
+  util::Rng rng(8);
+  Linear original(5, 3, rng);
+  original.set_filter_bits({0, 2, 0});
+  const PackedLayer packed = pack_layer(original, "fc");
+
+  util::Rng rng2(4321);
+  Linear restored(5, 3, rng2);
+  unpack_layer(packed, restored);
+  for (const float w : restored.filter_weights(0)) EXPECT_EQ(w, 0.0f);
+  for (const float w : restored.filter_weights(2)) EXPECT_EQ(w, 0.0f);
+}
+
+TEST(UnpackLayer, RejectsShapeMismatch) {
+  util::Rng rng(9);
+  Linear original(6, 4, rng);
+  original.set_filter_bits({1, 1, 1, 1});
+  const PackedLayer packed = pack_layer(original, "fc");
+
+  Linear wrong_filters(6, 5, rng);
+  EXPECT_THROW(unpack_layer(packed, wrong_filters), std::invalid_argument);
+  Linear wrong_inputs(7, 4, rng);
+  EXPECT_THROW(unpack_layer(packed, wrong_inputs), std::invalid_argument);
+}
+
+TEST(UnpackLayer, RejectsCorruptedFilterBitsTable) {
+  util::Rng rng(10);
+  Linear original(6, 4, rng);
+  original.set_filter_bits({1, 1, 1, 1});
+  PackedLayer packed = pack_layer(original, "fc");
+  packed.filter_bits.pop_back();
+  Linear restored(6, 4, rng);
+  EXPECT_THROW(unpack_layer(packed, restored), std::invalid_argument);
+}
+
+TEST(UnpackLayer, RequantizationIsIdentityOnDecodedWeights) {
+  // Forward twice: the frozen range override must make re-quantization
+  // of already-decoded weights a fixed point.
+  util::Rng rng(11);
+  Linear original(20, 8, rng);
+  original.set_filter_bits({4, 4, 3, 3, 2, 2, 1, 0});
+  const PackedLayer packed = pack_layer(original, "fc");
+
+  Linear restored(20, 8, rng);
+  unpack_layer(packed, restored);
+  util::Rng rng2(12);
+  const Tensor input = Tensor::randn({4, 20}, rng2);
+  const Tensor out1 = restored.forward(input);
+  const Tensor master_before = restored.weight().value;
+  const Tensor out2 = restored.forward(input);
+  for (std::size_t i = 0; i < out1.numel(); ++i) ASSERT_EQ(out1[i], out2[i]);
+  for (std::size_t i = 0; i < master_before.numel(); ++i) {
+    ASSERT_EQ(restored.weight().value[i], master_before[i]);
+  }
+}
+
+class PackingSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(PackingSweep, UniformBitsRoundTrip) {
+  const int bits = GetParam();
+  util::Rng rng(100 + static_cast<std::uint64_t>(bits));
+  Linear original(32, 16, rng);
+  original.set_filter_bits(std::vector<int>(16, bits));
+  const PackedLayer packed = pack_layer(original, "fc");
+  EXPECT_EQ(packed.payload_bits(), 32u * 16u * static_cast<std::size_t>(bits));
+
+  util::Rng rng2(1);
+  Linear restored(32, 16, rng2);
+  unpack_layer(packed, restored);
+  util::Rng rng3(2);
+  const Tensor input = Tensor::randn({2, 32}, rng3);
+  expect_same_effective(original, restored, input);
+}
+
+INSTANTIATE_TEST_SUITE_P(Bits1To8, PackingSweep, ::testing::Range(1, 9));
+
+}  // namespace
+}  // namespace cq::deploy

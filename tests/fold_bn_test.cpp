@@ -1,0 +1,175 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "nn/fold_bn.h"
+#include "nn/models/resnet20.h"
+#include "nn/models/vgg_small.h"
+#include "util/rng.h"
+
+namespace cq::nn {
+namespace {
+
+using tensor::Tensor;
+
+/// Trains batch statistics into a BN by a few training-mode forwards.
+void warm_up(Module& m, const Tensor& sample, int steps = 5) {
+  m.set_training(true);
+  for (int i = 0; i < steps; ++i) (void)m.forward(sample);
+  m.set_training(false);
+}
+
+TEST(FoldBatchNorm, RejectsChannelMismatch) {
+  util::Rng rng(1);
+  Conv2d conv(3, 4, 3, 1, 1, rng);
+  BatchNorm2d bn(5);
+  EXPECT_THROW(fold_batchnorm(conv, bn), std::invalid_argument);
+}
+
+TEST(FoldBatchNorm, ConvBnPairPreservesEvalOutputs) {
+  util::Rng rng(2);
+  Conv2d conv(3, 6, 3, 1, 1, rng);
+  BatchNorm2d bn(6);
+  // Non-trivial gamma/beta and running statistics.
+  for (int k = 0; k < 6; ++k) {
+    const auto ku = static_cast<std::size_t>(k);
+    bn.gamma().value[ku] = 0.5f + 0.3f * static_cast<float>(k);
+    bn.beta().value[ku] = -0.2f + 0.1f * static_cast<float>(k);
+  }
+  const Tensor warm = Tensor::randn({4, 3, 8, 8}, rng);
+  conv.set_training(true);
+  bn.set_training(true);
+  for (int i = 0; i < 5; ++i) (void)bn.forward(conv.forward(warm));
+  conv.set_training(false);
+  bn.set_training(false);
+
+  const Tensor input = Tensor::randn({2, 3, 8, 8}, rng);
+  const Tensor before = bn.forward(conv.forward(input));
+
+  fold_batchnorm(conv, bn);
+  const Tensor after = bn.forward(conv.forward(input));
+
+  ASSERT_EQ(before.shape(), after.shape());
+  for (std::size_t i = 0; i < before.numel(); ++i) {
+    EXPECT_NEAR(after[i], before[i], 1e-4f) << "output " << i;
+  }
+}
+
+TEST(FoldBatchNorm, FoldedBnIsNumericallyIdentity) {
+  util::Rng rng(3);
+  Conv2d conv(2, 4, 3, 1, 1, rng);
+  BatchNorm2d bn(4);
+  const Tensor warm = Tensor::randn({4, 2, 6, 6}, rng);
+  conv.set_training(true);
+  bn.set_training(true);
+  for (int i = 0; i < 5; ++i) (void)bn.forward(conv.forward(warm));
+  bn.set_training(false);
+
+  fold_batchnorm(conv, bn);
+  const Tensor probe = Tensor::randn({1, 4, 6, 6}, rng);
+  const Tensor out = bn.forward(probe);
+  for (std::size_t i = 0; i < probe.numel(); ++i) {
+    EXPECT_NEAR(out[i], probe[i], 1e-5f) << "element " << i;
+  }
+}
+
+TEST(FoldBatchNorm, VggChainFoldsEveryConvBnPair) {
+  VggSmallConfig config;
+  config.image_size = 8;
+  config.c1 = 4;
+  config.c2 = 6;
+  config.c3 = 8;
+  config.f1 = 16;
+  config.f2 = 12;
+  config.f3 = 8;
+  VggSmall model(config);
+  util::Rng rng(4);
+  const Tensor warm = Tensor::randn({6, 3, 8, 8}, rng);
+  warm_up(model, warm);
+
+  const Tensor input = Tensor::randn({3, 3, 8, 8}, rng);
+  const Tensor before = model.forward(input);
+
+  const int folds = fold_batchnorm(model.body());
+  EXPECT_EQ(folds, 5);  // conv0..conv4 each carry a BN
+
+  const Tensor after = model.forward(input);
+  for (std::size_t i = 0; i < before.numel(); ++i) {
+    EXPECT_NEAR(after[i], before[i], 1e-3f) << "logit " << i;
+  }
+}
+
+TEST(FoldBatchNorm, ResNetChainFoldsBlocksAndShortcuts) {
+  ResNet20Config config;
+  config.image_size = 8;
+  config.base_width = 2;
+  ResNet20 model(config);
+  util::Rng rng(5);
+  const Tensor warm = Tensor::randn({6, 3, 8, 8}, rng);
+  warm_up(model, warm);
+
+  const Tensor input = Tensor::randn({2, 3, 8, 8}, rng);
+  const Tensor before = model.forward(input);
+
+  // stem + 9 blocks x 2 convs + 2 projection shortcuts = 21 folds.
+  const int folds = fold_batchnorm(model.body());
+  EXPECT_EQ(folds, 21);
+
+  const Tensor after = model.forward(input);
+  for (std::size_t i = 0; i < before.numel(); ++i) {
+    EXPECT_NEAR(after[i], before[i], 1e-3f) << "logit " << i;
+  }
+}
+
+TEST(FoldBatchNorm, FoldingIsIdempotentOnOutputs) {
+  VggSmallConfig config;
+  config.image_size = 8;
+  config.c1 = 4;
+  config.c2 = 4;
+  config.c3 = 4;
+  config.f1 = 8;
+  config.f2 = 8;
+  config.f3 = 8;
+  VggSmall model(config);
+  util::Rng rng(6);
+  warm_up(model, Tensor::randn({4, 3, 8, 8}, rng));
+
+  const Tensor input = Tensor::randn({2, 3, 8, 8}, rng);
+  (void)fold_batchnorm(model.body());
+  const Tensor once = model.forward(input);
+  (void)fold_batchnorm(model.body());
+  const Tensor twice = model.forward(input);
+  for (std::size_t i = 0; i < once.numel(); ++i) {
+    EXPECT_NEAR(twice[i], once[i], 1e-4f) << "logit " << i;
+  }
+}
+
+TEST(FoldBatchNorm, QuantizationAfterFoldingStillWorks) {
+  // The intended flow: fold on the FP model, then quantize per filter.
+  VggSmallConfig config;
+  config.image_size = 8;
+  config.c1 = 4;
+  config.c2 = 4;
+  config.c3 = 4;
+  config.f1 = 8;
+  config.f2 = 8;
+  config.f3 = 8;
+  VggSmall model(config);
+  util::Rng rng(7);
+  warm_up(model, Tensor::randn({4, 3, 8, 8}, rng));
+  (void)fold_batchnorm(model.body());
+
+  for (const auto& ref : model.scored_layers()) {
+    for (auto* layer : ref.layers) {
+      layer->set_filter_bits(
+          std::vector<int>(static_cast<std::size_t>(layer->num_filters()), 4));
+    }
+  }
+  const Tensor out = model.forward(Tensor::randn({2, 3, 8, 8}, rng));
+  for (std::size_t i = 0; i < out.numel(); ++i) {
+    EXPECT_TRUE(std::isfinite(out[i]));
+  }
+}
+
+}  // namespace
+}  // namespace cq::nn

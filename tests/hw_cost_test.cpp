@@ -1,0 +1,256 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "hw/cost_model.h"
+#include "hw/pe_array.h"
+#include "nn/models/mlp.h"
+#include "nn/models/resnet20.h"
+#include "nn/models/vgg_small.h"
+#include "tensor/tensor.h"
+#include "util/rng.h"
+
+namespace cq::hw {
+namespace {
+
+using tensor::Tensor;
+
+LayerWorkload make_workload(std::vector<int> bits, std::int64_t positions,
+                            std::int64_t wpf, int act_bits = 4) {
+  LayerWorkload w;
+  w.name = "layer";
+  w.output_positions = positions;
+  w.weights_per_filter = wpf;
+  w.filter_bits = std::move(bits);
+  w.act_bits = act_bits;
+  return w;
+}
+
+TEST(EnergyModel, ZeroBitWeightsCostNothing) {
+  const EnergyModel e;
+  EXPECT_EQ(e.mac_pj(0, 8), 0.0);
+  EXPECT_EQ(e.mac_pj(-1, 8), 0.0);
+}
+
+TEST(EnergyModel, EightByEightMacMatchesSurveyNumbers) {
+  const EnergyModel e;
+  // 8x8 multiply (0.2 pJ) + 32-bit accumulate (0.1 pJ).
+  EXPECT_NEAR(e.mac_pj(8, 8), 0.3, 1e-12);
+}
+
+TEST(EnergyModel, MultiplierEnergyScalesWithBitProduct) {
+  const EnergyModel e;
+  const double add = e.add_pj_per_bit * 32.0;
+  EXPECT_NEAR(e.mac_pj(4, 8) - add, (e.mac_pj(8, 8) - add) / 2.0, 1e-12);
+  EXPECT_NEAR(e.mac_pj(2, 2) - add, (e.mac_pj(8, 8) - add) / 16.0, 1e-12);
+}
+
+TEST(EnergyModel, MacEnergyIsMonotoneInWeightBits) {
+  const EnergyModel e;
+  for (int b = 1; b < 16; ++b) {
+    EXPECT_LT(e.mac_pj(b, 4), e.mac_pj(b + 1, 4)) << "bits " << b;
+  }
+}
+
+TEST(LayerWorkload, MacAccounting) {
+  const LayerWorkload w = make_workload({4, 0, 2, 0}, 10, 9);
+  EXPECT_EQ(w.macs_per_filter(), 90);
+  EXPECT_EQ(w.total_macs(), 360);
+  EXPECT_EQ(w.active_macs(), 180);  // two pruned filters skipped
+  EXPECT_EQ(w.weight_bits_total(), (4 + 2) * 9);
+}
+
+TEST(EstimateCost, PrunedLayerCostsNothing) {
+  const ModelCost cost = estimate_cost({make_workload({0, 0, 0}, 4, 5)});
+  EXPECT_EQ(cost.total_pj(), 0.0);
+  EXPECT_EQ(cost.active_macs(), 0);
+  EXPECT_EQ(cost.total_macs(), 60);
+}
+
+TEST(EstimateCost, EnergySplitsAreAllPositive) {
+  const ModelCost cost = estimate_cost({make_workload({4, 2, 1}, 16, 27)});
+  ASSERT_EQ(cost.layers.size(), 1u);
+  const LayerCost& l = cost.layers[0];
+  EXPECT_GT(l.compute_pj, 0.0);
+  EXPECT_GT(l.weight_sram_pj, 0.0);
+  EXPECT_GT(l.act_sram_pj, 0.0);
+  EXPECT_GT(l.dram_pj, 0.0);
+  EXPECT_NEAR(l.total_pj(), l.compute_pj + l.weight_sram_pj + l.act_sram_pj + l.dram_pj,
+              1e-9);
+}
+
+TEST(EstimateCost, LowerBitsCostLessEverywhere) {
+  const std::vector<LayerWorkload> high = {make_workload({8, 8, 8, 8}, 32, 18)};
+  const std::vector<LayerWorkload> low = {make_workload({2, 2, 2, 2}, 32, 18)};
+  const ModelCost ch = estimate_cost(high);
+  const ModelCost cl = estimate_cost(low);
+  EXPECT_LT(cl.layers[0].compute_pj, ch.layers[0].compute_pj);
+  EXPECT_LT(cl.layers[0].weight_sram_pj, ch.layers[0].weight_sram_pj);
+  EXPECT_LT(cl.layers[0].dram_pj, ch.layers[0].dram_pj);
+  // Activation traffic is precision-of-activations bound, not weights.
+  EXPECT_EQ(cl.layers[0].act_sram_pj, ch.layers[0].act_sram_pj);
+}
+
+TEST(EstimateCost, PruningAFilterRemovesItsShareExactly) {
+  const ModelCost dense = estimate_cost({make_workload({3, 3}, 8, 10)});
+  const ModelCost pruned = estimate_cost({make_workload({3, 0}, 8, 10)});
+  EXPECT_NEAR(pruned.total_pj(), dense.total_pj() / 2.0, 1e-9);
+}
+
+TEST(EstimateCost, DramScalesWithPackedBitsNotMacs) {
+  // Same MAC count, different storage bits: DRAM term must follow bits.
+  const ModelCost a = estimate_cost({make_workload({4, 4}, 8, 10)});
+  const ModelCost b = estimate_cost({make_workload({2, 2}, 8, 10)});
+  EXPECT_NEAR(a.layers[0].dram_pj, 2.0 * b.layers[0].dram_pj, 1e-9);
+}
+
+TEST(UniformWorkloads, OverridesEveryFilter) {
+  auto uniform = uniform_workloads({make_workload({0, 1, 4}, 2, 3)}, 8);
+  for (const int b : uniform[0].filter_bits) EXPECT_EQ(b, 8);
+}
+
+TEST(TraceWorkloads, RejectsBatchedSamples) {
+  nn::MlpConfig config;
+  config.in_features = 6;
+  config.hidden = {8, 8};
+  nn::Mlp mlp(config);
+  util::Rng rng(1);
+  EXPECT_THROW(trace_workloads(mlp, Tensor::randn({2, 6}, rng), 4),
+               std::invalid_argument);
+}
+
+TEST(TraceWorkloads, MlpLayersHaveOnePositionPerNeuron) {
+  nn::MlpConfig config;
+  config.in_features = 6;
+  config.hidden = {8, 10};
+  nn::Mlp mlp(config);
+  util::Rng rng(2);
+  const auto workloads = trace_workloads(mlp, Tensor::randn({1, 6}, rng), 4);
+  ASSERT_EQ(workloads.size(), 1u);  // only the second hidden layer is scored
+  EXPECT_FALSE(workloads[0].is_conv);
+  EXPECT_EQ(workloads[0].output_positions, 1);
+  EXPECT_EQ(workloads[0].weights_per_filter, 8);
+  EXPECT_EQ(workloads[0].filter_bits.size(), 10u);
+  EXPECT_EQ(workloads[0].filter_bits[0], 32);  // unquantized default
+  EXPECT_EQ(workloads[0].act_bits, 4);
+}
+
+TEST(TraceWorkloads, VggConvPositionsFollowPooling) {
+  nn::VggSmallConfig config;
+  config.image_size = 16;
+  config.c1 = 4;
+  config.c2 = 6;
+  config.c3 = 8;
+  config.f1 = 12;
+  config.f2 = 10;
+  config.f3 = 8;
+  nn::VggSmall vgg(config);
+  util::Rng rng(3);
+  const auto workloads = trace_workloads(vgg, Tensor::randn({1, 3, 16, 16}, rng), 2);
+  ASSERT_EQ(workloads.size(), 7u);  // layers 1..7 of the paper
+  // conv1 runs before the first pool: 16x16 positions.
+  EXPECT_EQ(workloads[0].output_positions, 256);
+  // FC layers are single-position.
+  EXPECT_EQ(workloads[4].output_positions, 1);
+  EXPECT_EQ(workloads[5].output_positions, 1);
+  EXPECT_EQ(workloads[6].output_positions, 1);
+  // Deeper conv layers never have more positions than earlier ones.
+  for (std::size_t i = 1; i < 4; ++i) {
+    EXPECT_LE(workloads[i].output_positions, workloads[i - 1].output_positions);
+  }
+}
+
+TEST(TraceWorkloads, ResNetSharedScoredRefsSplitIntoSuffixedWorkloads) {
+  // Blocks with a projection shortcut list two quantizable layers in
+  // one scored ref; the trace must emit one workload per layer with
+  // "#index" suffixes, both at the block's output resolution.
+  nn::ResNet20Config config;
+  config.image_size = 8;
+  config.base_width = 2;
+  nn::ResNet20 model(config);
+  util::Rng rng(5);
+  const auto workloads = trace_workloads(model, Tensor::randn({1, 3, 8, 8}, rng), 4);
+
+  int suffixed = 0;
+  for (std::size_t i = 0; i + 1 < workloads.size(); ++i) {
+    const auto& w = workloads[i];
+    if (w.name.find("#0") == std::string::npos) continue;
+    ++suffixed;
+    const auto& next = workloads[i + 1];
+    EXPECT_NE(next.name.find("#1"), std::string::npos) << next.name;
+    EXPECT_EQ(w.output_positions, next.output_positions) << w.name;
+    EXPECT_EQ(w.filter_bits.size(), next.filter_bits.size()) << w.name;
+  }
+  // ResNet-20 has two stage transitions with projection shortcuts.
+  EXPECT_EQ(suffixed, 2);
+  // 18 convs except that 2 refs carry an extra projection conv -> 20.
+  EXPECT_EQ(workloads.size(), 20u);
+}
+
+TEST(TraceWorkloads, ReadsAssignedFilterBits) {
+  nn::MlpConfig config;
+  config.in_features = 5;
+  config.hidden = {6, 4};
+  nn::Mlp mlp(config);
+  auto scored = mlp.scored_layers();
+  ASSERT_EQ(scored.size(), 1u);
+  scored[0].layers[0]->set_filter_bits({3, 0, 2, 1});
+  util::Rng rng(4);
+  const auto workloads = trace_workloads(mlp, Tensor::randn({1, 5}, rng), 4);
+  EXPECT_EQ(workloads[0].filter_bits, (std::vector<int>{3, 0, 2, 1}));
+}
+
+TEST(PeArray, CyclesMatchHandComputation) {
+  PeArrayConfig config;
+  config.rows = 2;
+  config.cols = 2;
+  config.layer_overhead_cycles = 10;
+  // 3 filters at 4/2/0 bits, 5 positions, 7 weights each:
+  // lane_cycles = 35*4 + 35*2 = 210; ceil(210/4) = 53 (+10 overhead).
+  const PeArrayReport report =
+      simulate_pe_array({make_workload({4, 2, 0}, 5, 7)}, config);
+  ASSERT_EQ(report.layers.size(), 1u);
+  EXPECT_EQ(report.layers[0].lane_cycles, 210);
+  EXPECT_EQ(report.layers[0].cycles, 63);
+  EXPECT_EQ(report.total_cycles, 63);
+  EXPECT_NEAR(report.seconds, 63e-9, 1e-15);
+}
+
+TEST(PeArray, FullyPrunedLayerTakesZeroCycles) {
+  const PeArrayReport report = simulate_pe_array({make_workload({0, 0}, 9, 9)});
+  EXPECT_EQ(report.total_cycles, 0);
+}
+
+TEST(PeArray, HalvingBitsRoughlyHalvesLatency) {
+  const auto w8 = make_workload(std::vector<int>(64, 8), 64, 144);
+  const auto w4 = make_workload(std::vector<int>(64, 4), 64, 144);
+  const PeArrayReport r8 = simulate_pe_array({w8});
+  const PeArrayReport r4 = simulate_pe_array({w4});
+  const double speedup = r4.speedup_over(r8);
+  EXPECT_GT(speedup, 1.9);
+  EXPECT_LT(speedup, 2.1);
+}
+
+TEST(PeArray, RejectsDegenerateConfig) {
+  PeArrayConfig config;
+  config.rows = 0;
+  EXPECT_THROW(simulate_pe_array({}, config), std::invalid_argument);
+}
+
+class PeArrayBitSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(PeArrayBitSweep, LatencyIsLinearInUniformBits) {
+  const int bits = GetParam();
+  PeArrayConfig config;
+  config.layer_overhead_cycles = 0;
+  const auto w = make_workload(std::vector<int>(16, bits), 128, 64);
+  const auto w1 = make_workload(std::vector<int>(16, 1), 128, 64);
+  const PeArrayReport r = simulate_pe_array({w}, config);
+  const PeArrayReport r1 = simulate_pe_array({w1}, config);
+  EXPECT_EQ(r.total_cycles, r1.total_cycles * bits);
+}
+
+INSTANTIATE_TEST_SUITE_P(Bits1To8, PeArrayBitSweep, ::testing::Range(1, 9));
+
+}  // namespace
+}  // namespace cq::hw

@@ -1,0 +1,145 @@
+#include <gtest/gtest.h>
+
+#include "baselines/loss_aware.h"
+#include "nn/models/mlp.h"
+#include "nn/trainer.h"
+
+namespace cq::baselines {
+namespace {
+
+data::DataSplit make_split(std::uint64_t seed) {
+  util::Rng rng(seed);
+  auto gen = [&](int per_class) {
+    data::Dataset d;
+    const int n = 3 * per_class;
+    d.images = nn::Tensor({n, 6});
+    d.labels.resize(static_cast<std::size_t>(n));
+    for (int i = 0; i < n; ++i) {
+      const int cls = i / per_class;
+      for (int f = 0; f < 6; ++f) {
+        d.images.at(i, f) = static_cast<float>(rng.normal(f % 3 == cls ? 1.5 : 0.0, 0.4));
+      }
+      d.labels[static_cast<std::size_t>(i)] = cls;
+    }
+    return d;
+  };
+  data::DataSplit split;
+  split.train = gen(40);
+  split.val = gen(15);
+  split.test = gen(20);
+  return split;
+}
+
+nn::Mlp trained(const data::DataSplit& split, std::uint64_t seed) {
+  nn::Mlp model({6, {24, 16, 12}, 3, seed});
+  nn::TrainConfig tc;
+  tc.epochs = 20;
+  tc.batch_size = 20;
+  tc.lr = 0.05;
+  nn::Trainer trainer(tc);
+  trainer.fit(model, split.train.images, split.train.labels);
+  return model;
+}
+
+TEST(LossAware, RejectsZeroMaxBits) {
+  const data::DataSplit split = make_split(1);
+  nn::Mlp model({6, {12, 10, 8}, 3, 1});
+  LossAwareConfig config;
+  config.max_bits = 0;
+  EXPECT_THROW(LossAwareAllocator(config).run(model, split.val), std::invalid_argument);
+}
+
+TEST(LossAware, ReachesTheBitBudget) {
+  const data::DataSplit split = make_split(2);
+  nn::Mlp model = trained(split, 2);
+  LossAwareConfig config;
+  config.desired_avg_bits = 2.0;
+  config.eval_samples = 30;
+  const LossAwareResult result = LossAwareAllocator(config).run(model, split.val);
+  EXPECT_LE(result.achieved_avg_bits, 2.0);
+  EXPECT_GT(result.achieved_avg_bits, 0.0);
+  EXPECT_NEAR(result.achieved_avg_bits, model.bit_arrangement().average_bits(), 1e-12);
+}
+
+TEST(LossAware, CountsItsManyEvaluations) {
+  const data::DataSplit split = make_split(3);
+  nn::Mlp model = trained(split, 3);
+  LossAwareConfig config;
+  config.desired_avg_bits = 2.0;
+  config.eval_samples = 30;
+  const LossAwareResult result = LossAwareAllocator(config).run(model, split.val);
+  // Each greedy round evaluates every candidate layer once; reaching a
+  // 2.0 average from 4 bits takes many rounds — the inefficiency the
+  // paper's one-shot method is contrasted with.
+  EXPECT_GT(result.evaluations, 10);
+}
+
+TEST(LossAware, NeverAssignsNegativeBits) {
+  const data::DataSplit split = make_split(4);
+  nn::Mlp model = trained(split, 4);
+  LossAwareConfig config;
+  config.desired_avg_bits = 0.25;  // forces demotion down to pruning
+  config.eval_samples = 30;
+  const LossAwareResult result = LossAwareAllocator(config).run(model, split.val);
+  EXPECT_LE(result.achieved_avg_bits, 0.25);
+  for (const auto& layer : result.arrangement.layers()) {
+    for (const int b : layer.filter_bits) {
+      EXPECT_GE(b, 0);
+      EXPECT_LE(b, 4);
+    }
+  }
+}
+
+TEST(LossAware, LeavesModelQuantizedWithArrangement) {
+  const data::DataSplit split = make_split(5);
+  nn::Mlp model = trained(split, 5);
+  LossAwareConfig config;
+  config.desired_avg_bits = 3.0;
+  config.eval_samples = 30;
+  const LossAwareResult result = LossAwareAllocator(config).run(model, split.val);
+  auto scored = model.scored_layers();
+  std::size_t i = 0;
+  for (const auto& ref : scored) {
+    for (const auto* layer : ref.layers) {
+      EXPECT_EQ(layer->filter_bits(),
+                std::vector<int>(result.arrangement.layers()[i].filter_bits))
+          << "layer " << i;
+      ++i;
+    }
+  }
+}
+
+TEST(LossAware, IsDeterministic) {
+  const data::DataSplit split = make_split(6);
+  nn::Mlp model_a = trained(split, 6);
+  nn::Mlp model_b = trained(split, 6);
+  LossAwareConfig config;
+  config.desired_avg_bits = 2.0;
+  config.eval_samples = 30;
+  const LossAwareResult a = LossAwareAllocator(config).run(model_a, split.val);
+  const LossAwareResult b = LossAwareAllocator(config).run(model_b, split.val);
+  EXPECT_EQ(a.evaluations, b.evaluations);
+  EXPECT_EQ(a.achieved_avg_bits, b.achieved_avg_bits);
+  ASSERT_EQ(a.arrangement.layers().size(), b.arrangement.layers().size());
+  for (std::size_t i = 0; i < a.arrangement.layers().size(); ++i) {
+    EXPECT_EQ(a.arrangement.layers()[i].filter_bits, b.arrangement.layers()[i].filter_bits);
+  }
+}
+
+TEST(LossAware, HigherBudgetKeepsMoreBits) {
+  const data::DataSplit split = make_split(7);
+  nn::Mlp model_low = trained(split, 7);
+  nn::Mlp model_high = trained(split, 7);
+  LossAwareConfig low;
+  low.desired_avg_bits = 1.0;
+  low.eval_samples = 30;
+  LossAwareConfig high;
+  high.desired_avg_bits = 3.5;
+  high.eval_samples = 30;
+  const LossAwareResult rl = LossAwareAllocator(low).run(model_low, split.val);
+  const LossAwareResult rh = LossAwareAllocator(high).run(model_high, split.val);
+  EXPECT_LT(rl.achieved_avg_bits, rh.achieved_avg_bits);
+}
+
+}  // namespace
+}  // namespace cq::baselines

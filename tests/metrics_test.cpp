@@ -1,0 +1,88 @@
+#include <gtest/gtest.h>
+
+#include "nn/metrics.h"
+#include "nn/loss.h"
+#include "nn/models/mlp.h"
+
+namespace cq::nn {
+namespace {
+
+TEST(ConfusionMatrix, CountsAndAccuracy) {
+  ConfusionMatrix cm(3);
+  cm.add(0, 0);
+  cm.add(0, 0);
+  cm.add(0, 1);
+  cm.add(1, 1);
+  cm.add(2, 0);
+  EXPECT_EQ(cm.count(0, 0), 2u);
+  EXPECT_EQ(cm.count(0, 1), 1u);
+  EXPECT_EQ(cm.class_total(0), 3u);
+  EXPECT_DOUBLE_EQ(cm.accuracy(), 3.0 / 5.0);
+  EXPECT_DOUBLE_EQ(cm.class_accuracy(0), 2.0 / 3.0);
+  EXPECT_DOUBLE_EQ(cm.class_accuracy(1), 1.0);
+  EXPECT_DOUBLE_EQ(cm.class_accuracy(2), 0.0);
+}
+
+TEST(ConfusionMatrix, EmptyClassHasZeroAccuracy) {
+  ConfusionMatrix cm(4);
+  cm.add(0, 0);
+  EXPECT_DOUBLE_EQ(cm.class_accuracy(3), 0.0);
+  EXPECT_EQ(cm.class_total(3), 0u);
+}
+
+TEST(ConfusionMatrix, RejectsOutOfRange) {
+  ConfusionMatrix cm(2);
+  EXPECT_THROW(cm.add(2, 0), std::out_of_range);
+  EXPECT_THROW(cm.add(0, -1), std::out_of_range);
+  EXPECT_THROW(ConfusionMatrix(0), std::invalid_argument);
+}
+
+TEST(ConfusionMatrix, AddBatchUsesArgmax) {
+  ConfusionMatrix cm(3);
+  Tensor logits({2, 3});
+  logits.at(0, 2) = 5.0f;  // predicts 2
+  logits.at(1, 0) = 5.0f;  // predicts 0
+  cm.add_batch(logits, {2, 1});
+  EXPECT_EQ(cm.count(2, 2), 1u);
+  EXPECT_EQ(cm.count(1, 0), 1u);
+  EXPECT_DOUBLE_EQ(cm.accuracy(), 0.5);
+}
+
+TEST(ConfusionMatrix, WorstClassesSortedByRecall) {
+  ConfusionMatrix cm(3);
+  cm.add(0, 0);            // class 0: 100%
+  cm.add(1, 0);
+  cm.add(1, 1);            // class 1: 50%
+  cm.add(2, 0);            // class 2: 0%
+  EXPECT_EQ(cm.worst_classes(2), (std::vector<int>{2, 1}));
+  EXPECT_EQ(cm.worst_classes(10).size(), 3u);
+}
+
+TEST(ConfusionMatrix, PerClassVectorMatchesScalars) {
+  ConfusionMatrix cm(2);
+  cm.add(0, 0);
+  cm.add(1, 0);
+  const auto acc = cm.per_class_accuracy();
+  ASSERT_EQ(acc.size(), 2u);
+  EXPECT_DOUBLE_EQ(acc[0], cm.class_accuracy(0));
+  EXPECT_DOUBLE_EQ(acc[1], cm.class_accuracy(1));
+}
+
+TEST(EvaluateConfusion, AgreesWithScalarAccuracyAndRestoresMode) {
+  util::Rng rng(1);
+  Mlp model({4, {8}, 3, 2});
+  model.set_training(true);
+  const Tensor images = Tensor::randn({23, 4}, rng);  // odd count: partial batch
+  std::vector<int> labels(23);
+  for (int i = 0; i < 23; ++i) labels[static_cast<std::size_t>(i)] = i % 3;
+  const ConfusionMatrix cm = evaluate_confusion(model, images, labels, 3, 10);
+  model.set_training(false);
+  const Tensor logits = model.forward(images);
+  EXPECT_DOUBLE_EQ(cm.accuracy(), accuracy(logits, labels));
+  std::size_t total = 0;
+  for (int c = 0; c < 3; ++c) total += cm.class_total(c);
+  EXPECT_EQ(total, 23u);
+}
+
+}  // namespace
+}  // namespace cq::nn

@@ -1,0 +1,232 @@
+#include <gtest/gtest.h>
+
+#include "gradcheck.h"
+#include "nn/models/mlp.h"
+#include "nn/models/resnet20.h"
+#include "nn/models/vgg_small.h"
+
+namespace cq::nn {
+namespace {
+
+TEST(Mlp, OutputShapeAndScoredLayers) {
+  Mlp mlp({8, {16, 12, 10}, 5, 1});
+  util::Rng rng(1);
+  const Tensor y = mlp.forward(Tensor::randn({3, 8}, rng));
+  EXPECT_EQ(y.shape(), (tensor::Shape{3, 5}));
+  // First hidden layer excluded -> 2 scored layers.
+  const auto scored = mlp.scored_layers();
+  ASSERT_EQ(scored.size(), 2u);
+  EXPECT_EQ(scored[0].layers.front()->num_filters(), 12);
+  EXPECT_EQ(scored[1].layers.front()->num_filters(), 10);
+  EXPECT_FALSE(scored[0].is_conv);
+}
+
+TEST(Mlp, GradCheckWholeNetwork) {
+  Mlp mlp({6, {8, 8}, 3, 2});
+  util::Rng rng(2);
+  const auto r = testutil::gradcheck(mlp, Tensor::randn({2, 6}, rng));
+  EXPECT_LT(r.max_input_error, 1e-2);
+  EXPECT_LT(r.max_param_error, 1e-2);
+}
+
+TEST(Mlp, CloneProducesIdenticalOutputs) {
+  Mlp mlp({8, {16, 16}, 4, 3});
+  util::Rng rng(3);
+  const Tensor x = Tensor::randn({5, 8}, rng);
+  auto copy = mlp.clone();
+  mlp.set_training(false);
+  copy->set_training(false);
+  EXPECT_TRUE(mlp.forward(x).allclose(copy->forward(x)));
+}
+
+TEST(Mlp, CloneIsIndependent) {
+  Mlp mlp({4, {8, 8}, 2, 4});
+  auto copy = mlp.clone();
+  mlp.parameters()[0]->value.fill(7.0f);
+  EXPECT_NE(copy->parameters()[0]->value[0], 7.0f);
+}
+
+TEST(VggSmall, OutputShape) {
+  VggSmallConfig cfg;
+  cfg.image_size = 16;
+  cfg.c1 = 4;
+  cfg.c2 = 8;
+  cfg.c3 = 8;
+  cfg.f1 = 16;
+  cfg.f2 = 12;
+  cfg.f3 = 8;
+  cfg.num_classes = 10;
+  VggSmall vgg(cfg);
+  util::Rng rng(5);
+  const Tensor y = vgg.forward(Tensor::randn({2, 3, 16, 16}, rng));
+  EXPECT_EQ(y.shape(), (tensor::Shape{2, 10}));
+}
+
+TEST(VggSmall, HasSevenScoredLayers) {
+  VggSmallConfig cfg;
+  cfg.c1 = 4;
+  cfg.c2 = 4;
+  cfg.c3 = 4;
+  cfg.f1 = 8;
+  cfg.f2 = 8;
+  cfg.f3 = 8;
+  VggSmall vgg(cfg);
+  // Layers 1-7 of the paper's Figures 2/6.
+  const auto scored = vgg.scored_layers();
+  ASSERT_EQ(scored.size(), 7u);
+  EXPECT_TRUE(scored[0].is_conv);
+  EXPECT_TRUE(scored[3].is_conv);
+  EXPECT_FALSE(scored[4].is_conv);  // fc5
+  EXPECT_FALSE(scored[6].is_conv);  // fc7
+  for (const auto& s : scored) {
+    EXPECT_NE(s.probe, nullptr);
+    EXPECT_FALSE(s.layers.empty());
+  }
+}
+
+TEST(VggSmall, RejectsBadImageSize) {
+  VggSmallConfig cfg;
+  cfg.image_size = 15;
+  EXPECT_THROW(VggSmall{cfg}, std::invalid_argument);
+}
+
+TEST(VggSmall, CloneMatchesIncludingBatchNormState) {
+  VggSmallConfig cfg;
+  cfg.c1 = 4;
+  cfg.c2 = 4;
+  cfg.c3 = 4;
+  cfg.f1 = 8;
+  cfg.f2 = 8;
+  cfg.f3 = 8;
+  VggSmall vgg(cfg);
+  util::Rng rng(6);
+  // Update BN running stats with a few training forwards first.
+  vgg.set_training(true);
+  for (int i = 0; i < 3; ++i) vgg.forward(Tensor::randn({4, 3, 16, 16}, rng));
+  auto copy = vgg.clone();
+  vgg.set_training(false);
+  copy->set_training(false);
+  const Tensor x = Tensor::randn({2, 3, 16, 16}, rng);
+  EXPECT_TRUE(vgg.forward(x).allclose(copy->forward(x), 1e-5f));
+}
+
+TEST(VggSmall, ActivationQuantizersCoverAllBlocks) {
+  VggSmallConfig cfg;
+  cfg.c1 = 4;
+  cfg.c2 = 4;
+  cfg.c3 = 4;
+  cfg.f1 = 8;
+  cfg.f2 = 8;
+  cfg.f3 = 8;
+  VggSmall vgg(cfg);
+  // 5 conv blocks + 3 FC blocks.
+  EXPECT_EQ(vgg.activation_quantizers().size(), 8u);
+}
+
+TEST(ResNet20, OutputShapeAndBlockCount) {
+  ResNet20Config cfg;
+  cfg.base_width = 2;
+  cfg.expand = 1;
+  ResNet20 net(cfg);
+  util::Rng rng(7);
+  const Tensor y = net.forward(Tensor::randn({2, 3, 16, 16}, rng));
+  EXPECT_EQ(y.shape(), (tensor::Shape{2, 10}));
+  // 9 blocks x 2 scored convs.
+  EXPECT_EQ(net.scored_layers().size(), 18u);
+}
+
+TEST(ResNet20, DownsampleBlocksShareScores) {
+  ResNet20Config cfg;
+  cfg.base_width = 2;
+  ResNet20 net(cfg);
+  int shared = 0;
+  for (const auto& s : net.scored_layers()) {
+    if (s.layers.size() == 2) ++shared;
+  }
+  // Stage 2 and stage 3 first blocks have projection shortcuts.
+  EXPECT_EQ(shared, 2);
+}
+
+TEST(ResNet20, ExpandScalesWidths) {
+  ResNet20Config cfg;
+  cfg.base_width = 2;
+  cfg.expand = 5;
+  ResNet20 net(cfg);
+  const auto scored = net.scored_layers();
+  EXPECT_EQ(scored.front().layers.front()->num_filters(), 10);   // 2*5
+  EXPECT_EQ(scored.back().layers.front()->num_filters(), 40);    // 8*5
+}
+
+TEST(ResNet20, GradCheckTiny) {
+  ResNet20Config cfg;
+  cfg.base_width = 1;
+  cfg.image_size = 8;
+  cfg.num_classes = 3;
+  ResNet20 net(cfg);
+  util::Rng rng(8);
+  // A whole model has thousands of ReLU kinks, so finite differences
+  // occasionally straddle one; check the robust 95th percentile.
+  const auto r = testutil::gradcheck(net, Tensor::randn({2, 3, 8, 8}, rng), 1e-3);
+  EXPECT_LT(r.p95_input_error, 1e-2);
+  EXPECT_LT(r.p95_param_error, 1e-2);
+}
+
+TEST(ResNet20, CloneProducesIdenticalOutputs) {
+  ResNet20Config cfg;
+  cfg.base_width = 2;
+  ResNet20 net(cfg);
+  util::Rng rng(9);
+  net.set_training(true);
+  for (int i = 0; i < 2; ++i) net.forward(Tensor::randn({4, 3, 16, 16}, rng));
+  auto copy = net.clone();
+  net.set_training(false);
+  copy->set_training(false);
+  const Tensor x = Tensor::randn({2, 3, 16, 16}, rng);
+  EXPECT_TRUE(net.forward(x).allclose(copy->forward(x), 1e-5f));
+}
+
+TEST(Model, SetActivationBitsAppliesEverywhere) {
+  Mlp mlp({4, {8, 8}, 2, 10});
+  mlp.set_activation_bits(3);
+  for (ActQuant* aq : mlp.activation_quantizers()) EXPECT_EQ(aq->bits(), 3);
+}
+
+TEST(Model, CalibrateActivationsSetsClipRanges) {
+  Mlp mlp({4, {8, 8}, 2, 11});
+  util::Rng rng(12);
+  mlp.calibrate_activations(Tensor::randn({20, 4}, rng), 8);
+  bool any_positive = false;
+  for (ActQuant* aq : mlp.activation_quantizers()) {
+    EXPECT_FALSE(aq->calibrating());
+    if (aq->max_activation() > 0.0f) any_positive = true;
+  }
+  EXPECT_TRUE(any_positive);
+}
+
+TEST(Model, BitArrangementReportsQuantizedAndFpLayers) {
+  Mlp mlp({4, {8, 6}, 2, 13});
+  auto scored = mlp.scored_layers();
+  ASSERT_EQ(scored.size(), 1u);
+  scored[0].layers.front()->set_filter_bits(std::vector<int>(6, 2));
+  const quant::BitArrangement arr = mlp.bit_arrangement();
+  ASSERT_EQ(arr.layers().size(), 1u);
+  EXPECT_EQ(arr.layers()[0].filter_bits, std::vector<int>(6, 2));
+  EXPECT_DOUBLE_EQ(arr.average_bits(), 2.0);
+}
+
+TEST(Model, ClearWeightQuantizationRestoresFp) {
+  Mlp mlp({4, {8, 6}, 2, 14});
+  auto scored = mlp.scored_layers();
+  scored[0].layers.front()->set_filter_bits(std::vector<int>(6, 1));
+  mlp.clear_weight_quantization();
+  EXPECT_TRUE(scored[0].layers.front()->filter_bits().empty());
+}
+
+TEST(CopyState, ThrowsOnStructureMismatch) {
+  Mlp a({4, {8}, 2, 15});
+  Mlp b({4, {9}, 2, 15});
+  EXPECT_THROW(copy_state(a, b), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace cq::nn

@@ -1,0 +1,393 @@
+#include <gtest/gtest.h>
+
+#include "gradcheck.h"
+#include "nn/act_quant.h"
+#include "nn/activations.h"
+#include "nn/batchnorm.h"
+#include "nn/conv2d.h"
+#include "nn/linear.h"
+#include "nn/pooling.h"
+#include "nn/probe.h"
+
+namespace cq::nn {
+namespace {
+
+using testutil::gradcheck;
+
+TEST(Linear, ForwardMatchesHandComputed) {
+  util::Rng rng(1);
+  Linear fc(2, 2, rng);
+  fc.weight().value = Tensor({2, 2}, {1, 2, 3, 4});
+  fc.bias().value = Tensor({2}, {0.5f, -0.5f});
+  const Tensor x({1, 2}, {1, 1});
+  const Tensor y = fc.forward(x);
+  EXPECT_FLOAT_EQ(y.at(0, 0), 3.5f);   // 1*1 + 2*1 + 0.5
+  EXPECT_FLOAT_EQ(y.at(0, 1), 6.5f);   // 3*1 + 4*1 - 0.5
+}
+
+TEST(Linear, RejectsWrongInputShape) {
+  util::Rng rng(1);
+  Linear fc(4, 2, rng);
+  EXPECT_THROW(fc.forward(Tensor({1, 3})), std::invalid_argument);
+}
+
+TEST(Linear, GradCheck) {
+  util::Rng rng(2);
+  Linear fc(5, 4, rng);
+  const auto r = gradcheck(fc, Tensor::randn({3, 5}, rng));
+  EXPECT_LT(r.max_input_error, 1e-2);
+  EXPECT_LT(r.max_param_error, 1e-2);
+}
+
+TEST(Linear, QuantizedForwardUsesGrid) {
+  util::Rng rng(3);
+  Linear fc(4, 3, rng);
+  fc.set_filter_bits({2, 2, 2});
+  fc.forward(Tensor::randn({2, 4}, rng));
+  const quant::UniformRange range = quant::symmetric_range(fc.weight().value.span());
+  for (int k = 0; k < 3; ++k) {
+    for (const float w : fc.effective_weight().row(k)) {
+      EXPECT_FLOAT_EQ(w, quant::quantize_one(w, range, 2));
+    }
+  }
+}
+
+TEST(Linear, ZeroBitNeuronIsFullyPruned) {
+  util::Rng rng(4);
+  Linear fc(4, 2, rng);
+  fc.bias().value = Tensor({2}, {1.0f, 1.0f});
+  fc.set_filter_bits({0, 4});
+  const Tensor y = fc.forward(Tensor::randn({2, 4}, rng));
+  EXPECT_FLOAT_EQ(y.at(0, 0), 0.0f);  // weights and bias zeroed
+  EXPECT_FLOAT_EQ(y.at(1, 0), 0.0f);
+  EXPECT_NE(y.at(0, 1), 0.0f);
+}
+
+TEST(Linear, SteGradCheckOnInputWithQuantizedWeights) {
+  // Input gradients must match finite differences of the *quantized*
+  // forward function (the weights used are piecewise constant in x).
+  util::Rng rng(5);
+  Linear fc(5, 4, rng);
+  fc.set_filter_bits({3, 3, 3, 3});
+  Tensor x = Tensor::randn({2, 5}, rng);
+  fc.zero_grad();
+  fc.forward(x);
+  Tensor w = Tensor::ones({2, 4});
+  const Tensor dx = fc.backward(w);
+  const double eps = 1e-3;
+  for (std::size_t i = 0; i < x.numel(); ++i) {
+    const float orig = x[i];
+    x[i] = orig + static_cast<float>(eps);
+    const double lp = fc.forward(x).sum();
+    x[i] = orig - static_cast<float>(eps);
+    const double lm = fc.forward(x).sum();
+    x[i] = orig;
+    EXPECT_NEAR((lp - lm) / (2 * eps), dx[i], 1e-2) << "i=" << i;
+  }
+}
+
+TEST(Linear, FilterBitsSizeValidated) {
+  util::Rng rng(6);
+  Linear fc(3, 2, rng);
+  EXPECT_THROW(fc.set_filter_bits({1}), std::invalid_argument);
+  EXPECT_NO_THROW(fc.set_filter_bits({1, 2}));
+  fc.clear_filter_bits();
+  EXPECT_TRUE(fc.filter_bits().empty());
+}
+
+TEST(Linear, QuantizableInterface) {
+  util::Rng rng(7);
+  Linear fc(6, 3, rng);
+  quant::QuantizableLayer& q = fc;
+  EXPECT_EQ(q.num_filters(), 3);
+  EXPECT_EQ(q.weights_per_filter(), 6u);
+  EXPECT_EQ(q.filter_weights(1).size(), 6u);
+  EXPECT_GT(q.weight_abs_max(), 0.0f);
+}
+
+TEST(Conv2d, ForwardMatchesDirectConvolution) {
+  util::Rng rng(8);
+  Conv2d conv(2, 3, 3, 1, 1, rng);
+  const Tensor x = Tensor::randn({2, 2, 5, 5}, rng);
+  const Tensor y = conv.forward(x);
+  ASSERT_EQ(y.shape(), (tensor::Shape{2, 3, 5, 5}));
+  // Direct convolution for a few spot positions.
+  const Tensor& w = conv.weight().value;
+  for (const auto [n, oc, oy, ox] : {std::tuple{0, 0, 0, 0}, std::tuple{1, 2, 2, 3},
+                                     std::tuple{0, 1, 4, 4}}) {
+    double acc = conv.bias().value[static_cast<std::size_t>(oc)];
+    for (int ic = 0; ic < 2; ++ic) {
+      for (int ky = 0; ky < 3; ++ky) {
+        for (int kx = 0; kx < 3; ++kx) {
+          const int iy = oy - 1 + ky;
+          const int ix = ox - 1 + kx;
+          if (iy < 0 || iy >= 5 || ix < 0 || ix >= 5) continue;
+          acc += static_cast<double>(w.at(oc, (ic * 3 + ky) * 3 + kx)) * x.at(n, ic, iy, ix);
+        }
+      }
+    }
+    EXPECT_NEAR(y.at(n, oc, oy, ox), acc, 1e-4) << n << "," << oc << "," << oy << "," << ox;
+  }
+}
+
+TEST(Conv2d, StridedOutputShape) {
+  util::Rng rng(9);
+  Conv2d conv(1, 4, 3, 2, 1, rng);
+  const Tensor y = conv.forward(Tensor::randn({1, 1, 8, 8}, rng));
+  EXPECT_EQ(y.shape(), (tensor::Shape{1, 4, 4, 4}));
+}
+
+TEST(Conv2d, OneByOneKernel) {
+  util::Rng rng(10);
+  Conv2d conv(3, 2, 1, 1, 0, rng);
+  const Tensor y = conv.forward(Tensor::randn({1, 3, 4, 4}, rng));
+  EXPECT_EQ(y.shape(), (tensor::Shape{1, 2, 4, 4}));
+}
+
+TEST(Conv2d, GradCheck) {
+  util::Rng rng(11);
+  Conv2d conv(2, 3, 3, 1, 1, rng);
+  const auto r = gradcheck(conv, Tensor::randn({2, 2, 4, 4}, rng));
+  EXPECT_LT(r.max_input_error, 1e-2);
+  EXPECT_LT(r.max_param_error, 1e-2);
+}
+
+TEST(Conv2d, GradCheckStridedNoPad) {
+  util::Rng rng(12);
+  Conv2d conv(1, 2, 3, 2, 0, rng);
+  const auto r = gradcheck(conv, Tensor::randn({2, 1, 7, 7}, rng));
+  EXPECT_LT(r.max_input_error, 1e-2);
+  EXPECT_LT(r.max_param_error, 1e-2);
+}
+
+TEST(Conv2d, ZeroBitFilterProducesZeroPlane) {
+  util::Rng rng(13);
+  Conv2d conv(1, 2, 3, 1, 1, rng);
+  conv.bias().value = Tensor({2}, {0.7f, 0.7f});
+  conv.set_filter_bits({0, 4});
+  const Tensor y = conv.forward(Tensor::randn({1, 1, 4, 4}, rng));
+  for (int s = 0; s < 16; ++s) EXPECT_FLOAT_EQ(y[static_cast<std::size_t>(s)], 0.0f);
+}
+
+TEST(Conv2d, QuantizedWeightsOnPerLayerGrid) {
+  util::Rng rng(14);
+  Conv2d conv(2, 4, 3, 1, 1, rng);
+  conv.set_filter_bits({1, 2, 3, 4});
+  conv.forward(Tensor::randn({1, 2, 4, 4}, rng));
+  const quant::UniformRange range = quant::symmetric_range(conv.weight().value.span());
+  for (int k = 0; k < 4; ++k) {
+    const int bits = conv.filter_bits()[static_cast<std::size_t>(k)];
+    for (const float w : conv.effective_weight().row(k)) {
+      EXPECT_FLOAT_EQ(w, quant::quantize_one(w, range, bits)) << "filter " << k;
+    }
+  }
+}
+
+TEST(Conv2d, AccumulatorWrapBoundsOutput) {
+  util::Rng rng(15);
+  Conv2d conv(1, 1, 3, 1, 1, rng);
+  conv.bias().value.fill(0.0f);
+  conv.set_accumulator_wrap(0.5f);
+  const Tensor y = conv.forward(Tensor::randn({1, 1, 6, 6}, rng, 3.0f));
+  for (std::size_t i = 0; i < y.numel(); ++i) {
+    EXPECT_LE(std::fabs(y[i]), 0.25f + 1e-5f);
+  }
+}
+
+TEST(ReLU, ForwardZeroesNegatives) {
+  ReLU relu;
+  const Tensor y = relu.forward(Tensor({4}, {-1, 0, 2, -3}));
+  EXPECT_EQ(y[0], 0.0f);
+  EXPECT_EQ(y[1], 0.0f);
+  EXPECT_EQ(y[2], 2.0f);
+  EXPECT_EQ(y[3], 0.0f);
+}
+
+TEST(ReLU, BackwardMasksGradient) {
+  ReLU relu;
+  relu.forward(Tensor({3}, {-1, 1, 2}));
+  const Tensor g = relu.backward(Tensor({3}, {5, 5, 5}));
+  EXPECT_EQ(g[0], 0.0f);
+  EXPECT_EQ(g[1], 5.0f);
+  EXPECT_EQ(g[2], 5.0f);
+}
+
+TEST(Flatten, RoundTripsShape) {
+  Flatten flat;
+  const Tensor y = flat.forward(Tensor({2, 3, 2, 2}));
+  EXPECT_EQ(y.shape(), (tensor::Shape{2, 12}));
+  const Tensor g = flat.backward(Tensor({2, 12}));
+  EXPECT_EQ(g.shape(), (tensor::Shape{2, 3, 2, 2}));
+}
+
+TEST(MaxPool, ForwardSelectsWindowMax) {
+  MaxPool2d pool(2);
+  const Tensor x({1, 1, 2, 2}, {1, 5, 3, 2});
+  const Tensor y = pool.forward(x);
+  EXPECT_EQ(y.shape(), (tensor::Shape{1, 1, 1, 1}));
+  EXPECT_EQ(y[0], 5.0f);
+}
+
+TEST(MaxPool, BackwardRoutesToArgmax) {
+  MaxPool2d pool(2);
+  pool.forward(Tensor({1, 1, 2, 2}, {1, 5, 3, 2}));
+  const Tensor g = pool.backward(Tensor({1, 1, 1, 1}, {7.0f}));
+  EXPECT_EQ(g[0], 0.0f);
+  EXPECT_EQ(g[1], 7.0f);
+  EXPECT_EQ(g[2], 0.0f);
+}
+
+TEST(MaxPool, GradCheck) {
+  util::Rng rng(16);
+  MaxPool2d pool(2);
+  const auto r = gradcheck(pool, Tensor::randn({2, 2, 4, 4}, rng));
+  EXPECT_LT(r.max_input_error, 1e-2);
+}
+
+TEST(GlobalAvgPool, ForwardAndBackward) {
+  GlobalAvgPool gap;
+  const Tensor x({1, 2, 2, 2}, {1, 2, 3, 4, 10, 10, 10, 10});
+  const Tensor y = gap.forward(x);
+  EXPECT_FLOAT_EQ(y.at(0, 0), 2.5f);
+  EXPECT_FLOAT_EQ(y.at(0, 1), 10.0f);
+  const Tensor g = gap.backward(Tensor({1, 2}, {4.0f, 8.0f}));
+  EXPECT_FLOAT_EQ(g[0], 1.0f);
+  EXPECT_FLOAT_EQ(g[4], 2.0f);
+}
+
+TEST(BatchNorm, TrainingNormalizesBatch) {
+  BatchNorm2d bn(2);
+  bn.set_training(true);
+  util::Rng rng(17);
+  const Tensor x = Tensor::randn({8, 2, 3, 3}, rng, 4.0f);
+  const Tensor y = bn.forward(x);
+  // Per-channel mean ~0, var ~1.
+  for (int c = 0; c < 2; ++c) {
+    double sum = 0.0, sq = 0.0;
+    int count = 0;
+    for (int n = 0; n < 8; ++n) {
+      for (int s = 0; s < 9; ++s) {
+        const float v = y.data()[(n * 2 + c) * 9 + s];
+        sum += v;
+        sq += v * v;
+        ++count;
+      }
+    }
+    EXPECT_NEAR(sum / count, 0.0, 1e-4);
+    EXPECT_NEAR(sq / count, 1.0, 1e-3);
+  }
+}
+
+TEST(BatchNorm, EvalUsesRunningStats) {
+  BatchNorm2d bn(1);
+  bn.set_training(true);
+  util::Rng rng(18);
+  for (int i = 0; i < 50; ++i) bn.forward(Tensor::randn({16, 1, 2, 2}, rng, 2.0f));
+  bn.set_training(false);
+  // A constant input should map deterministically through running stats.
+  const Tensor y1 = bn.forward(Tensor::full({1, 1, 2, 2}, 1.0f));
+  const Tensor y2 = bn.forward(Tensor::full({4, 1, 2, 2}, 1.0f));
+  EXPECT_NEAR(y1[0], y2[0], 1e-6);
+  EXPECT_NEAR(bn.running_var()[0], 4.0f, 1.0f);
+}
+
+TEST(BatchNorm, GradCheckTrainingMode) {
+  util::Rng rng(19);
+  BatchNorm2d bn(3);
+  bn.set_training(true);
+  const auto r = gradcheck(bn, Tensor::randn({4, 3, 2, 2}, rng));
+  EXPECT_LT(r.max_input_error, 2e-2);
+  EXPECT_LT(r.max_param_error, 2e-2);
+}
+
+TEST(BatchNorm, EvalModeBackwardIsAffineScale) {
+  BatchNorm2d bn(1);
+  bn.running_mean()[0] = 1.0f;
+  bn.running_var()[0] = 3.0f;
+  bn.gamma().value[0] = 2.0f;
+  bn.set_training(false);
+  bn.forward(Tensor::full({1, 1, 2, 2}, 5.0f));
+  const Tensor g = bn.backward(Tensor::full({1, 1, 2, 2}, 1.0f));
+  const float expected = 2.0f / std::sqrt(3.0f + 1e-5f);
+  for (std::size_t i = 0; i < g.numel(); ++i) EXPECT_NEAR(g[i], expected, 1e-5);
+}
+
+TEST(Probe, RecordsOnlyWhenEnabled) {
+  Probe probe;
+  const Tensor x({2, 2}, {1, 2, 3, 4});
+  probe.forward(x);
+  EXPECT_TRUE(probe.activation().empty());
+  probe.set_recording(true);
+  probe.forward(x);
+  EXPECT_TRUE(probe.activation().allclose(x));
+  probe.backward(x);
+  EXPECT_TRUE(probe.gradient().allclose(x));
+  probe.set_recording(false);
+  EXPECT_TRUE(probe.activation().empty());
+}
+
+TEST(Probe, IsIdentity) {
+  Probe probe;
+  util::Rng rng(20);
+  const Tensor x = Tensor::randn({3, 4}, rng);
+  EXPECT_TRUE(probe.forward(x).allclose(x));
+  EXPECT_TRUE(probe.backward(x).allclose(x));
+}
+
+TEST(ActQuant, PassThroughWhenDisabled) {
+  ActQuant aq;
+  util::Rng rng(21);
+  const Tensor x = Tensor::randn({2, 3}, rng);
+  EXPECT_TRUE(aq.forward(x).allclose(x));
+}
+
+TEST(ActQuant, CalibrationTracksMax) {
+  ActQuant aq;
+  aq.set_calibrating(true);
+  aq.forward(Tensor({3}, {0.5f, 2.5f, 1.0f}));
+  aq.forward(Tensor({3}, {0.1f, 0.2f, 3.5f}));
+  aq.set_calibrating(false);
+  EXPECT_FLOAT_EQ(aq.max_activation(), 3.5f);
+}
+
+TEST(ActQuant, QuantizesToGridWithinRange) {
+  ActQuant aq;
+  aq.set_max_activation(4.0f);
+  aq.set_bits(2);
+  const Tensor y = aq.forward(Tensor({5}, {0.0f, 1.1f, 2.2f, 3.9f, 7.0f}));
+  const quant::UniformRange r{0.0f, 4.0f};
+  EXPECT_FLOAT_EQ(y[0], 0.0f);
+  EXPECT_FLOAT_EQ(y[1], quant::quantize_one(1.1f, r, 2));
+  EXPECT_FLOAT_EQ(y[4], 4.0f);  // clipped to the calibrated max
+}
+
+TEST(ActQuant, SteBlocksGradientAboveClip) {
+  ActQuant aq;
+  aq.set_max_activation(1.0f);
+  aq.set_bits(3);
+  aq.forward(Tensor({3}, {0.5f, 0.9f, 2.0f}));
+  const Tensor g = aq.backward(Tensor({3}, {1, 1, 1}));
+  EXPECT_EQ(g[0], 1.0f);
+  EXPECT_EQ(g[1], 1.0f);
+  EXPECT_EQ(g[2], 0.0f);
+}
+
+class ConvGeometrySweep
+    : public testing::TestWithParam<std::tuple<int, int, int, int>> {};
+
+TEST_P(ConvGeometrySweep, GradCheckInputGrad) {
+  const auto [in_c, out_c, stride, pad] = GetParam();
+  util::Rng rng(23);
+  Conv2d conv(in_c, out_c, 3, stride, pad, rng);
+  const int size = 6;
+  const auto r = gradcheck(conv, Tensor::randn({1, in_c, size, size}, rng));
+  EXPECT_LT(r.max_input_error, 1e-2);
+  EXPECT_LT(r.max_param_error, 1e-2);
+}
+
+INSTANTIATE_TEST_SUITE_P(Geometries, ConvGeometrySweep,
+                         testing::Values(std::tuple{1, 1, 1, 1}, std::tuple{2, 3, 1, 0},
+                                         std::tuple{3, 2, 2, 1}, std::tuple{1, 4, 2, 0}));
+
+}  // namespace
+}  // namespace cq::nn

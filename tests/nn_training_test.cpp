@@ -1,0 +1,255 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "gradcheck.h"
+#include "nn/loss.h"
+#include "nn/models/mlp.h"
+#include "nn/optimizer.h"
+#include "nn/trainer.h"
+#include "tensor/ops.h"
+
+namespace cq::nn {
+namespace {
+
+TEST(SoftmaxCrossEntropy, UniformLogitsGiveLogM) {
+  SoftmaxCrossEntropy ce;
+  const double loss = ce.forward(Tensor({2, 4}), {0, 3});
+  EXPECT_NEAR(loss, std::log(4.0), 1e-5);
+}
+
+TEST(SoftmaxCrossEntropy, PerfectPredictionNearZeroLoss) {
+  SoftmaxCrossEntropy ce;
+  Tensor logits({1, 3});
+  logits.at(0, 1) = 50.0f;
+  EXPECT_NEAR(ce.forward(logits, {1}), 0.0, 1e-5);
+}
+
+TEST(SoftmaxCrossEntropy, GradientMatchesFiniteDifference) {
+  SoftmaxCrossEntropy ce;
+  util::Rng rng(1);
+  Tensor logits = Tensor::randn({3, 5}, rng);
+  const std::vector<int> labels = {0, 2, 4};
+  ce.forward(logits, labels);
+  const Tensor grad = ce.backward();
+  const double eps = 1e-3;
+  for (std::size_t i = 0; i < logits.numel(); ++i) {
+    const float orig = logits[i];
+    logits[i] = orig + static_cast<float>(eps);
+    const double lp = ce.forward(logits, labels);
+    logits[i] = orig - static_cast<float>(eps);
+    const double lm = ce.forward(logits, labels);
+    logits[i] = orig;
+    EXPECT_NEAR((lp - lm) / (2 * eps), grad[i], 1e-3);
+  }
+}
+
+TEST(SoftmaxCrossEntropy, GradientRowsSumToZero) {
+  SoftmaxCrossEntropy ce;
+  util::Rng rng(2);
+  const Tensor logits = Tensor::randn({4, 6}, rng);
+  ce.forward(logits, {1, 2, 3, 0});
+  const Tensor grad = ce.backward();
+  for (int r = 0; r < 4; ++r) {
+    double sum = 0.0;
+    for (int c = 0; c < 6; ++c) sum += grad.at(r, c);
+    EXPECT_NEAR(sum, 0.0, 1e-6);
+  }
+}
+
+TEST(KnowledgeDistillLoss, MatchesCeWhenAlphaOne) {
+  KnowledgeDistillLoss kd(1.0);
+  SoftmaxCrossEntropy ce;
+  util::Rng rng(3);
+  const Tensor student = Tensor::randn({2, 4}, rng);
+  const Tensor teacher = Tensor::randn({2, 4}, rng);
+  const std::vector<int> labels = {0, 2};
+  EXPECT_NEAR(kd.forward(student, teacher, labels), ce.forward(student, labels), 1e-6);
+  const Tensor g_kd = kd.backward();
+  ce.forward(student, labels);
+  EXPECT_TRUE(g_kd.allclose(ce.backward(), 1e-6f));
+}
+
+TEST(KnowledgeDistillLoss, KlZeroWhenStudentMatchesTeacher) {
+  KnowledgeDistillLoss kd(0.0);
+  util::Rng rng(4);
+  const Tensor logits = Tensor::randn({3, 5}, rng);
+  EXPECT_NEAR(kd.forward(logits, logits, {0, 1, 2}), 0.0, 1e-6);
+}
+
+TEST(KnowledgeDistillLoss, KlIsPositiveWhenDistributionsDiffer) {
+  KnowledgeDistillLoss kd(0.0);
+  const Tensor student({1, 2}, {2.0f, 0.0f});
+  const Tensor teacher({1, 2}, {0.0f, 2.0f});
+  EXPECT_GT(kd.forward(student, teacher, {0}), 0.1);
+}
+
+TEST(KnowledgeDistillLoss, GradientMatchesFiniteDifference) {
+  KnowledgeDistillLoss kd(0.3);
+  util::Rng rng(5);
+  Tensor student = Tensor::randn({2, 4}, rng);
+  const Tensor teacher = Tensor::randn({2, 4}, rng);
+  const std::vector<int> labels = {3, 1};
+  kd.forward(student, teacher, labels);
+  const Tensor grad = kd.backward();
+  const double eps = 1e-3;
+  for (std::size_t i = 0; i < student.numel(); ++i) {
+    const float orig = student[i];
+    student[i] = orig + static_cast<float>(eps);
+    const double lp = kd.forward(student, teacher, labels);
+    student[i] = orig - static_cast<float>(eps);
+    const double lm = kd.forward(student, teacher, labels);
+    student[i] = orig;
+    EXPECT_NEAR((lp - lm) / (2 * eps), grad[i], 1e-3);
+  }
+}
+
+TEST(Accuracy, CountsTop1) {
+  Tensor logits({2, 3});
+  logits.at(0, 1) = 1.0f;  // predicts 1
+  logits.at(1, 0) = 1.0f;  // predicts 0
+  EXPECT_DOUBLE_EQ(accuracy(logits, {1, 2}), 0.5);
+  EXPECT_DOUBLE_EQ(accuracy(logits, {1, 0}), 1.0);
+}
+
+TEST(Sgd, PlainGradientDescentStep) {
+  Parameter p("w", Tensor({2}, {1.0f, 2.0f}));
+  p.grad = Tensor({2}, {0.5f, -0.5f});
+  Sgd opt({&p}, /*lr=*/0.1, /*momentum=*/0.0, /*weight_decay=*/0.0);
+  opt.step();
+  EXPECT_FLOAT_EQ(p.value[0], 0.95f);
+  EXPECT_FLOAT_EQ(p.value[1], 2.05f);
+}
+
+TEST(Sgd, MomentumAccumulates) {
+  Parameter p("w", Tensor({1}, {0.0f}));
+  Sgd opt({&p}, 1.0, 0.9, 0.0);
+  p.grad = Tensor({1}, {1.0f});
+  opt.step();  // v=1, w=-1
+  EXPECT_FLOAT_EQ(p.value[0], -1.0f);
+  opt.step();  // v=0.9*1+1=1.9, w=-2.9
+  EXPECT_FLOAT_EQ(p.value[0], -2.9f);
+}
+
+TEST(Sgd, WeightDecayPullsTowardZero) {
+  Parameter p("w", Tensor({1}, {10.0f}));
+  p.grad = Tensor({1}, {0.0f});
+  Sgd opt({&p}, 0.1, 0.0, 0.5);
+  opt.step();
+  EXPECT_FLOAT_EQ(p.value[0], 10.0f - 0.1f * 0.5f * 10.0f);
+}
+
+TEST(Sgd, ZeroGradClears) {
+  Parameter p("w", Tensor({1}, {1.0f}));
+  p.grad = Tensor({1}, {5.0f});
+  Sgd opt({&p}, 0.1);
+  opt.zero_grad();
+  EXPECT_FLOAT_EQ(p.grad[0], 0.0f);
+}
+
+TEST(StepLrSchedule, DecaysAtMilestones) {
+  StepLrSchedule sched(1.0, {10, 20}, 0.1);
+  EXPECT_DOUBLE_EQ(sched.lr_at(0), 1.0);
+  EXPECT_DOUBLE_EQ(sched.lr_at(9), 1.0);
+  EXPECT_DOUBLE_EQ(sched.lr_at(10), 0.1);
+  EXPECT_NEAR(sched.lr_at(25), 0.01, 1e-12);
+}
+
+TEST(GatherBatch, CopiesSelectedRows) {
+  Tensor images({3, 2}, {1, 2, 3, 4, 5, 6});
+  const Tensor batch = gather_batch(images, {2, 0});
+  EXPECT_EQ(batch.shape(), (tensor::Shape{2, 2}));
+  EXPECT_FLOAT_EQ(batch.at(0, 0), 5.0f);
+  EXPECT_FLOAT_EQ(batch.at(1, 1), 2.0f);
+}
+
+/// Builds a linearly separable 2-class toy problem.
+void make_toy(Tensor& images, std::vector<int>& labels, int n, util::Rng& rng) {
+  images = Tensor({n, 4});
+  labels.resize(static_cast<std::size_t>(n));
+  for (int i = 0; i < n; ++i) {
+    const int cls = i % 2;
+    for (int f = 0; f < 4; ++f) {
+      images.at(i, f) =
+          static_cast<float>(rng.normal(cls == 0 ? -1.0 : 1.0, 0.5));
+    }
+    labels[static_cast<std::size_t>(i)] = cls;
+  }
+}
+
+TEST(Trainer, LearnsSeparableToyProblem) {
+  util::Rng rng(6);
+  Tensor images;
+  std::vector<int> labels;
+  make_toy(images, labels, 200, rng);
+
+  Mlp model({4, {16, 16}, 2, /*seed=*/3});
+  TrainConfig tc;
+  tc.epochs = 20;
+  tc.batch_size = 20;
+  tc.lr = 0.1;
+  tc.weight_decay = 0.0;
+  Trainer trainer(tc);
+  const auto history = trainer.fit(model, images, labels);
+  ASSERT_EQ(history.size(), 20u);
+  EXPECT_LT(history.back().loss, history.front().loss);
+  EXPECT_GT(Trainer::evaluate(model, images, labels), 0.95);
+}
+
+TEST(Trainer, KdRefinementTracksTeacher) {
+  util::Rng rng(7);
+  Tensor images;
+  std::vector<int> labels;
+  make_toy(images, labels, 200, rng);
+
+  Mlp teacher({4, {16, 16}, 2, 3});
+  TrainConfig tc;
+  tc.epochs = 20;
+  tc.batch_size = 20;
+  tc.lr = 0.1;
+  Trainer trainer(tc);
+  trainer.fit(teacher, images, labels);
+
+  Mlp student({4, {16, 16}, 2, 5});  // different init
+  TrainConfig kd_tc;
+  kd_tc.epochs = 20;
+  kd_tc.batch_size = 20;
+  kd_tc.lr = 0.1;
+  kd_tc.kd_alpha = 0.3;
+  Trainer kd_trainer(kd_tc);
+  kd_trainer.fit(student, images, labels, &teacher);
+  EXPECT_GT(Trainer::evaluate(student, images, labels), 0.9);
+}
+
+TEST(Trainer, EvaluateHandlesPartialBatches) {
+  util::Rng rng(8);
+  Tensor images;
+  std::vector<int> labels;
+  make_toy(images, labels, 17, rng);  // not a multiple of the batch
+  Mlp model({4, {8}, 2, 3});
+  const double acc = Trainer::evaluate(model, images, labels, 5);
+  EXPECT_GE(acc, 0.0);
+  EXPECT_LE(acc, 1.0);
+}
+
+TEST(EpochStats, LrFollowsSchedule) {
+  util::Rng rng(9);
+  Tensor images;
+  std::vector<int> labels;
+  make_toy(images, labels, 40, rng);
+  Mlp model({4, {8}, 2, 3});
+  TrainConfig tc;
+  tc.epochs = 4;
+  tc.lr = 1.0;
+  tc.lr_milestones = {2};
+  tc.lr_decay = 0.5;
+  Trainer trainer(tc);
+  const auto history = trainer.fit(model, images, labels);
+  EXPECT_DOUBLE_EQ(history[0].lr, 1.0);
+  EXPECT_DOUBLE_EQ(history[1].lr, 1.0);
+  EXPECT_DOUBLE_EQ(history[2].lr, 0.5);
+  EXPECT_DOUBLE_EQ(history[3].lr, 0.5);
+}
+
+}  // namespace
+}  // namespace cq::nn

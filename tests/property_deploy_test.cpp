@@ -1,0 +1,81 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "deploy/bitstream.h"
+#include "quant/uniform.h"
+#include "util/rng.h"
+
+namespace cq::deploy {
+namespace {
+
+/// The contract the whole deployment path rests on:
+/// decode(encode(x)) must equal quantize_one(x) bit-for-bit, for any
+/// input, range and bit-width. (uniform.cpp repeats the quantizer's
+/// float operations inside encode/decode for exactly this reason.)
+class EncodeDecodeContract : public ::testing::TestWithParam<int> {};
+
+TEST_P(EncodeDecodeContract, DecodeOfEncodeEqualsFakeQuantExactly) {
+  const int bits = GetParam();
+  util::Rng rng(static_cast<std::uint64_t>(bits) * 31 + 1);
+  for (int trial = 0; trial < 200; ++trial) {
+    const float hi = static_cast<float>(rng.uniform(1e-3, 10.0));
+    const quant::UniformRange range{-hi, hi};
+    // Mix of in-range, out-of-range and boundary inputs.
+    float x = static_cast<float>(rng.uniform(-2.0 * hi, 2.0 * hi));
+    if (trial % 17 == 0) x = hi;
+    if (trial % 23 == 0) x = -hi;
+    if (trial % 29 == 0) x = 0.0f;
+
+    const int code = quant::encode(x, range, bits);
+    EXPECT_GE(code, 0);
+    EXPECT_LT(code, quant::levels_for_bits(bits));
+    const float decoded = quant::decode(code, range, bits);
+    const float fake_quant = quant::quantize_one(x, range, bits);
+    EXPECT_EQ(decoded, fake_quant) << "bits=" << bits << " x=" << x << " hi=" << hi;
+  }
+}
+
+TEST_P(EncodeDecodeContract, EncodeIsIdempotentOnDecodedValues) {
+  const int bits = GetParam();
+  util::Rng rng(static_cast<std::uint64_t>(bits) * 57 + 5);
+  for (int trial = 0; trial < 100; ++trial) {
+    const float hi = static_cast<float>(rng.uniform(1e-3, 5.0));
+    const quant::UniformRange range{-hi, hi};
+    const float x = static_cast<float>(rng.uniform(-hi, hi));
+    const int code = quant::encode(x, range, bits);
+    const float decoded = quant::decode(code, range, bits);
+    EXPECT_EQ(quant::encode(decoded, range, bits), code)
+        << "bits=" << bits << " x=" << x;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Bits1To16, EncodeDecodeContract,
+                         ::testing::Values(1, 2, 3, 4, 5, 6, 7, 8, 12, 16));
+
+/// Bitstream survives adversarial code patterns (all-zeros, all-ones,
+/// alternating) at every width — the payload layer of the contract.
+class BitstreamPatterns : public ::testing::TestWithParam<int> {};
+
+TEST_P(BitstreamPatterns, ExtremalCodesRoundTrip) {
+  const int bits = GetParam();
+  const std::uint32_t max_code = bits >= 32 ? 0xFFFFFFFFu : ((1u << bits) - 1u);
+  const std::uint32_t patterns[] = {0u, max_code, max_code & 0x55555555u,
+                                    max_code & 0xAAAAAAAAu};
+  BitWriter w;
+  for (int rep = 0; rep < 64; ++rep) {
+    for (const std::uint32_t p : patterns) w.append(p, bits);
+  }
+  BitReader r(w.bytes());
+  for (int rep = 0; rep < 64; ++rep) {
+    for (const std::uint32_t p : patterns) {
+      ASSERT_EQ(r.read(bits), p) << "bits=" << bits << " rep=" << rep;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Widths, BitstreamPatterns,
+                         ::testing::Values(1, 2, 3, 4, 5, 7, 8, 9, 15, 16, 17, 31, 32));
+
+}  // namespace
+}  // namespace cq::deploy

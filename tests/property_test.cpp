@@ -1,0 +1,296 @@
+// Cross-module property tests: invariants that must hold for all
+// parameter combinations, checked with parameterized sweeps.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/search.h"
+#include "nn/conv2d.h"
+#include "nn/linear.h"
+#include "nn/models/mlp.h"
+#include "nn/trainer.h"
+#include "quant/uniform.h"
+#include "tensor/serialize.h"
+
+namespace cq {
+namespace {
+
+// ---------------------------------------------------------------- quantizer
+
+class QuantRangeSweep
+    : public testing::TestWithParam<std::tuple<float, float, int>> {};
+
+TEST_P(QuantRangeSweep, OutputStaysInClipRange) {
+  const auto [lo, hi, bits] = GetParam();
+  const quant::UniformRange r{lo, hi};
+  util::Rng rng(1);
+  for (int i = 0; i < 500; ++i) {
+    const float x = static_cast<float>(rng.uniform(-10.0, 10.0));
+    const float q = quant::quantize_one(x, r, bits);
+    EXPECT_GE(q, lo - 1e-5f);
+    EXPECT_LE(q, hi + 1e-5f);
+  }
+}
+
+TEST_P(QuantRangeSweep, MonotoneInInput) {
+  const auto [lo, hi, bits] = GetParam();
+  const quant::UniformRange r{lo, hi};
+  float prev = quant::quantize_one(-10.0f, r, bits);
+  for (float x = -10.0f; x <= 10.0f; x += 0.05f) {
+    const float q = quant::quantize_one(x, r, bits);
+    EXPECT_GE(q, prev - 1e-6f) << "x=" << x;
+    prev = q;
+  }
+}
+
+TEST_P(QuantRangeSweep, LevelCountRespected) {
+  const auto [lo, hi, bits] = GetParam();
+  const quant::UniformRange r{lo, hi};
+  std::set<float> values;
+  for (float x = lo - 1.0f; x <= hi + 1.0f; x += 0.01f) {
+    values.insert(quant::quantize_one(x, r, bits));
+  }
+  EXPECT_LE(values.size(), static_cast<std::size_t>(quant::levels_for_bits(bits)));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    RangesAndBits, QuantRangeSweep,
+    testing::Values(std::tuple{-1.0f, 1.0f, 1}, std::tuple{-1.0f, 1.0f, 2},
+                    std::tuple{-0.5f, 0.5f, 3}, std::tuple{0.0f, 4.0f, 2},
+                    std::tuple{-2.5f, 2.5f, 4}, std::tuple{0.0f, 1.0f, 8}));
+
+// ----------------------------------------------------------------- layers
+
+TEST(LayerProperty, Conv1x1EqualsLinearPerPixel) {
+  // A 1x1 convolution is a linear map applied at each pixel; verify
+  // against a Linear layer sharing the same weights.
+  util::Rng rng(2);
+  nn::Conv2d conv(3, 5, 1, 1, 0, rng);
+  nn::Linear fc(3, 5, rng);
+  fc.weight().value = conv.weight().value.reshape({5, 3});
+  fc.bias().value = conv.bias().value;
+
+  const nn::Tensor x = nn::Tensor::randn({1, 3, 4, 4}, rng);
+  const nn::Tensor y_conv = conv.forward(x);
+  for (int h = 0; h < 4; ++h) {
+    for (int w = 0; w < 4; ++w) {
+      nn::Tensor pixel({1, 3});
+      for (int c = 0; c < 3; ++c) pixel.at(0, c) = x.at(0, c, h, w);
+      const nn::Tensor y_fc = fc.forward(pixel);
+      for (int o = 0; o < 5; ++o) {
+        EXPECT_NEAR(y_conv.at(0, o, h, w), y_fc.at(0, o), 1e-4f);
+      }
+    }
+  }
+}
+
+TEST(LayerProperty, ForwardIsDeterministic) {
+  util::Rng rng(3);
+  nn::Conv2d conv(2, 4, 3, 1, 1, rng);
+  const nn::Tensor x = nn::Tensor::randn({2, 2, 6, 6}, rng);
+  EXPECT_TRUE(conv.forward(x).allclose(conv.forward(x)));
+}
+
+TEST(LayerProperty, QuantizedForwardNeverExceedsWeightRange) {
+  util::Rng rng(4);
+  nn::Linear fc(8, 6, rng);
+  const float wmax = fc.weight().value.abs_max();
+  for (int bits = 1; bits <= 4; ++bits) {
+    fc.set_filter_bits(std::vector<int>(6, bits));
+    fc.forward(nn::Tensor::randn({1, 8}, rng));
+    EXPECT_LE(fc.effective_weight().abs_max(), wmax + 1e-5f) << "bits=" << bits;
+  }
+}
+
+TEST(LayerProperty, BatchInvariance) {
+  // Eval-mode forward of sample i must not depend on its batch mates.
+  util::Rng rng(5);
+  nn::Mlp model({6, {10, 8}, 3, 6});
+  model.set_training(false);
+  const nn::Tensor batch = nn::Tensor::randn({4, 6}, rng);
+  const nn::Tensor full = model.forward(batch);
+  for (int i = 0; i < 4; ++i) {
+    nn::Tensor single({1, 6});
+    for (int f = 0; f < 6; ++f) single.at(0, f) = batch.at(i, f);
+    const nn::Tensor one = model.forward(single);
+    for (int c = 0; c < 3; ++c) EXPECT_NEAR(one.at(0, c), full.at(i, c), 1e-5f);
+  }
+}
+
+// ----------------------------------------------------------------- training
+
+TEST(TrainingProperty, FitIsDeterministicForSeed) {
+  util::Rng rng(7);
+  nn::Tensor images = nn::Tensor::randn({60, 5}, rng);
+  std::vector<int> labels(60);
+  for (int i = 0; i < 60; ++i) labels[static_cast<std::size_t>(i)] = i % 3;
+
+  auto run = [&](std::uint64_t seed) {
+    nn::Mlp model({5, {8, 8}, 3, 9});
+    nn::TrainConfig tc;
+    tc.epochs = 3;
+    tc.batch_size = 20;
+    tc.seed = seed;
+    nn::Trainer trainer(tc);
+    return trainer.fit(model, images, labels);
+  };
+  const auto a = run(5);
+  const auto b = run(5);
+  const auto c = run(6);
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t e = 0; e < a.size(); ++e) {
+    EXPECT_DOUBLE_EQ(a[e].loss, b[e].loss);
+  }
+  EXPECT_NE(a.back().loss, c.back().loss);
+}
+
+TEST(TrainingProperty, ZeroLrChangesNothing) {
+  util::Rng rng(8);
+  nn::Mlp model({5, {8}, 3, 10});
+  const nn::Tensor before = model.parameters()[0]->value;
+  nn::Tensor images = nn::Tensor::randn({30, 5}, rng);
+  std::vector<int> labels(30, 1);
+  nn::TrainConfig tc;
+  tc.epochs = 2;
+  tc.lr = 0.0;
+  tc.weight_decay = 0.0;
+  nn::Trainer trainer(tc);
+  trainer.fit(model, images, labels);
+  EXPECT_TRUE(model.parameters()[0]->value.allclose(before));
+}
+
+// -------------------------------------------------------------- checkpoints
+
+TEST(CheckpointProperty, ModelRoundTripsThroughSerialize) {
+  util::Rng rng(11);
+  nn::Mlp model({6, {12, 8}, 4, 12});
+  model.set_training(false);
+  const nn::Tensor x = nn::Tensor::randn({3, 6}, rng);
+  const nn::Tensor y_before = model.forward(x);
+
+  std::map<std::string, tensor::Tensor> state;
+  const auto params = model.parameters();
+  for (std::size_t i = 0; i < params.size(); ++i) {
+    state.emplace("p" + std::to_string(i), params[i]->value);
+  }
+  const std::string path = testing::TempDir() + "/cq_model_ckpt.cqt";
+  tensor::save_tensors(path, state);
+
+  nn::Mlp other({6, {12, 8}, 4, 999});  // different init seed
+  const auto loaded = tensor::load_tensors(path);
+  const auto other_params = other.parameters();
+  for (std::size_t i = 0; i < other_params.size(); ++i) {
+    other_params[i]->value = loaded.at("p" + std::to_string(i));
+  }
+  other.set_training(false);
+  EXPECT_TRUE(other.forward(x).allclose(y_before));
+}
+
+// ------------------------------------------------------------------ search
+
+TEST(SearchProperty, EqualScoresGetEqualBits) {
+  nn::Mlp model({4, {10, 8, 6}, 3, 13});
+  auto scored = model.scored_layers();
+  std::vector<core::LayerScores> scores(2);
+  scores[0] = {scored[0].name, false, 8, 1, std::vector<float>(8, 5.0f),
+               std::vector<float>(8, 5.0f)};
+  scores[1] = {scored[1].name, false, 6, 1, std::vector<float>(6, 5.0f),
+               std::vector<float>(6, 5.0f)};
+  const quant::BitArrangement arr =
+      core::ThresholdSearch::apply_thresholds(model, scores, {1.0, 2.0, 6.0, 7.0});
+  for (const auto& layer : arr.layers()) {
+    for (const int b : layer.filter_bits) EXPECT_EQ(b, layer.filter_bits.front());
+  }
+}
+
+TEST(SearchProperty, ThresholdPermutationInvariant) {
+  // bits_for_score counts threshold crossings, so any permutation of
+  // the same threshold multiset yields the same bits.
+  const std::vector<double> sorted = {1.0, 2.0, 3.0, 4.0};
+  const std::vector<double> shuffled = {3.0, 1.0, 4.0, 2.0};
+  for (float s = 0.0f; s <= 5.0f; s += 0.1f) {
+    EXPECT_EQ(core::ThresholdSearch::bits_for_score(s, sorted),
+              core::ThresholdSearch::bits_for_score(s, shuffled));
+  }
+}
+
+class UniformBitsSweep : public testing::TestWithParam<int> {};
+
+TEST_P(UniformBitsSweep, UniformThresholdsGiveUniformAverage) {
+  const int bits = GetParam();
+  nn::Mlp model({4, {10, 8, 6}, 3, 14});
+  auto scored = model.scored_layers();
+  std::vector<core::LayerScores> scores;
+  for (const auto& s : scored) {
+    const int n = s.layers.front()->num_filters();
+    core::LayerScores ls;
+    ls.name = s.name;
+    ls.channels = n;
+    ls.filter_phi.assign(static_cast<std::size_t>(n), 10.0f);
+    ls.neuron_gamma = ls.filter_phi;
+    scores.push_back(std::move(ls));
+  }
+  // Thresholds: `bits` of them below 10, the rest above.
+  std::vector<double> thresholds;
+  for (int k = 1; k <= 4; ++k) thresholds.push_back(k <= bits ? 5.0 : 50.0);
+  std::sort(thresholds.begin(), thresholds.end());
+  const quant::BitArrangement arr =
+      core::ThresholdSearch::apply_thresholds(model, scores, thresholds);
+  EXPECT_DOUBLE_EQ(arr.average_bits(), static_cast<double>(bits));
+}
+
+INSTANTIATE_TEST_SUITE_P(Bits, UniformBitsSweep, testing::Values(0, 1, 2, 3, 4));
+
+// -------------------------------------------------------------- act quant
+
+TEST(ActQuantProperty, MonotoneAndIdempotent) {
+  nn::ActQuant aq;
+  aq.set_max_activation(2.0f);
+  aq.set_bits(3);
+  float prev = -1.0f;
+  for (float x = 0.0f; x <= 3.0f; x += 0.01f) {
+    nn::Tensor t({1}, {x});
+    const float q = aq.forward(t)[0];
+    EXPECT_GE(q, prev - 1e-6f);
+    prev = q;
+    nn::Tensor t2({1}, {q});
+    EXPECT_FLOAT_EQ(aq.forward(t2)[0], q);
+  }
+}
+
+TEST(ActQuantProperty, BitsZeroIsExactIdentity) {
+  nn::ActQuant aq;
+  aq.set_max_activation(1.0f);
+  aq.set_bits(0);
+  util::Rng rng(15);
+  const nn::Tensor x = nn::Tensor::randn({100}, rng);
+  EXPECT_TRUE(aq.forward(x).allclose(x, 0.0f));
+}
+
+// ------------------------------------------------------------ wrap period
+
+TEST(WrapProperty, OutputBoundedByHalfPeriod) {
+  util::Rng rng(16);
+  for (const float period : {0.1f, 0.5f, 2.0f}) {
+    nn::Linear fc(16, 4, rng);
+    fc.bias().value.fill(0.0f);
+    fc.set_accumulator_wrap(period);
+    const nn::Tensor y = fc.forward(nn::Tensor::randn({8, 16}, rng, 3.0f));
+    for (std::size_t i = 0; i < y.numel(); ++i) {
+      EXPECT_LE(std::fabs(y[i]), period / 2.0f + 1e-4f) << "period=" << period;
+    }
+  }
+}
+
+TEST(WrapProperty, WideWrapIsIdentity) {
+  util::Rng rng(17);
+  nn::Linear fc(8, 4, rng);
+  const nn::Tensor x = nn::Tensor::randn({4, 8}, rng);
+  const nn::Tensor y_plain = fc.forward(x);
+  fc.set_accumulator_wrap(1e9f);
+  EXPECT_TRUE(fc.forward(x).allclose(y_plain, 1e-3f));
+}
+
+}  // namespace
+}  // namespace cq

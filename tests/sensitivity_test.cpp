@@ -1,0 +1,82 @@
+#include <gtest/gtest.h>
+
+#include "core/sensitivity.h"
+#include "nn/models/mlp.h"
+#include "nn/trainer.h"
+#include "quant/bitwidth.h"
+
+namespace cq::core {
+namespace {
+
+data::Dataset make_data(int per_class, util::Rng& rng) {
+  data::Dataset d;
+  const int n = 3 * per_class;
+  d.images = nn::Tensor({n, 6});
+  d.labels.resize(static_cast<std::size_t>(n));
+  for (int i = 0; i < n; ++i) {
+    const int cls = i / per_class;
+    for (int f = 0; f < 6; ++f) {
+      d.images.at(i, f) = static_cast<float>(rng.normal(f % 3 == cls ? 1.5 : 0.0, 0.4));
+    }
+    d.labels[static_cast<std::size_t>(i)] = cls;
+  }
+  return d;
+}
+
+TEST(Sensitivity, ProfilesEveryScoredLayerAndRestoresState) {
+  util::Rng rng(1);
+  nn::Mlp model({6, {16, 12, 10}, 3, 2});
+  const data::Dataset val = make_data(20, rng);
+  SensitivityProfiler profiler({1, 2, 4}, 60);
+  const auto profile = profiler.profile(model, val);
+  ASSERT_EQ(profile.size(), model.scored_layers().size());
+  for (const auto& layer : profile) {
+    ASSERT_EQ(layer.bits_tested.size(), 3u);
+    for (const double acc : layer.accuracy) {
+      EXPECT_GE(acc, 0.0);
+      EXPECT_LE(acc, 1.0);
+    }
+  }
+  // State restored: no layer left quantized.
+  for (const auto& scored : model.scored_layers()) {
+    EXPECT_TRUE(scored.layers.front()->filter_bits().empty());
+  }
+}
+
+TEST(Sensitivity, FourBitsNoWorseThanOneBitOnTrainedModel) {
+  util::Rng rng(2);
+  const data::Dataset train = make_data(40, rng);
+  nn::Mlp model({6, {16, 12, 10}, 3, 3});
+  nn::TrainConfig tc;
+  tc.epochs = 15;
+  tc.batch_size = 20;
+  tc.lr = 0.05;
+  nn::Trainer trainer(tc);
+  trainer.fit(model, train.images, train.labels);
+
+  SensitivityProfiler profiler({1, 4}, 120);
+  const auto profile = profiler.profile(model, train);
+  for (const auto& layer : profile) {
+    EXPECT_GE(layer.accuracy[1] + 0.05, layer.accuracy[0]) << layer.name;
+  }
+}
+
+TEST(Sensitivity, DropAtHandlesUntestedBits) {
+  LayerSensitivity sens;
+  sens.bits_tested = {1, 4};
+  sens.accuracy = {0.5, 0.9};
+  EXPECT_DOUBLE_EQ(sens.drop_at(1, 0.95), 0.45);
+  EXPECT_NEAR(sens.drop_at(4, 0.95), 0.05, 1e-12);
+  EXPECT_DOUBLE_EQ(sens.drop_at(3, 0.95), 0.0);
+}
+
+TEST(StorageBits, CountsQuantizedAndPruned) {
+  quant::BitArrangement arr;
+  arr.add_layer({"a", {4, 0, 2}, 10});  // 40 + 0 + 20 bits
+  EXPECT_DOUBLE_EQ(arr.storage_bits(), 60.0);
+  EXPECT_DOUBLE_EQ(arr.storage_bits(/*pruned_bits=*/1), 70.0);
+  EXPECT_DOUBLE_EQ(arr.storage_bytes(), 7.5);
+}
+
+}  // namespace
+}  // namespace cq::core

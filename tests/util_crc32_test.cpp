@@ -1,0 +1,56 @@
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <string>
+
+#include "util/crc32.h"
+
+namespace cq::util {
+namespace {
+
+TEST(Crc32, MatchesCheckValue) {
+  // The standard CRC-32 check value: crc32("123456789") == 0xCBF43926.
+  const char* msg = "123456789";
+  EXPECT_EQ(crc32(msg, std::strlen(msg)), 0xCBF43926u);
+}
+
+TEST(Crc32, EmptyInputIsZero) { EXPECT_EQ(crc32(nullptr, 0), 0u); }
+
+TEST(Crc32, IncrementalEqualsOneShot) {
+  const std::string data = "class-based quantization for neural networks";
+  Crc32 incremental;
+  incremental.update(data.data(), 10);
+  incremental.update(data.data() + 10, data.size() - 10);
+  EXPECT_EQ(incremental.value(), crc32(data.data(), data.size()));
+}
+
+TEST(Crc32, ValueIsSideEffectFree) {
+  Crc32 c;
+  c.update("abc", 3);
+  const std::uint32_t first = c.value();
+  EXPECT_EQ(c.value(), first);
+  c.update("def", 3);
+  EXPECT_NE(c.value(), first);
+}
+
+TEST(Crc32, ResetRestartsTheStream) {
+  Crc32 c;
+  c.update("garbage", 7);
+  c.reset();
+  c.update("123456789", 9);
+  EXPECT_EQ(c.value(), 0xCBF43926u);
+}
+
+TEST(Crc32, SingleBitFlipChangesChecksum) {
+  std::string data(64, '\0');
+  for (std::size_t i = 0; i < data.size(); ++i) data[i] = static_cast<char>(i * 7);
+  const std::uint32_t reference = crc32(data.data(), data.size());
+  for (std::size_t i = 0; i < data.size(); i += 13) {
+    std::string mutated = data;
+    mutated[i] = static_cast<char>(mutated[i] ^ 0x10);
+    EXPECT_NE(crc32(mutated.data(), mutated.size()), reference) << "byte " << i;
+  }
+}
+
+}  // namespace
+}  // namespace cq::util

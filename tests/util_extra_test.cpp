@@ -1,0 +1,126 @@
+#include <gtest/gtest.h>
+
+#include <thread>
+
+#include "nn/activations.h"
+#include "nn/linear.h"
+#include "nn/module.h"
+#include "tensor/ops.h"
+#include "util/logging.h"
+#include "util/timer.h"
+
+namespace cq {
+namespace {
+
+TEST(Logging, ThresholdFiltersLevels) {
+  const util::LogLevel saved = util::log_level();
+  util::set_log_level(util::LogLevel::kError);
+  EXPECT_EQ(util::log_level(), util::LogLevel::kError);
+  // Below-threshold logging must be a no-op (no crash, no output check
+  // possible on stderr here, but the calls must be safe).
+  util::log_debug() << "dropped";
+  util::log_info() << "dropped";
+  util::set_log_level(saved);
+}
+
+TEST(Logging, StreamStyleComposesTypes) {
+  const util::LogLevel saved = util::log_level();
+  util::set_log_level(util::LogLevel::kError);
+  util::log_info() << "x=" << 42 << " y=" << 1.5 << " z=" << std::string("s");
+  util::set_log_level(saved);
+}
+
+TEST(Timer, MeasuresElapsedTime) {
+  util::Timer timer;
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  EXPECT_GE(timer.millis(), 15.0);
+  EXPECT_LT(timer.seconds(), 5.0);
+  timer.reset();
+  EXPECT_LT(timer.millis(), 15.0);
+}
+
+TEST(GemmAccumulate, AtBVariantAccumulates) {
+  // A^T stored [k=2, m=2], B [k=2, n=2].
+  const float at[] = {1, 3, 2, 4};  // A = [[1,2],[3,4]]
+  const float b[] = {5, 6, 7, 8};
+  float c[4] = {1, 1, 1, 1};
+  tensor::gemm_at_b(at, b, c, 2, 2, 2, /*accumulate=*/true);
+  // A*B = [[19,22],[43,50]] plus the existing ones.
+  EXPECT_FLOAT_EQ(c[0], 20);
+  EXPECT_FLOAT_EQ(c[3], 51);
+}
+
+TEST(GemmAccumulate, ABtVariantAccumulates) {
+  const float a[] = {1, 2, 3, 4};
+  const float bt[] = {5, 7, 6, 8};  // B = [[5,6],[7,8]] stored [n,k]
+  float c[4] = {-19, -22, -43, -50};
+  tensor::gemm_a_bt(a, bt, c, 2, 2, 2, /*accumulate=*/true);
+  for (const float v : c) EXPECT_FLOAT_EQ(v, 0.0f);
+}
+
+TEST(Sequential, EmplaceReturnsTypedHandleAndForwardChains) {
+  util::Rng rng(1);
+  nn::Sequential seq;
+  nn::Linear* fc1 = seq.emplace<nn::Linear>(4, 8, rng, "fc1");
+  seq.emplace<nn::ReLU>();
+  nn::Linear* fc2 = seq.emplace<nn::Linear>(8, 3, rng, "fc2");
+  ASSERT_EQ(seq.size(), 3u);
+  EXPECT_EQ(fc1->out_features(), 8);
+  EXPECT_EQ(fc2->in_features(), 8);
+  const nn::Tensor y = seq.forward(nn::Tensor::randn({2, 4}, rng));
+  EXPECT_EQ(y.shape(), (tensor::Shape{2, 3}));
+  // Parameters collected in order: fc1.w, fc1.b, fc2.w, fc2.b.
+  const auto params = seq.parameters();
+  ASSERT_EQ(params.size(), 4u);
+  EXPECT_EQ(params[0]->name, "fc1.weight");
+  EXPECT_EQ(params[2]->name, "fc2.weight");
+}
+
+TEST(Sequential, ZeroGradClearsEverything) {
+  util::Rng rng(2);
+  nn::Sequential seq;
+  seq.emplace<nn::Linear>(3, 3, rng);
+  const nn::Tensor x = nn::Tensor::randn({2, 3}, rng);
+  seq.forward(x);
+  seq.backward(nn::Tensor::ones({2, 3}));
+  bool any_nonzero = false;
+  for (nn::Parameter* p : seq.parameters()) {
+    for (std::size_t i = 0; i < p->grad.numel(); ++i) any_nonzero |= p->grad[i] != 0.0f;
+  }
+  ASSERT_TRUE(any_nonzero);
+  seq.zero_grad();
+  for (nn::Parameter* p : seq.parameters()) {
+    for (std::size_t i = 0; i < p->grad.numel(); ++i) EXPECT_EQ(p->grad[i], 0.0f);
+  }
+}
+
+TEST(Sequential, GradAccumulatesAcrossBackwardCalls) {
+  util::Rng rng(3);
+  nn::Sequential seq;
+  seq.emplace<nn::Linear>(3, 2, rng);
+  const nn::Tensor x = nn::Tensor::ones({1, 3});
+  const nn::Tensor g = nn::Tensor::ones({1, 2});
+  seq.forward(x);
+  seq.backward(g);
+  const nn::Tensor after_one = seq.parameters()[0]->grad;
+  seq.forward(x);
+  seq.backward(g);
+  const nn::Tensor after_two = seq.parameters()[0]->grad;
+  EXPECT_TRUE(after_two.allclose(after_one * 2.0f, 1e-5f));
+}
+
+TEST(ConvGeometry, OutputDimsFormula) {
+  tensor::ConvGeometry g;
+  g.in_c = 3;
+  g.in_h = 17;
+  g.in_w = 9;
+  g.kernel = 3;
+  g.stride = 2;
+  g.pad = 1;
+  EXPECT_EQ(g.out_h(), 9);
+  EXPECT_EQ(g.out_w(), 5);
+  EXPECT_EQ(g.patch_size(), 27);
+}
+
+}  // namespace
+}  // namespace cq

@@ -1,0 +1,78 @@
+// cqar_info — inspect a .cqar deployment artifact without loading the
+// model: architecture, per-layer bit histograms, size breakdown and
+// integrity status. The deployment-side counterpart of
+// examples/export_and_deploy.
+//
+// Usage: cqar_info <model.cqar> [--verify]
+//   --verify   additionally instantiate the model (full structural check)
+
+#include <cstdio>
+#include <map>
+
+#include "deploy/artifact.h"
+#include "util/cli.h"
+#include "util/table.h"
+
+int main(int argc, char** argv) {
+  using namespace cq;
+  if (argc < 2 || argv[1][0] == '-') {
+    std::fprintf(stderr, "usage: cqar_info <model.cqar> [--verify]\n");
+    return 2;
+  }
+  const std::string path = argv[1];
+  const util::Cli cli(argc, argv);
+
+  deploy::QuantizedArtifact artifact;
+  try {
+    artifact = deploy::load_artifact(path);
+  } catch (const deploy::ArtifactError& e) {
+    std::fprintf(stderr, "cqar_info: %s\n", e.what());
+    return 1;
+  }
+
+  std::printf("%s\n", path.c_str());
+  std::printf("architecture : %s\n", artifact.arch.kind.c_str());
+  for (const auto& [key, value] : artifact.arch.params) {
+    std::printf("  %-14s %g\n", key.c_str(), value);
+  }
+  std::printf("activation quantizers: %zu", artifact.act_quants.size());
+  if (!artifact.act_quants.empty()) {
+    std::printf(" (bits:");
+    for (const deploy::ActQuantState& aq : artifact.act_quants) {
+      std::printf(" %d", aq.bits);
+    }
+    std::printf(")");
+  }
+  std::printf("\n\n");
+
+  util::Table table({"layer", "filters", "w/filter", "bits/weight", "0-bit", "range",
+                     "payload B"});
+  for (const deploy::PackedLayer& layer : artifact.packed_layers) {
+    int pruned = 0;
+    for (const std::uint8_t b : layer.filter_bits) pruned += (b == 0);
+    table.add_row({layer.name, std::to_string(layer.num_filters),
+                   std::to_string(layer.weights_per_filter),
+                   util::Table::num(layer.bits_per_weight(), 3), std::to_string(pruned),
+                   util::Table::num(layer.range_hi, 4),
+                   std::to_string(layer.codes.size())});
+  }
+  std::printf("%s\n", table.render().c_str());
+
+  const deploy::SizeReport size = deploy::size_report(artifact);
+  std::printf("packed codes %zu B + metadata %zu B + dense fp32 %zu B = %zu B total "
+              "(%.2fx vs fp32)\n",
+              size.packed_code_bytes, size.packed_meta_bytes, size.dense_bytes,
+              size.total_bytes(), size.compression_ratio());
+
+  if (cli.get_bool("verify", false)) {
+    try {
+      auto model = deploy::instantiate(artifact);
+      std::printf("verify       : OK — model instantiates (%s)\n",
+                  model->name().c_str());
+    } catch (const std::exception& e) {
+      std::printf("verify       : FAILED — %s\n", e.what());
+      return 1;
+    }
+  }
+  return 0;
+}
