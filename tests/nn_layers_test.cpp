@@ -113,7 +113,7 @@ TEST(Conv2d, ForwardMatchesDirectConvolution) {
   ASSERT_EQ(y.shape(), (tensor::Shape{2, 3, 5, 5}));
   // Direct convolution for a few spot positions.
   const Tensor& w = conv.weight().value;
-  for (const auto [n, oc, oy, ox] : {std::tuple{0, 0, 0, 0}, std::tuple{1, 2, 2, 3},
+  for (const auto& [n, oc, oy, ox] : {std::tuple{0, 0, 0, 0}, std::tuple{1, 2, 2, 3},
                                      std::tuple{0, 1, 4, 4}}) {
     double acc = conv.bias().value[static_cast<std::size_t>(oc)];
     for (int ic = 0; ic < 2; ++ic) {

@@ -194,9 +194,9 @@ TEST(SearchProperty, EqualScoresGetEqualBits) {
   auto scored = model.scored_layers();
   std::vector<core::LayerScores> scores(2);
   scores[0] = {scored[0].name, false, 8, 1, std::vector<float>(8, 5.0f),
-               std::vector<float>(8, 5.0f)};
+               std::vector<float>(8, 5.0f), {}};
   scores[1] = {scored[1].name, false, 6, 1, std::vector<float>(6, 5.0f),
-               std::vector<float>(6, 5.0f)};
+               std::vector<float>(6, 5.0f), {}};
   const quant::BitArrangement arr =
       core::ThresholdSearch::apply_thresholds(model, scores, {1.0, 2.0, 6.0, 7.0});
   for (const auto& layer : arr.layers()) {
