@@ -1,0 +1,142 @@
+// Serving throughput bench: how the cq::serve stack scales with batch
+// size and worker count on one deployed artifact.
+//
+// Section 1 measures the raw EngineSession integer pipeline (single
+// context, no scheduler) at growing batch sizes — the per-sample cost
+// floor batching amortizes fixed overheads against. Section 2 runs the
+// full Server under closed-loop concurrent load at 1/2/4 workers and
+// reports throughput, speedup over 1 worker, latency percentiles and
+// the micro-batch sizes the scheduler actually formed.
+//
+// No training is needed: serving cost depends only on the architecture
+// and the bit arrangement, so the model gets a mixed 0..4-bit
+// arrangement and a forward-pass activation calibration before export.
+//
+// Run: ./serve_throughput [--fast] [--requests=N] [--threads=N]
+
+#include <atomic>
+#include <cstdio>
+#include <future>
+#include <thread>
+#include <vector>
+
+#include "deploy/artifact.h"
+#include "harness.h"
+#include "nn/models/model.h"
+#include "serve/server.h"
+#include "util/rng.h"
+#include "util/table.h"
+#include "util/timer.h"
+
+namespace {
+
+using namespace cq;
+
+/// Mixed per-filter arrangement (the shape real CQ outputs have: a few
+/// pruned filters, mostly low bits, occasional high-bit outliers).
+void assign_mixed_bits(nn::Model& model) {
+  const int pattern[8] = {2, 3, 2, 1, 4, 2, 0, 2};
+  int i = 0;
+  for (const nn::ScoredLayerRef& ref : model.scored_layers()) {
+    for (quant::QuantizableLayer* layer : ref.layers) {
+      std::vector<int> bits(static_cast<std::size_t>(layer->num_filters()));
+      for (int& b : bits) b = pattern[i++ % 8];
+      layer->set_filter_bits(std::move(bits));
+    }
+  }
+}
+
+deploy::QuantizedArtifact make_artifact(util::Rng& rng) {
+  auto model = bench::make_vgg_small(10);
+  const tensor::Tensor calib =
+      tensor::Tensor::rand_uniform({64, 3, 16, 16}, rng, 0.0f, 1.0f);
+  model->calibrate_activations(calib);
+  model->set_activation_bits(3);
+  assign_mixed_bits(*model);
+  return deploy::export_model(*model);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const util::Cli cli(argc, argv);
+  const bool fast = cli.get_bool("fast", false);
+  const long requests = cli.get_int("requests", fast ? 96 : 512);
+  const long threads = cli.get_int("threads", 8);
+
+  util::Rng rng(7);
+  const deploy::QuantizedArtifact artifact = make_artifact(rng);
+
+  // --- Section 1: raw integer pipeline vs batch size -----------------
+  {
+    serve::EngineSession session(artifact, 1);
+    util::Table table({"batch", "runs", "total ms", "us/sample"});
+    for (const int batch : {1, 8, 32}) {
+      const int runs = fast ? 4 : 16;
+      const tensor::Tensor input = tensor::Tensor::rand_uniform(
+          {batch, 3, 16, 16}, rng, 0.0f, 1.0f);
+      session.run(input);  // warm
+      util::Timer timer;
+      for (int r = 0; r < runs; ++r) session.run(input);
+      const double ms = timer.millis();
+      table.add_row({std::to_string(batch), std::to_string(runs),
+                     util::Table::num(ms, 2),
+                     util::Table::num(ms * 1000.0 / (runs * batch), 1)});
+    }
+    std::printf("EngineSession integer pipeline (single context)\n%s\n",
+                table.render().c_str());
+  }
+
+  // --- Section 2: full server, closed-loop load ----------------------
+  util::Table table({"workers", "req/s", "speedup", "p50 us", "p95 us", "p99 us",
+                     "mean batch"});
+  double base_rps = 0.0;
+  for (const int workers : {1, 2, 4}) {
+    serve::ServerConfig config;
+    config.workers = workers;
+    config.max_batch = 16;
+    config.max_wait_us = 200;
+    serve::Server server(artifact, config);
+
+    std::vector<std::thread> submitters;
+    std::atomic<long> failed{0};
+    util::Timer timer;
+    for (long t = 0; t < threads; ++t) {
+      const long share = requests / threads + (t < requests % threads ? 1 : 0);
+      submitters.emplace_back([&server, &failed, share, t] {
+        util::Rng thread_rng(100 + static_cast<std::uint64_t>(t));
+        for (long i = 0; i < share; ++i) {
+          try {
+            server.submit(tensor::Tensor::rand_uniform({3, 16, 16}, thread_rng, 0.0f,
+                                                       1.0f))
+                .get();
+          } catch (const std::exception&) {
+            failed.fetch_add(1);  // escaping would std::terminate the bench
+          }
+        }
+      });
+    }
+    for (std::thread& submitter : submitters) submitter.join();
+    if (failed.load() != 0) {
+      std::fprintf(stderr, "serve_throughput: %ld requests failed\n", failed.load());
+      return 1;
+    }
+    const double rps = static_cast<double>(requests) / timer.seconds();
+    if (workers == 1) base_rps = rps;
+
+    const serve::ServerStats stats = server.stats();
+    table.add_row({std::to_string(workers), util::Table::num(rps, 1),
+                   util::Table::num(rps / base_rps, 2), util::Table::num(stats.p50_us, 0),
+                   util::Table::num(stats.p95_us, 0), util::Table::num(stats.p99_us, 0),
+                   util::Table::num(stats.mean_batch, 2)});
+    server.shutdown();
+  }
+  std::printf("Server throughput, %ld closed-loop submitters, %ld requests, "
+              "%u hw threads\n%s\n",
+              threads, requests, std::thread::hardware_concurrency(),
+              table.render().c_str());
+  std::printf("(worker scaling needs >= as many hardware threads as workers; "
+              "on fewer cores the speedup column measures scheduling overhead "
+              "only)\n");
+  return 0;
+}

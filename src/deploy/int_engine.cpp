@@ -54,13 +54,19 @@ IntegerLayer build_integer_layer(const PackedLayer& packed, std::vector<float> b
 }
 
 ActCodes encode_activations(const tensor::Tensor& activations, float hi, int bits) {
+  ActCodes out;
+  encode_activations_into(activations, hi, bits, out);
+  return out;
+}
+
+void encode_activations_into(const tensor::Tensor& activations, float hi, int bits,
+                             ActCodes& out) {
   if (bits < 1 || bits > 16) {
     throw std::invalid_argument("encode_activations: bits must be in [1, 16]");
   }
   if (hi <= 0.0f) {
     throw std::invalid_argument("encode_activations: activation range must be positive");
   }
-  ActCodes out;
   out.bits = bits;
   const int levels = quant::levels_for_bits(bits);
   out.scale = hi / static_cast<float>(levels - 1);
@@ -70,7 +76,6 @@ ActCodes encode_activations(const tensor::Tensor& activations, float hi, int bit
     const float clipped = std::clamp(activations[i], 0.0f, hi);
     out.codes[i] = static_cast<std::int32_t>(std::round(clipped * to_code));
   }
-  return out;
 }
 
 tensor::Tensor integer_linear_forward(const IntegerLayer& layer, const ActCodes& acts,

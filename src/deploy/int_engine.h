@@ -52,6 +52,12 @@ struct ActCodes {
 };
 ActCodes encode_activations(const tensor::Tensor& activations, float hi, int bits);
 
+/// Same encoding, writing into a caller-owned ActCodes whose code
+/// buffer is reused across calls (the serving hot path encodes one
+/// activation tensor per layer and must not reallocate per request).
+void encode_activations_into(const tensor::Tensor& activations, float hi, int bits,
+                             ActCodes& out);
+
 /// Executes y[n,k] = s_w(k) * s_a * sum_j (2*q_w - (levels-1)) * q_a / 2
 /// + bias[k] over a [N, weights_per_filter] activation-code matrix
 /// with pure integer accumulation (std::int64_t, no wrap). This is the

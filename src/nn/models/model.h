@@ -39,6 +39,11 @@ class Model : public Module {
   virtual std::vector<ScoredLayerRef> scored_layers() = 0;
   virtual std::vector<ActQuant*> activation_quantizers() = 0;
 
+  /// The ordered module chain of the network. Every model-zoo network
+  /// is a single Sequential at the top level (composite blocks appear
+  /// as one entry); nn::fold_batchnorm and the serving executor walk it.
+  virtual Sequential& body() = 0;
+
   /// Structural copy with identical weights/buffers; used to freeze
   /// the full-precision teacher before quantization (Section III-D).
   virtual std::unique_ptr<Model> clone() = 0;

@@ -1,0 +1,99 @@
+#include "serve/batch_scheduler.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace cq::serve {
+
+BatchScheduler::BatchScheduler(BatchSchedulerConfig config) : config_(config) {
+  if (config_.capacity < 1) {
+    throw std::invalid_argument("BatchScheduler: capacity must be >= 1");
+  }
+  if (config_.max_batch < 1) {
+    throw std::invalid_argument("BatchScheduler: max_batch must be >= 1");
+  }
+  if (config_.max_wait_us < 0) {
+    throw std::invalid_argument("BatchScheduler: max_wait_us must be >= 0");
+  }
+}
+
+bool BatchScheduler::push(Request& request) {
+  {
+    std::unique_lock<std::mutex> lock(mutex_);
+    not_full_.wait(lock, [this] { return closed_ || queue_.size() < config_.capacity; });
+    if (closed_) return false;
+    queue_.push_back(std::move(request));
+  }
+  not_empty_.notify_one();
+  return true;
+}
+
+bool BatchScheduler::pop_batch(std::vector<Request>& batch) {
+  batch.clear();
+  std::unique_lock<std::mutex> lock(mutex_);
+  ++waiting_consumers_;
+  for (;;) {
+    not_empty_.wait(lock, [this] { return closed_ || !queue_.empty(); });
+    if (queue_.empty()) {
+      --waiting_consumers_;
+      return false;  // closed and drained
+    }
+
+    // Micro-batch window: the deadline is anchored to the *oldest*
+    // queued request's submit time, so batching adds at most
+    // max_wait_us of latency to any request regardless of arrival
+    // pattern.
+    const auto deadline =
+        queue_.front().submitted + std::chrono::microseconds(config_.max_wait_us);
+    not_empty_.wait_until(lock, deadline, [this] {
+      return closed_ || queue_.size() >= static_cast<std::size_t>(config_.max_batch);
+    });
+    // A concurrent consumer may have drained the queue while this one
+    // sat out the batching window; if so, go back to sleep instead of
+    // flushing an empty batch.
+    if (!queue_.empty()) break;
+  }
+
+  // Dynamic batch sizing: greedily draining the queue into one batch
+  // would serialize the whole in-flight window behind a single
+  // consumer. Take only a fair (ceil) share of the ready requests per
+  // *idle* consumer — busy consumers are not counted, so a lone worker
+  // still gets everything up to max_batch.
+  const std::size_t ready = queue_.size();
+  const std::size_t share = (ready + waiting_consumers_ - 1) / waiting_consumers_;
+  const std::size_t take =
+      std::min(std::max<std::size_t>(share, 1),
+               static_cast<std::size_t>(config_.max_batch));
+  batch.reserve(take);
+  for (std::size_t i = 0; i < take; ++i) {
+    batch.push_back(std::move(queue_.front()));
+    queue_.pop_front();
+  }
+  --waiting_consumers_;
+  const bool more = !queue_.empty();
+  lock.unlock();
+  if (more) not_empty_.notify_one();  // let the next idle consumer flush the rest
+  not_full_.notify_all();
+  return true;
+}
+
+void BatchScheduler::close() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    closed_ = true;
+  }
+  not_empty_.notify_all();
+  not_full_.notify_all();
+}
+
+bool BatchScheduler::closed() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return closed_;
+}
+
+std::size_t BatchScheduler::depth() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return queue_.size();
+}
+
+}  // namespace cq::serve

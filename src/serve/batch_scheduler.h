@@ -1,0 +1,74 @@
+#pragma once
+
+#include <chrono>
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <future>
+#include <mutex>
+#include <vector>
+
+#include "tensor/tensor.h"
+
+namespace cq::serve {
+
+/// One in-flight inference request: a single input sample, the promise
+/// its submitter is waiting on, and the submit timestamp for latency
+/// accounting.
+struct Request {
+  tensor::Tensor sample;
+  std::promise<tensor::Tensor> result;
+  std::chrono::steady_clock::time_point submitted;
+};
+
+struct BatchSchedulerConfig {
+  std::size_t capacity = 1024;  ///< bounded queue depth; push blocks when full
+  int max_batch = 16;           ///< flush a micro-batch at this size
+  long max_wait_us = 200;       ///< ... or when the oldest request is this old
+};
+
+/// Bounded multi-producer/multi-consumer request queue with dynamic
+/// micro-batching.
+///
+/// Producers push single requests; consumers pop *batches*: pop_batch
+/// blocks until at least one request is queued, then keeps the batch
+/// open until either max_batch requests are available or max_wait_us
+/// has passed since the oldest queued request was submitted. The flush
+/// then takes a fair share of the ready requests per idle consumer
+/// (capped at max_batch), so concurrent workers split a burst instead
+/// of serializing it behind one giant batch. Batching is a pure
+/// scheduling concern — consumers must produce outputs independent of
+/// how requests were coalesced (EngineSession guarantees exactly
+/// that).
+class BatchScheduler {
+ public:
+  explicit BatchScheduler(BatchSchedulerConfig config);
+
+  /// Blocks while the queue is full. Returns false (and leaves the
+  /// request untouched, promise unfulfilled) when the scheduler is
+  /// closed; the caller owns the rejection.
+  bool push(Request& request);
+
+  /// Fills `batch` with 1..max_batch requests. Returns false when the
+  /// scheduler is closed and fully drained — consumers exit on that.
+  bool pop_batch(std::vector<Request>& batch);
+
+  /// Stops accepting new requests and wakes all waiters; queued
+  /// requests still drain through pop_batch.
+  void close();
+  bool closed() const;
+
+  std::size_t depth() const;
+  const BatchSchedulerConfig& config() const { return config_; }
+
+ private:
+  BatchSchedulerConfig config_;
+  mutable std::mutex mutex_;
+  std::condition_variable not_empty_;
+  std::condition_variable not_full_;
+  std::deque<Request> queue_;
+  std::size_t waiting_consumers_ = 0;  ///< consumers blocked in pop_batch
+  bool closed_ = false;
+};
+
+}  // namespace cq::serve

@@ -1,0 +1,241 @@
+#include "serve/engine_session.h"
+
+#include <algorithm>
+#include <stdexcept>
+#include <unordered_map>
+#include <utility>
+
+#include "nn/act_quant.h"
+#include "nn/activations.h"
+#include "nn/conv2d.h"
+#include "nn/linear.h"
+#include "nn/models/model.h"
+#include "nn/models/resnet20.h"
+#include "nn/pooling.h"
+#include "nn/probe.h"
+
+namespace cq::serve {
+
+namespace {
+
+void relu_inplace(tensor::Tensor& t) {
+  for (float& v : t.span()) v = std::max(0.0f, v);
+}
+
+/// Bias vector of a quantizable layer (the integer kernels add it per
+/// output; pruned filters suppress it inside the kernel).
+std::vector<float> bias_of(quant::QuantizableLayer& layer) {
+  nn::Parameter* bias = nullptr;
+  if (auto* conv = dynamic_cast<nn::Conv2d*>(&layer)) {
+    bias = &conv->bias();
+  } else if (auto* fc = dynamic_cast<nn::Linear*>(&layer)) {
+    bias = &fc->bias();
+  } else {
+    throw deploy::ArtifactError(
+        "EngineSession: quantizable layer is neither Conv2d nor Linear");
+  }
+  const std::span<const float> values = bias->value.span();
+  return {values.begin(), values.end()};
+}
+
+const nn::Module* as_module(quant::QuantizableLayer* layer) {
+  auto* module = dynamic_cast<nn::Module*>(layer);
+  if (module == nullptr) {
+    throw deploy::ArtifactError("EngineSession: quantizable layer is not a module");
+  }
+  return module;
+}
+
+}  // namespace
+
+/// One concurrent execution lane: its own instantiated module chain
+/// (module forward() calls cache state, so a chain must never be shared
+/// between in-flight requests) plus the reused activation-code buffer.
+struct EngineSession::Context {
+  std::unique_ptr<nn::Model> model;
+  std::unordered_map<const nn::Module*, std::size_t> integer_index;
+  deploy::ActCodes scratch;
+};
+
+EngineSession::EngineSession(const deploy::QuantizedArtifact& artifact, int contexts) {
+  if (contexts < 1) {
+    throw std::invalid_argument("EngineSession: contexts must be >= 1");
+  }
+  num_classes_ = artifact.arch.int_param("num_classes");
+  if (artifact.arch.params.count("in_features") != 0) {
+    sample_shape_ = {artifact.arch.int_param("in_features")};
+  } else {
+    const int channels = artifact.arch.int_param("in_channels");
+    const int size = artifact.arch.int_param("image_size");
+    sample_shape_ = {channels, size, size};
+  }
+
+  for (int i = 0; i < contexts; ++i) {
+    auto ctx = std::make_unique<Context>();
+    ctx->model = deploy::instantiate(artifact);
+    contexts_.push_back(std::move(ctx));
+  }
+
+  // Expand every packed layer into its integer code matrix once; the
+  // scored-layer traversal is the exact order export_model packed them
+  // in (instantiate() already validated the counts line up).
+  std::size_t next = 0;
+  for (const nn::ScoredLayerRef& ref : contexts_.front()->model->scored_layers()) {
+    for (quant::QuantizableLayer* layer : ref.layers) {
+      layers_.push_back(
+          deploy::build_integer_layer(artifact.packed_layers[next], bias_of(*layer)));
+      ++next;
+    }
+  }
+
+  for (auto& ctx : contexts_) {
+    std::size_t index = 0;
+    for (const nn::ScoredLayerRef& ref : ctx->model->scored_layers()) {
+      for (quant::QuantizableLayer* layer : ref.layers) {
+        ctx->integer_index.emplace(as_module(layer), index++);
+      }
+    }
+    free_contexts_.push_back(ctx.get());
+  }
+}
+
+EngineSession::~EngineSession() = default;
+
+EngineSession::Grid EngineSession::grid_after(const nn::ActQuant& aq) {
+  Grid grid;
+  grid.hi = aq.max_activation();
+  grid.bits = aq.bits();
+  grid.valid = grid.bits >= 1 && grid.bits <= 16 && grid.hi > 0.0f;
+  return grid;
+}
+
+EngineSession::Context& EngineSession::acquire_context() {
+  std::unique_lock<std::mutex> lock(mutex_);
+  context_available_.wait(lock, [this] { return !free_contexts_.empty(); });
+  Context* ctx = free_contexts_.back();
+  free_contexts_.pop_back();
+  return *ctx;
+}
+
+void EngineSession::release_context(Context& ctx) {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    free_contexts_.push_back(&ctx);
+  }
+  context_available_.notify_one();
+}
+
+tensor::Tensor EngineSession::run(const tensor::Tensor& batch) {
+  if (batch.rank() != sample_shape_.size() + 1 || batch.dim(0) < 1) {
+    throw std::invalid_argument("EngineSession::run: batch must be [N, " +
+                                tensor::shape_to_string(sample_shape_).substr(1));
+  }
+  for (std::size_t d = 0; d < sample_shape_.size(); ++d) {
+    if (batch.dim(d + 1) != sample_shape_[d]) {
+      throw std::invalid_argument("EngineSession::run: sample shape mismatch, want " +
+                                  tensor::shape_to_string(sample_shape_));
+    }
+  }
+
+  Context& ctx = acquire_context();
+  struct Releaser {
+    EngineSession* session;
+    Context* ctx;
+    ~Releaser() { session->release_context(*ctx); }
+  } releaser{this, &ctx};
+
+  Grid grid;
+  return exec_sequential(ctx, ctx.model->body(), batch, grid);
+}
+
+tensor::Tensor EngineSession::exec_sequential(Context& ctx, nn::Sequential& chain,
+                                              tensor::Tensor x, Grid& grid) {
+  for (std::size_t i = 0; i < chain.size(); ++i) {
+    x = exec_module(ctx, *chain.at(i), std::move(x), grid);
+  }
+  return x;
+}
+
+tensor::Tensor EngineSession::exec_module(Context& ctx, nn::Module& module,
+                                          tensor::Tensor x, Grid& grid) {
+  if (auto* block = dynamic_cast<nn::BasicBlock*>(&module)) {
+    return exec_block(ctx, *block, std::move(x), grid);
+  }
+  if (auto* chain = dynamic_cast<nn::Sequential*>(&module)) {
+    return exec_sequential(ctx, *chain, std::move(x), grid);
+  }
+  if (auto* aq = dynamic_cast<nn::ActQuant*>(&module)) {
+    tensor::Tensor out = aq->forward(x);
+    grid = grid_after(*aq);
+    return out;
+  }
+  if (dynamic_cast<nn::Conv2d*>(&module) != nullptr ||
+      dynamic_cast<nn::Linear*>(&module) != nullptr) {
+    tensor::Tensor out = exec_quantized(ctx, module, std::move(x), grid);
+    grid.valid = false;
+    return out;
+  }
+  if (dynamic_cast<nn::MaxPool2d*>(&module) != nullptr ||
+      dynamic_cast<nn::Flatten*>(&module) != nullptr ||
+      dynamic_cast<nn::Probe*>(&module) != nullptr) {
+    // Value-preserving modules: the outputs still sit on the same
+    // activation-code grid (a max over grid points is a grid point).
+    return module.forward(x);
+  }
+  grid.valid = false;
+  return module.forward(x);
+}
+
+tensor::Tensor EngineSession::exec_quantized(Context& ctx, nn::Module& module,
+                                             tensor::Tensor x, const Grid& grid) {
+  const auto it = ctx.integer_index.find(&module);
+  if (it == ctx.integer_index.end() || !grid.valid) {
+    // Unquantized layer (first/output), or activations are not on an
+    // integer grid (activation quantization disabled): float forward.
+    return module.forward(x);
+  }
+  const deploy::IntegerLayer& layer = layers_[it->second];
+  deploy::encode_activations_into(x, grid.hi, grid.bits, ctx.scratch);
+  const int batch = x.dim(0);
+  if (auto* conv = dynamic_cast<nn::Conv2d*>(&module)) {
+    return deploy::integer_conv_forward(layer, ctx.scratch, batch, conv->in_channels(),
+                                        x.dim(2), x.dim(3), conv->kernel(),
+                                        conv->stride(), conv->pad());
+  }
+  auto& fc = dynamic_cast<nn::Linear&>(module);
+  return deploy::integer_linear_forward(layer, ctx.scratch, batch, fc.in_features());
+}
+
+tensor::Tensor EngineSession::exec_block(Context& ctx, nn::BasicBlock& block,
+                                         tensor::Tensor x, Grid& grid) {
+  const Grid entry_grid = grid;  // both conv1 and the projection read it
+
+  // Main branch: conv1 -> bn1 -> relu -> probe1 -> aq1 -> conv2 -> bn2.
+  tensor::Tensor h = exec_quantized(ctx, *block.conv1(), x, entry_grid);
+  h = block.bn1()->forward(h);
+  relu_inplace(h);
+  h = block.probe1()->forward(h);
+  h = block.act_quant1()->forward(h);
+  const Grid mid_grid = grid_after(*block.act_quant1());
+  tensor::Tensor main = exec_quantized(ctx, *block.conv2(), std::move(h), mid_grid);
+  main = block.bn2()->forward(main);
+
+  // Shortcut: identity or 1x1 projection (same add order as
+  // BasicBlock::forward so float results match bit-for-bit).
+  if (block.downsample_conv() != nullptr) {
+    tensor::Tensor shortcut = exec_quantized(ctx, *block.downsample_conv(),
+                                             std::move(x), entry_grid);
+    shortcut = block.downsample_bn()->forward(shortcut);
+    main += shortcut;
+  } else {
+    main += x;
+  }
+
+  relu_inplace(main);
+  main = block.probe2()->forward(main);
+  tensor::Tensor out = block.act_quant2()->forward(main);
+  grid = grid_after(*block.act_quant2());
+  return out;
+}
+
+}  // namespace cq::serve

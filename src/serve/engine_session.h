@@ -1,0 +1,108 @@
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "deploy/artifact.h"
+#include "deploy/int_engine.h"
+#include "tensor/tensor.h"
+
+namespace cq::nn {
+class ActQuant;
+class BasicBlock;
+class Module;
+class Sequential;
+}  // namespace cq::nn
+
+namespace cq::serve {
+
+/// Integer-arithmetic inference session over a deployed artifact.
+///
+/// An EngineSession is the servable unit of the deployment story: it
+/// loads a QuantizedArtifact once, expands every packed layer into an
+/// IntegerLayer (deploy::build_integer_layer), and then answers
+/// run(batch) calls by driving encode_activations +
+/// integer_conv_forward / integer_linear_forward through the whole
+/// network — the execution an integer NPU would perform, end to end
+/// rather than one layer at a time. Unquantized modules (first/output
+/// layers, batch-norm, pooling) run their regular float forward.
+///
+/// Reentrancy: run() may be called from any number of threads
+/// concurrently. Each call borrows one of `contexts` pre-built
+/// execution contexts (its own instantiated module chain plus a reused
+/// activation-code buffer, so steady-state serving does not allocate
+/// codes per request); callers beyond the context count block until
+/// one frees up. The integer code matrices are shared read-only.
+///
+/// Batching invariant: every operator in the executed graph treats
+/// batch samples independently with a fixed per-sample reduction
+/// order, so outputs are bit-exact identical no matter how requests
+/// are coalesced into batches. serve::Server builds on this to make
+/// micro-batching a pure scheduling concern.
+class EngineSession {
+ public:
+  /// Builds the session with `contexts` concurrent execution contexts
+  /// (>= 1). Throws deploy::ArtifactError on malformed artifacts.
+  explicit EngineSession(const deploy::QuantizedArtifact& artifact, int contexts = 1);
+  ~EngineSession();
+
+  EngineSession(const EngineSession&) = delete;
+  EngineSession& operator=(const EngineSession&) = delete;
+
+  /// Runs a [N, ...sample_shape()] batch through the integer pipeline
+  /// and returns [N, num_classes()] logits. Thread-safe.
+  tensor::Tensor run(const tensor::Tensor& batch);
+
+  /// Shape of one input sample (e.g. [C, H, W] for the CNNs, [F] for
+  /// the MLP), derived from the artifact's architecture descriptor.
+  const tensor::Shape& sample_shape() const { return sample_shape_; }
+  int num_classes() const { return num_classes_; }
+  int contexts() const { return static_cast<int>(contexts_.size()); }
+  /// Number of quantized layers executing on the integer path.
+  std::size_t integer_layer_count() const { return layers_.size(); }
+
+ private:
+  struct Context;
+
+  /// Activation-code grid the current tensor lives on: set right after
+  /// an ActQuant, preserved through value-preserving modules (max
+  /// pooling, flatten, probes), consumed by the next quantized layer.
+  struct Grid {
+    float hi = 0.0f;
+    int bits = 0;
+    bool valid = false;
+  };
+
+  /// Grid the quantizer's outputs sit on — the single definition of
+  /// when an activation tensor is integer-encodable
+  /// (encode_activations' domain: bits in [1, 16], positive clip).
+  static Grid grid_after(const nn::ActQuant& aq);
+
+  Context& acquire_context();
+  void release_context(Context& ctx);
+
+  tensor::Tensor exec_sequential(Context& ctx, nn::Sequential& chain, tensor::Tensor x,
+                                 Grid& grid);
+  tensor::Tensor exec_module(Context& ctx, nn::Module& module, tensor::Tensor x,
+                             Grid& grid);
+  tensor::Tensor exec_block(Context& ctx, nn::BasicBlock& block, tensor::Tensor x,
+                            Grid& grid);
+  /// Integer path for a quantized Conv2d/Linear when the input sits on
+  /// a valid activation grid; float fake-quant forward otherwise.
+  tensor::Tensor exec_quantized(Context& ctx, nn::Module& module, tensor::Tensor x,
+                                const Grid& grid);
+
+  std::vector<deploy::IntegerLayer> layers_;  ///< shared, read-only after init
+  std::vector<std::unique_ptr<Context>> contexts_;
+  std::vector<Context*> free_contexts_;
+  std::mutex mutex_;
+  std::condition_variable context_available_;
+
+  tensor::Shape sample_shape_;
+  int num_classes_ = 0;
+};
+
+}  // namespace cq::serve

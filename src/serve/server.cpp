@@ -1,0 +1,183 @@
+#include "serve/server.h"
+
+#include <algorithm>
+#include <cstring>
+#include <stdexcept>
+#include <utility>
+
+#include "util/stats.h"
+
+namespace cq::serve {
+
+namespace {
+
+BatchSchedulerConfig scheduler_config(const ServerConfig& config) {
+  BatchSchedulerConfig sched;
+  sched.capacity = config.queue_capacity;
+  sched.max_batch = config.max_batch;
+  sched.max_wait_us = config.max_wait_us;
+  return sched;
+}
+
+ServerConfig normalized(ServerConfig config) {
+  config.workers = std::max(1, config.workers);
+  return config;
+}
+
+}  // namespace
+
+Server::Server(const deploy::QuantizedArtifact& artifact, ServerConfig config)
+    : config_(normalized(config)),
+      session_(artifact, config_.workers),
+      scheduler_(scheduler_config(config_)),
+      pool_(config_.workers),
+      started_(std::chrono::steady_clock::now()) {
+  for (int i = 0; i < pool_.size(); ++i) {
+    pool_.submit([this] { worker_loop(); });
+  }
+}
+
+Server::~Server() { shutdown(); }
+
+std::future<tensor::Tensor> Server::submit(tensor::Tensor sample) {
+  Request request;
+  request.sample = std::move(sample);
+  request.submitted = std::chrono::steady_clock::now();
+  std::future<tensor::Tensor> future = request.result.get_future();
+  if (!scheduler_.push(request)) {
+    request.result.set_exception(std::make_exception_ptr(
+        std::runtime_error("serve::Server: submit after shutdown")));
+  }
+  return future;
+}
+
+void Server::shutdown() {
+  {
+    std::lock_guard<std::mutex> lock(shutdown_mutex_);
+    if (shut_down_) return;
+    shut_down_ = true;
+  }
+  scheduler_.close();
+  pool_.wait_idle();  // workers exit once the queue is drained
+}
+
+void Server::worker_loop() {
+  const tensor::Shape& sample_shape = session_.sample_shape();
+  const std::size_t sample_numel = tensor::shape_numel(sample_shape);
+  std::vector<Request> batch;
+
+  while (scheduler_.pop_batch(batch)) {
+    // Shape problems surface as per-request failures, not batch
+    // poison: a bad sample fails only its own promise and the valid
+    // remainder still batches. The check is on the exact shape — a
+    // transposed sample with the right element count would otherwise
+    // be coalesced in the wrong layout and answered with garbage.
+    std::vector<Request*> valid;
+    valid.reserve(batch.size());
+    for (Request& request : batch) {
+      if (request.sample.shape() == sample_shape) {
+        valid.push_back(&request);
+      } else {
+        request.result.set_exception(std::make_exception_ptr(std::invalid_argument(
+            "serve::Server: sample shape does not match the artifact input " +
+            tensor::shape_to_string(sample_shape))));
+      }
+    }
+    if (valid.empty()) continue;
+    const int n = static_cast<int>(valid.size());
+
+    tensor::Shape batch_shape;
+    batch_shape.reserve(sample_shape.size() + 1);
+    batch_shape.push_back(n);
+    batch_shape.insert(batch_shape.end(), sample_shape.begin(), sample_shape.end());
+    tensor::Tensor coalesced(batch_shape);
+    for (int i = 0; i < n; ++i) {
+      std::memcpy(coalesced.data() + static_cast<std::size_t>(i) * sample_numel,
+                  valid[static_cast<std::size_t>(i)]->sample.data(),
+                  sample_numel * sizeof(float));
+    }
+
+    tensor::Tensor out;
+    try {
+      out = session_.run(coalesced);
+    } catch (...) {
+      const std::exception_ptr error = std::current_exception();
+      for (Request* request : valid) request->result.set_exception(error);
+      continue;
+    }
+
+    // Fan the logits rows back out and record latency at fulfillment.
+    const auto now = std::chrono::steady_clock::now();
+    const int classes = session_.num_classes();
+    {
+      std::lock_guard<std::mutex> lock(stats_mutex_);
+      ++batches_;
+      max_batch_seen_ = std::max(max_batch_seen_, static_cast<std::size_t>(n));
+      for (const Request* request : valid) {
+        const double us =
+            std::chrono::duration<double, std::micro>(now - request->submitted)
+                .count();
+        ++completed_;
+        latency_sum_us_ += us;
+        latency_max_us_ = std::max(latency_max_us_, us);
+        if (latency_window_.size() < kLatencyWindow) {
+          latency_window_.push_back(us);
+        } else {
+          latency_window_[latency_next_] = us;
+          latency_next_ = (latency_next_ + 1) % kLatencyWindow;
+        }
+      }
+    }
+    for (int i = 0; i < n; ++i) {
+      tensor::Tensor row({classes});
+      std::memcpy(row.data(), out.data() + static_cast<std::size_t>(i) * classes,
+                  static_cast<std::size_t>(classes) * sizeof(float));
+      valid[static_cast<std::size_t>(i)]->result.set_value(std::move(row));
+    }
+  }
+}
+
+ServerStats Server::stats() const {
+  ServerStats s;
+  std::vector<double> window;
+  std::chrono::steady_clock::time_point started;
+  {
+    std::lock_guard<std::mutex> lock(stats_mutex_);
+    window = latency_window_;
+    s.completed = completed_;
+    s.batches = batches_;
+    s.max_batch = max_batch_seen_;
+    s.mean_us = completed_ == 0 ? 0.0
+                                : latency_sum_us_ / static_cast<double>(completed_);
+    s.max_us = latency_max_us_;
+    started = started_;  // reset_stats() writes it under the same lock
+  }
+  s.mean_batch = s.batches == 0
+                     ? 0.0
+                     : static_cast<double>(s.completed) / static_cast<double>(s.batches);
+  if (!window.empty()) {
+    std::sort(window.begin(), window.end());
+    s.p50_us = util::percentile_sorted(window, 50.0);
+    s.p95_us = util::percentile_sorted(window, 95.0);
+    s.p99_us = util::percentile_sorted(window, 99.0);
+  }
+  s.elapsed_s =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - started).count();
+  s.throughput_rps =
+      s.elapsed_s > 0.0 ? static_cast<double>(s.completed) / s.elapsed_s : 0.0;
+  return s;
+}
+
+void Server::reset_stats() {
+  std::lock_guard<std::mutex> lock(stats_mutex_);
+  latency_window_.clear();
+  latency_next_ = 0;
+  completed_ = 0;
+  latency_sum_us_ = 0.0;
+  latency_max_us_ = 0.0;
+  batches_ = 0;
+  max_batch_seen_ = 0;
+  started_ = std::chrono::steady_clock::now();
+}
+
+}  // namespace cq::serve

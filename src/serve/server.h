@@ -1,0 +1,106 @@
+#pragma once
+
+#include <chrono>
+#include <cstddef>
+#include <future>
+#include <mutex>
+#include <vector>
+
+#include "deploy/artifact.h"
+#include "serve/batch_scheduler.h"
+#include "serve/engine_session.h"
+#include "util/thread_pool.h"
+
+namespace cq::serve {
+
+struct ServerConfig {
+  int workers = 1;              ///< batch workers (= engine contexts); < 1 becomes 1
+  int max_batch = 16;           ///< micro-batch flush size
+  long max_wait_us = 200;       ///< micro-batch flush age
+  std::size_t queue_capacity = 1024;  ///< bounded request queue depth
+};
+
+/// Aggregate serving statistics since the server started (or the last
+/// reset_stats()). Latencies cover submit() to promise fulfillment, in
+/// microseconds; counts/mean/max span every completed request, while
+/// the percentiles are computed over a sliding window of the most
+/// recent requests so memory stays bounded under sustained traffic.
+struct ServerStats {
+  std::size_t completed = 0;      ///< requests answered
+  std::size_t batches = 0;        ///< micro-batches executed
+  double mean_batch = 0.0;        ///< average coalesced batch size
+  std::size_t max_batch = 0;      ///< largest coalesced batch seen
+  double p50_us = 0.0;            ///< percentiles: recent-window
+  double p95_us = 0.0;
+  double p99_us = 0.0;
+  double mean_us = 0.0;           ///< mean/max: all completed requests
+  double max_us = 0.0;
+  double elapsed_s = 0.0;         ///< wall time since start/reset
+  double throughput_rps = 0.0;    ///< completed / elapsed_s
+};
+
+/// Batched multi-threaded inference server over a deployed artifact.
+///
+/// submit() enqueues one sample into the BatchScheduler and returns a
+/// future; `workers` pool threads pop micro-batches, coalesce them into
+/// a single tensor, run the EngineSession integer pipeline once, and
+/// fan the rows back out to the per-request promises. Because
+/// EngineSession::run is bit-exact under any coalescing, the same
+/// inputs produce byte-identical outputs whatever batches the
+/// scheduler happens to form.
+class Server {
+ public:
+  explicit Server(const deploy::QuantizedArtifact& artifact, ServerConfig config = {});
+  /// Shuts down (drains queued requests) and joins the workers.
+  ~Server();
+
+  Server(const Server&) = delete;
+  Server& operator=(const Server&) = delete;
+
+  /// Submits one sample (shape must equal session().sample_shape()
+  /// exactly — a layout mismatch with the right element count would
+  /// silently produce wrong logits) and returns a future for its
+  /// [num_classes] logits row. Thread-safe. Shape mismatches and
+  /// submits after shutdown() surface as exceptions on the future.
+  std::future<tensor::Tensor> submit(tensor::Tensor sample);
+
+  /// Stops accepting requests, drains the queue and joins the workers.
+  /// Idempotent; the destructor calls it.
+  void shutdown();
+
+  /// Snapshot of latency/throughput counters. Thread-safe.
+  ServerStats stats() const;
+
+  /// Zeroes all counters and restarts the stats clock — call after a
+  /// warmup phase so it does not pollute the reported numbers.
+  void reset_stats();
+
+  const EngineSession& session() const { return session_; }
+  const ServerConfig& config() const { return config_; }
+
+ private:
+  void worker_loop();
+
+  ServerConfig config_;
+  EngineSession session_;
+  BatchScheduler scheduler_;
+  util::ThreadPool pool_;
+  bool shut_down_ = false;
+  std::mutex shutdown_mutex_;
+
+  /// Percentiles come from a fixed-size ring of recent latencies, so a
+  /// long-lived server's stats memory stays constant.
+  static constexpr std::size_t kLatencyWindow = 16384;
+
+  mutable std::mutex stats_mutex_;
+  std::vector<double> latency_window_;  ///< ring buffer, kLatencyWindow cap
+  std::size_t latency_next_ = 0;        ///< ring write cursor
+  std::size_t completed_ = 0;
+  double latency_sum_us_ = 0.0;
+  double latency_max_us_ = 0.0;
+  std::size_t batches_ = 0;
+  std::size_t max_batch_seen_ = 0;
+  std::chrono::steady_clock::time_point started_;
+};
+
+}  // namespace cq::serve

@@ -48,6 +48,15 @@ class Histogram {
   std::size_t total_ = 0;
 };
 
+/// q-th percentile (q in [0, 100]) of `values` with linear
+/// interpolation between order statistics. Returns 0 for an empty
+/// sample. Used by the serving stats (p50/p95/p99 latency).
+double percentile(std::span<const double> values, double q);
+
+/// Same, over an already ascending-sorted sample — callers extracting
+/// several percentiles sort once and use this to avoid re-sorting.
+double percentile_sorted(std::span<const double> sorted, double q);
+
 /// Returns the indices that sort `values` ascending (stable).
 std::vector<std::size_t> argsort(std::span<const float> values);
 

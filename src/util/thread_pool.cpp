@@ -1,0 +1,128 @@
+#include "util/thread_pool.h"
+
+#include <algorithm>
+#include <atomic>
+#include <exception>
+#include <memory>
+#include <stdexcept>
+
+namespace cq::util {
+
+ThreadPool::ThreadPool(int threads) {
+  if (threads < 0) {
+    throw std::invalid_argument("ThreadPool: thread count must be >= 0");
+  }
+  workers_.reserve(static_cast<std::size_t>(threads));
+  for (int i = 0; i < threads; ++i) {
+    workers_.emplace_back([this] { worker_loop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    stopping_ = true;
+  }
+  work_ready_.notify_all();
+  for (std::thread& worker : workers_) worker.join();
+}
+
+void ThreadPool::submit(std::function<void()> job) {
+  if (workers_.empty()) {
+    job();
+    return;
+  }
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (stopping_) {
+      throw std::runtime_error("ThreadPool: submit after shutdown");
+    }
+    queue_.push_back(std::move(job));
+    ++in_flight_;
+  }
+  work_ready_.notify_one();
+}
+
+void ThreadPool::wait_idle() {
+  std::unique_lock<std::mutex> lock(mutex_);
+  idle_.wait(lock, [this] { return in_flight_ == 0; });
+}
+
+void ThreadPool::worker_loop() {
+  for (;;) {
+    std::function<void()> job;
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      work_ready_.wait(lock, [this] { return stopping_ || !queue_.empty(); });
+      if (queue_.empty()) return;  // stopping and drained
+      job = std::move(queue_.front());
+      queue_.pop_front();
+    }
+    job();
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      --in_flight_;
+      if (in_flight_ == 0) idle_.notify_all();
+    }
+  }
+}
+
+void parallel_for(ThreadPool& pool, std::int64_t begin, std::int64_t end,
+                  std::int64_t grain,
+                  const std::function<void(std::int64_t, std::int64_t)>& body) {
+  const std::int64_t n = end - begin;
+  if (n <= 0) return;
+  const int workers = pool.size();
+  std::int64_t chunk = grain;
+  if (chunk <= 0) {
+    chunk = std::max<std::int64_t>(1, n / (4 * std::max(workers, 1)));
+  }
+  if (workers == 0 || n <= chunk) {
+    body(begin, end);
+    return;
+  }
+
+  // Shared chunk cursor: the caller and the helper jobs all pull the
+  // next unclaimed [lo, lo+chunk) range until the cursor passes `end`.
+  struct Shared {
+    std::atomic<std::int64_t> next{0};
+    std::mutex mutex;
+    std::condition_variable done;
+    int pending = 0;
+    std::exception_ptr error;
+  };
+  auto shared = std::make_shared<Shared>();
+  shared->next.store(begin, std::memory_order_relaxed);
+
+  const auto run_chunks = [shared, &body, end, chunk] {
+    for (;;) {
+      const std::int64_t lo = shared->next.fetch_add(chunk, std::memory_order_relaxed);
+      if (lo >= end) return;
+      try {
+        body(lo, std::min(end, lo + chunk));
+      } catch (...) {
+        std::lock_guard<std::mutex> lock(shared->mutex);
+        if (!shared->error) shared->error = std::current_exception();
+      }
+    }
+  };
+
+  const std::int64_t chunks = (n + chunk - 1) / chunk;
+  const int helpers =
+      static_cast<int>(std::min<std::int64_t>(workers, chunks - 1));
+  shared->pending = helpers;
+  for (int i = 0; i < helpers; ++i) {
+    pool.submit([shared, run_chunks] {
+      run_chunks();
+      std::lock_guard<std::mutex> lock(shared->mutex);
+      if (--shared->pending == 0) shared->done.notify_all();
+    });
+  }
+
+  run_chunks();
+  std::unique_lock<std::mutex> lock(shared->mutex);
+  shared->done.wait(lock, [&shared] { return shared->pending == 0; });
+  if (shared->error) std::rethrow_exception(shared->error);
+}
+
+}  // namespace cq::util

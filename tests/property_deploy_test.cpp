@@ -3,6 +3,7 @@
 #include <cmath>
 
 #include "deploy/bitstream.h"
+#include "deploy/int_engine.h"
 #include "quant/uniform.h"
 #include "util/rng.h"
 
@@ -76,6 +77,60 @@ TEST_P(BitstreamPatterns, ExtremalCodesRoundTrip) {
 
 INSTANTIATE_TEST_SUITE_P(Widths, BitstreamPatterns,
                          ::testing::Values(1, 2, 3, 4, 5, 7, 8, 9, 15, 16, 17, 31, 32));
+
+/// The activation-encoding contract the serving engine stands on:
+/// codes always fit the bit-width, and within the clip range the
+/// rescaled code is a faithful rounding (error at most half a step).
+class EncodeActivationsProperty : public ::testing::TestWithParam<int> {};
+
+TEST_P(EncodeActivationsProperty, CodesInRangeAndFaithfulWithinClip) {
+  const int bits = GetParam();
+  util::Rng rng(static_cast<std::uint64_t>(bits) * 101 + 7);
+  for (int trial = 0; trial < 50; ++trial) {
+    const float hi = static_cast<float>(rng.uniform(1e-3, 8.0));
+    // Inputs straddle the clip range on both sides, plus exact bounds.
+    tensor::Tensor acts =
+        tensor::Tensor::rand_uniform({4, 9}, rng, -0.5f * hi, 1.5f * hi);
+    acts[0] = 0.0f;
+    acts[1] = hi;
+    const ActCodes codes = encode_activations(acts, hi, bits);
+
+    EXPECT_EQ(codes.bits, bits);
+    const int levels = quant::levels_for_bits(bits);
+    EXPECT_FLOAT_EQ(codes.scale, hi / static_cast<float>(levels - 1));
+    for (std::size_t i = 0; i < acts.numel(); ++i) {
+      ASSERT_GE(codes.codes[i], 0) << "bits=" << bits << " a=" << acts[i];
+      ASSERT_LE(codes.codes[i], levels - 1) << "bits=" << bits << " a=" << acts[i];
+      const float a = acts[i];
+      if (a >= 0.0f && a <= hi) {
+        const float rescaled = codes.scale * static_cast<float>(codes.codes[i]);
+        // Half a quantization step, padded by float rounding slack.
+        const float half_step = codes.scale / 2.0f + 1e-5f * hi;
+        ASSERT_LE(std::abs(a - rescaled), half_step)
+            << "bits=" << bits << " hi=" << hi << " a=" << a;
+      }
+    }
+  }
+}
+
+TEST_P(EncodeActivationsProperty, ReusedBufferMatchesFreshEncoding) {
+  const int bits = GetParam();
+  util::Rng rng(static_cast<std::uint64_t>(bits) * 211 + 3);
+  ActCodes reused;
+  reused.codes.assign(4096, -1);  // stale garbage from a "previous request"
+  for (int trial = 0; trial < 10; ++trial) {
+    const float hi = static_cast<float>(rng.uniform(0.1, 4.0));
+    tensor::Tensor acts = tensor::Tensor::rand_uniform({3, 17}, rng, -hi, 2.0f * hi);
+    encode_activations_into(acts, hi, bits, reused);
+    const ActCodes fresh = encode_activations(acts, hi, bits);
+    ASSERT_EQ(reused.codes, fresh.codes) << "bits=" << bits << " trial=" << trial;
+    ASSERT_EQ(reused.scale, fresh.scale);
+    ASSERT_EQ(reused.bits, fresh.bits);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Bits, EncodeActivationsProperty,
+                         ::testing::Values(1, 2, 3, 4, 5, 8, 12, 16));
 
 }  // namespace
 }  // namespace cq::deploy

@@ -1,0 +1,380 @@
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <future>
+#include <thread>
+#include <vector>
+
+#include "deploy/artifact.h"
+#include "nn/models/mlp.h"
+#include "nn/models/model.h"
+#include "nn/models/resnet20.h"
+#include "nn/models/vgg_small.h"
+#include "serve/batch_scheduler.h"
+#include "serve/engine_session.h"
+#include "serve/server.h"
+#include "util/rng.h"
+
+namespace cq::serve {
+namespace {
+
+using tensor::Tensor;
+
+/// Gives `model` a deployable state without training: calibrated
+/// activation quantizers and a mixed per-filter bit arrangement
+/// (including pruned filters), then exports it.
+deploy::QuantizedArtifact fabricate_artifact(nn::Model& model, const tensor::Shape& in,
+                                             int act_bits, std::uint64_t seed) {
+  util::Rng rng(seed);
+  tensor::Shape calib_shape;
+  calib_shape.push_back(32);
+  calib_shape.insert(calib_shape.end(), in.begin(), in.end());
+  model.calibrate_activations(Tensor::rand_uniform(calib_shape, rng, 0.0f, 1.0f));
+  model.set_activation_bits(act_bits);
+  const int pattern[7] = {2, 3, 1, 4, 2, 0, 2};
+  int i = 0;
+  for (const nn::ScoredLayerRef& ref : model.scored_layers()) {
+    for (quant::QuantizableLayer* layer : ref.layers) {
+      std::vector<int> bits(static_cast<std::size_t>(layer->num_filters()));
+      for (int& b : bits) b = pattern[i++ % 7];
+      layer->set_filter_bits(std::move(bits));
+    }
+  }
+  return deploy::export_model(model);
+}
+
+deploy::QuantizedArtifact tiny_vgg_artifact() {
+  nn::VggSmallConfig cfg;
+  cfg.image_size = 8;
+  cfg.num_classes = 4;
+  cfg.c1 = 4;
+  cfg.c2 = 6;
+  cfg.c3 = 8;
+  cfg.f1 = 24;
+  cfg.f2 = 16;
+  cfg.f3 = 12;
+  nn::VggSmall model(cfg);
+  return fabricate_artifact(model, {3, 8, 8}, 3, 11);
+}
+
+deploy::QuantizedArtifact tiny_mlp_artifact() {
+  nn::MlpConfig cfg;
+  cfg.in_features = 12;
+  cfg.hidden = {20, 16, 14};
+  cfg.num_classes = 5;
+  nn::Mlp model(cfg);
+  return fabricate_artifact(model, {12}, 4, 13);
+}
+
+deploy::QuantizedArtifact tiny_resnet_artifact() {
+  nn::ResNet20Config cfg;
+  cfg.image_size = 8;
+  cfg.num_classes = 4;
+  cfg.base_width = 4;
+  nn::ResNet20 model(cfg);
+  return fabricate_artifact(model, {3, 8, 8}, 3, 17);
+}
+
+Tensor random_batch(const tensor::Shape& sample, int n, std::uint64_t seed) {
+  util::Rng rng(seed);
+  tensor::Shape shape;
+  shape.push_back(n);
+  shape.insert(shape.end(), sample.begin(), sample.end());
+  return Tensor::rand_uniform(shape, rng, -0.2f, 1.2f);
+}
+
+TEST(EngineSession, DerivesShapesFromTheArchitecture) {
+  EngineSession vgg(tiny_vgg_artifact());
+  EXPECT_EQ(vgg.sample_shape(), (tensor::Shape{3, 8, 8}));
+  EXPECT_EQ(vgg.num_classes(), 4);
+  EXPECT_EQ(vgg.integer_layer_count(), 7u);  // conv1-4 + fc5-7
+
+  EngineSession mlp(tiny_mlp_artifact());
+  EXPECT_EQ(mlp.sample_shape(), (tensor::Shape{12}));
+  EXPECT_EQ(mlp.num_classes(), 5);
+  EXPECT_EQ(mlp.integer_layer_count(), 2u);  // hidden layers 1..2
+}
+
+TEST(EngineSession, RejectsBadBatchShapes) {
+  EngineSession session(tiny_vgg_artifact());
+  EXPECT_THROW(session.run(Tensor({3, 8, 8})), std::invalid_argument);      // no N
+  EXPECT_THROW(session.run(Tensor({1, 3, 8, 4})), std::invalid_argument);   // bad W
+  EXPECT_THROW(session.run(Tensor({2, 1, 8, 8})), std::invalid_argument);   // bad C
+  EXPECT_THROW(EngineSession(tiny_vgg_artifact(), 0), std::invalid_argument);
+}
+
+/// The integer pipeline must reproduce the instantiated model's
+/// fake-quant forward within float-accumulation tolerance — this is
+/// the end-to-end composition of the per-layer int_engine contracts.
+class EngineMatchesModel : public ::testing::TestWithParam<int> {};
+
+TEST_P(EngineMatchesModel, VggMlpAndResNet) {
+  const int which = GetParam();
+  const deploy::QuantizedArtifact artifact =
+      which == 0 ? tiny_vgg_artifact()
+                 : which == 1 ? tiny_mlp_artifact() : tiny_resnet_artifact();
+  EngineSession session(artifact);
+  auto reference = deploy::instantiate(artifact);
+
+  const Tensor batch = random_batch(session.sample_shape(), 5, 23);
+  const Tensor ours = session.run(batch);
+  const Tensor expected = reference->forward(batch);
+  ASSERT_EQ(ours.shape(), expected.shape());
+  for (std::size_t i = 0; i < ours.numel(); ++i) {
+    EXPECT_NEAR(ours[i], expected[i], 5e-3f) << "model " << which << " output " << i;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Architectures, EngineMatchesModel, ::testing::Values(0, 1, 2));
+
+/// The serving invariant: batching is a pure scheduling concern.
+/// Running samples one at a time must produce byte-identical outputs
+/// to any coalescing of the same samples.
+class BatchingBitExact : public ::testing::TestWithParam<int> {};
+
+TEST_P(BatchingBitExact, OneAtATimeEqualsCoalesced) {
+  const int which = GetParam();
+  const deploy::QuantizedArtifact artifact =
+      which == 0 ? tiny_vgg_artifact()
+                 : which == 1 ? tiny_mlp_artifact() : tiny_resnet_artifact();
+  EngineSession session(artifact);
+  const int n = 9;
+  const Tensor batch = random_batch(session.sample_shape(), n, 31);
+  const std::size_t sample_numel = tensor::shape_numel(session.sample_shape());
+
+  const Tensor coalesced = session.run(batch);
+
+  tensor::Shape one_shape;
+  one_shape.push_back(1);
+  one_shape.insert(one_shape.end(), session.sample_shape().begin(),
+                   session.sample_shape().end());
+  for (int i = 0; i < n; ++i) {
+    Tensor one(one_shape);
+    for (std::size_t j = 0; j < sample_numel; ++j) {
+      one[j] = batch[static_cast<std::size_t>(i) * sample_numel + j];
+    }
+    const Tensor single = session.run(one);
+    ASSERT_EQ(single.numel(), static_cast<std::size_t>(session.num_classes()));
+    for (int c = 0; c < session.num_classes(); ++c) {
+      ASSERT_EQ(single[static_cast<std::size_t>(c)],
+                coalesced[static_cast<std::size_t>(i * session.num_classes() + c)])
+          << "model " << which << " sample " << i << " class " << c;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Architectures, BatchingBitExact, ::testing::Values(0, 1, 2));
+
+TEST(EngineSession, ConcurrentRunsOnMultipleContextsMatchSerial) {
+  const deploy::QuantizedArtifact artifact = tiny_vgg_artifact();
+  EngineSession serial(artifact, 1);
+  EngineSession concurrent(artifact, 4);
+
+  constexpr int kThreads = 8;
+  constexpr int kRepeats = 4;
+  std::vector<Tensor> inputs;
+  std::vector<Tensor> expected;
+  for (int t = 0; t < kThreads; ++t) {
+    inputs.push_back(random_batch(serial.sample_shape(), 2, 100 + t));
+    expected.push_back(serial.run(inputs.back()));
+  }
+
+  std::vector<std::thread> threads;
+  std::atomic<int> mismatches{0};
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      for (int r = 0; r < kRepeats; ++r) {
+        const Tensor out = concurrent.run(inputs[static_cast<std::size_t>(t)]);
+        const Tensor& want = expected[static_cast<std::size_t>(t)];
+        if (out.shape() != want.shape()) {
+          mismatches.fetch_add(1);
+          continue;
+        }
+        for (std::size_t i = 0; i < out.numel(); ++i) {
+          if (out[i] != want[i]) {
+            mismatches.fetch_add(1);
+            break;
+          }
+        }
+      }
+    });
+  }
+  for (std::thread& thread : threads) thread.join();
+  EXPECT_EQ(mismatches.load(), 0);
+}
+
+TEST(BatchScheduler, FlushesWhenMaxBatchIsReached) {
+  BatchSchedulerConfig cfg;
+  cfg.max_batch = 4;
+  cfg.max_wait_us = 50000;  // large enough that only the size trigger fires
+  BatchScheduler scheduler(cfg);
+  for (int i = 0; i < 6; ++i) {
+    Request request;
+    request.sample = Tensor({1});
+    request.submitted = std::chrono::steady_clock::now();
+    ASSERT_TRUE(scheduler.push(request));
+  }
+  std::vector<Request> batch;
+  ASSERT_TRUE(scheduler.pop_batch(batch));
+  EXPECT_EQ(batch.size(), 4u);  // capped at max_batch
+  ASSERT_TRUE(scheduler.pop_batch(batch));
+  EXPECT_EQ(batch.size(), 2u);  // remainder after the oldest's window
+}
+
+TEST(BatchScheduler, FlushesAPartialBatchAfterMaxWait) {
+  BatchSchedulerConfig cfg;
+  cfg.max_batch = 64;
+  cfg.max_wait_us = 2000;
+  BatchScheduler scheduler(cfg);
+  Request request;
+  request.sample = Tensor({1});
+  request.submitted = std::chrono::steady_clock::now();
+  ASSERT_TRUE(scheduler.push(request));
+
+  std::vector<Request> batch;
+  const auto start = std::chrono::steady_clock::now();
+  ASSERT_TRUE(scheduler.pop_batch(batch));
+  const auto waited = std::chrono::steady_clock::now() - start;
+  EXPECT_EQ(batch.size(), 1u);
+  // The pop must not hang anywhere near the 64-request fill level; it
+  // returns once the oldest request's window expires.
+  EXPECT_LT(std::chrono::duration<double>(waited).count(), 1.0);
+}
+
+TEST(BatchScheduler, CloseRejectsPushesAndDrainsTheQueue) {
+  BatchScheduler scheduler({});
+  Request queued;
+  queued.sample = Tensor({1});
+  queued.submitted = std::chrono::steady_clock::now();
+  ASSERT_TRUE(scheduler.push(queued));
+  scheduler.close();
+  EXPECT_TRUE(scheduler.closed());
+
+  Request rejected;
+  rejected.sample = Tensor({1});
+  EXPECT_FALSE(scheduler.push(rejected));
+
+  std::vector<Request> batch;
+  EXPECT_TRUE(scheduler.pop_batch(batch));  // drains the queued request
+  EXPECT_EQ(batch.size(), 1u);
+  EXPECT_FALSE(scheduler.pop_batch(batch));  // closed and empty
+}
+
+/// The headline serving test: the same inputs submitted by 8
+/// concurrent threads — coalesced into whatever micro-batches the
+/// scheduler forms — must produce byte-identical outputs to the
+/// one-at-a-time EngineSession reference.
+TEST(Server, CoalescedOutputsAreByteIdenticalUnderConcurrentLoad) {
+  const deploy::QuantizedArtifact artifact = tiny_vgg_artifact();
+
+  EngineSession reference(artifact, 1);
+  constexpr int kThreads = 8;
+  constexpr int kPerThread = 12;
+  std::vector<std::vector<Tensor>> inputs(kThreads);
+  std::vector<std::vector<Tensor>> expected(kThreads);
+  tensor::Shape one_shape{1, 3, 8, 8};
+  for (int t = 0; t < kThreads; ++t) {
+    util::Rng rng(500 + static_cast<std::uint64_t>(t));
+    for (int i = 0; i < kPerThread; ++i) {
+      inputs[static_cast<std::size_t>(t)].push_back(
+          Tensor::rand_uniform({3, 8, 8}, rng, 0.0f, 1.0f));
+      const Tensor& sample = inputs[static_cast<std::size_t>(t)].back();
+      Tensor one(one_shape);
+      for (std::size_t j = 0; j < sample.numel(); ++j) one[j] = sample[j];
+      expected[static_cast<std::size_t>(t)].push_back(reference.run(one));
+    }
+  }
+
+  ServerConfig config;
+  config.workers = 4;
+  config.max_batch = 8;
+  config.max_wait_us = 500;
+  Server server(artifact, config);
+
+  std::vector<std::thread> submitters;
+  std::atomic<int> mismatches{0};
+  for (int t = 0; t < kThreads; ++t) {
+    submitters.emplace_back([&, t] {
+      for (int i = 0; i < kPerThread; ++i) {
+        const Tensor out =
+            server.submit(inputs[static_cast<std::size_t>(t)][static_cast<std::size_t>(i)])
+                .get();
+        const Tensor& want =
+            expected[static_cast<std::size_t>(t)][static_cast<std::size_t>(i)];
+        // want is [1, classes]; out is [classes].
+        if (out.numel() != want.numel()) {
+          mismatches.fetch_add(1);
+          continue;
+        }
+        for (std::size_t j = 0; j < out.numel(); ++j) {
+          if (out[j] != want[j]) {
+            mismatches.fetch_add(1);
+            break;
+          }
+        }
+      }
+    });
+  }
+  for (std::thread& submitter : submitters) submitter.join();
+  EXPECT_EQ(mismatches.load(), 0);
+
+  const ServerStats stats = server.stats();
+  EXPECT_EQ(stats.completed, static_cast<std::size_t>(kThreads * kPerThread));
+  EXPECT_GE(stats.batches, 1u);
+  EXPECT_GT(stats.p50_us, 0.0);
+  EXPECT_GE(stats.p99_us, stats.p50_us);
+  EXPECT_GT(stats.throughput_rps, 0.0);
+}
+
+TEST(Server, ShapeMismatchFailsOnlyThatRequest) {
+  Server server(tiny_mlp_artifact(), {});
+  auto bad = server.submit(Tensor({7}));  // MLP wants 12 features
+  EXPECT_THROW(bad.get(), std::invalid_argument);
+  util::Rng rng(3);
+  auto good = server.submit(Tensor::rand_uniform({12}, rng, 0.0f, 1.0f));
+  EXPECT_EQ(good.get().numel(), 5u);
+}
+
+TEST(Server, RejectsLayoutMismatchWithMatchingElementCount) {
+  // [8, 8, 3] has the same numel as the artifact's [3, 8, 8] input; a
+  // coalesce-by-numel would answer it with silently transposed data.
+  Server server(tiny_vgg_artifact(), {});
+  util::Rng rng(9);
+  auto transposed = server.submit(Tensor::rand_uniform({8, 8, 3}, rng, 0.0f, 1.0f));
+  EXPECT_THROW(transposed.get(), std::invalid_argument);
+  auto good = server.submit(Tensor::rand_uniform({3, 8, 8}, rng, 0.0f, 1.0f));
+  EXPECT_EQ(good.get().numel(), 4u);
+}
+
+TEST(Server, ResetStatsZeroesCountersAfterWarmup) {
+  Server server(tiny_mlp_artifact(), {});
+  util::Rng rng(21);
+  for (int i = 0; i < 5; ++i) {
+    server.submit(Tensor::rand_uniform({12}, rng, 0.0f, 1.0f)).get();
+  }
+  EXPECT_EQ(server.stats().completed, 5u);
+  server.reset_stats();
+  const ServerStats cleared = server.stats();
+  EXPECT_EQ(cleared.completed, 0u);
+  EXPECT_EQ(cleared.batches, 0u);
+  EXPECT_EQ(cleared.p99_us, 0.0);
+  server.submit(Tensor::rand_uniform({12}, rng, 0.0f, 1.0f)).get();
+  const ServerStats after = server.stats();
+  EXPECT_EQ(after.completed, 1u);
+  EXPECT_GT(after.p50_us, 0.0);
+}
+
+TEST(Server, SubmitAfterShutdownFailsTheFuture) {
+  Server server(tiny_mlp_artifact(), {});
+  util::Rng rng(5);
+  auto before = server.submit(Tensor::rand_uniform({12}, rng, 0.0f, 1.0f));
+  EXPECT_EQ(before.get().numel(), 5u);
+  server.shutdown();
+  server.shutdown();  // idempotent
+  auto after = server.submit(Tensor::rand_uniform({12}, rng, 0.0f, 1.0f));
+  EXPECT_THROW(after.get(), std::runtime_error);
+}
+
+}  // namespace
+}  // namespace cq::serve

@@ -1,0 +1,137 @@
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdint>
+#include <stdexcept>
+#include <thread>
+#include <vector>
+
+#include "util/thread_pool.h"
+
+namespace cq::util {
+namespace {
+
+TEST(ThreadPool, RejectsNegativeThreadCount) {
+  EXPECT_THROW(ThreadPool(-1), std::invalid_argument);
+}
+
+TEST(ThreadPool, ZeroThreadsRunsJobsInline) {
+  ThreadPool pool(0);
+  EXPECT_EQ(pool.size(), 0);
+  int calls = 0;
+  std::thread::id observed;
+  pool.submit([&] {
+    ++calls;
+    observed = std::this_thread::get_id();
+  });
+  EXPECT_EQ(calls, 1);
+  EXPECT_EQ(observed, std::this_thread::get_id());
+}
+
+TEST(ThreadPool, RunsEverySubmittedJobExactlyOnce) {
+  ThreadPool pool(4);
+  EXPECT_EQ(pool.size(), 4);
+  std::atomic<int> count{0};
+  for (int i = 0; i < 1000; ++i) {
+    pool.submit([&count] { count.fetch_add(1, std::memory_order_relaxed); });
+  }
+  pool.wait_idle();
+  EXPECT_EQ(count.load(), 1000);
+}
+
+TEST(ThreadPool, WaitIdleIsSafeOnFreshAndDrainedPools) {
+  ThreadPool pool(2);
+  pool.wait_idle();  // nothing submitted yet
+  std::atomic<int> count{0};
+  pool.submit([&count] { ++count; });
+  pool.wait_idle();
+  pool.wait_idle();  // drained twice in a row
+  EXPECT_EQ(count.load(), 1);
+}
+
+TEST(ThreadPool, DestructorDrainsOutstandingJobs) {
+  std::atomic<int> count{0};
+  {
+    ThreadPool pool(2);
+    for (int i = 0; i < 64; ++i) {
+      pool.submit([&count] { count.fetch_add(1, std::memory_order_relaxed); });
+    }
+  }
+  EXPECT_EQ(count.load(), 64);
+}
+
+TEST(ParallelFor, CoversTheRangeExactlyOnce) {
+  ThreadPool pool(4);
+  std::vector<std::atomic<int>> hits(257);
+  parallel_for(pool, 0, 257, 16, [&hits](std::int64_t lo, std::int64_t hi) {
+    for (std::int64_t i = lo; i < hi; ++i) {
+      hits[static_cast<std::size_t>(i)].fetch_add(1, std::memory_order_relaxed);
+    }
+  });
+  for (std::size_t i = 0; i < hits.size(); ++i) {
+    EXPECT_EQ(hits[i].load(), 1) << "index " << i;
+  }
+}
+
+TEST(ParallelFor, HandlesEmptyRangeAndNonZeroBegin) {
+  ThreadPool pool(2);
+  int calls = 0;
+  parallel_for(pool, 5, 5, 1, [&calls](std::int64_t, std::int64_t) { ++calls; });
+  EXPECT_EQ(calls, 0);
+
+  std::atomic<std::int64_t> sum{0};
+  parallel_for(pool, 10, 20, 3, [&sum](std::int64_t lo, std::int64_t hi) {
+    for (std::int64_t i = lo; i < hi; ++i) sum.fetch_add(i, std::memory_order_relaxed);
+  });
+  EXPECT_EQ(sum.load(), 145);  // 10 + 11 + ... + 19
+}
+
+TEST(ParallelFor, ZeroThreadPoolFallsBackToSerial) {
+  ThreadPool pool(0);
+  std::int64_t sum = 0;  // safe: everything runs on this thread
+  parallel_for(pool, 0, 100, 7,
+               [&sum](std::int64_t lo, std::int64_t hi) { sum += hi - lo; });
+  EXPECT_EQ(sum, 100);
+}
+
+TEST(ParallelFor, DefaultGrainCoversRange) {
+  ThreadPool pool(3);
+  std::atomic<std::int64_t> count{0};
+  parallel_for(pool, 0, 1000, 0, [&count](std::int64_t lo, std::int64_t hi) {
+    count.fetch_add(hi - lo, std::memory_order_relaxed);
+  });
+  EXPECT_EQ(count.load(), 1000);
+}
+
+TEST(ParallelFor, PropagatesTheFirstBodyException) {
+  ThreadPool pool(4);
+  EXPECT_THROW(
+      parallel_for(pool, 0, 64, 4,
+                   [](std::int64_t lo, std::int64_t) {
+                     if (lo >= 32) throw std::runtime_error("chunk failed");
+                   }),
+      std::runtime_error);
+  // The pool stays usable after a failed parallel_for.
+  std::atomic<int> count{0};
+  parallel_for(pool, 0, 8, 1,
+               [&count](std::int64_t, std::int64_t) { ++count; });
+  EXPECT_EQ(count.load(), 8);
+}
+
+TEST(ParallelFor, ConcurrentCallersShareThePool) {
+  ThreadPool pool(4);
+  std::atomic<std::int64_t> total{0};
+  std::vector<std::thread> callers;
+  for (int t = 0; t < 3; ++t) {
+    callers.emplace_back([&pool, &total] {
+      parallel_for(pool, 0, 500, 13, [&total](std::int64_t lo, std::int64_t hi) {
+        total.fetch_add(hi - lo, std::memory_order_relaxed);
+      });
+    });
+  }
+  for (std::thread& caller : callers) caller.join();
+  EXPECT_EQ(total.load(), 1500);
+}
+
+}  // namespace
+}  // namespace cq::util

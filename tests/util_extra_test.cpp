@@ -7,6 +7,7 @@
 #include "nn/module.h"
 #include "tensor/ops.h"
 #include "util/logging.h"
+#include "util/stats.h"
 #include "util/timer.h"
 
 namespace cq {
@@ -120,6 +121,26 @@ TEST(ConvGeometry, OutputDimsFormula) {
   EXPECT_EQ(g.out_h(), 9);
   EXPECT_EQ(g.out_w(), 5);
   EXPECT_EQ(g.patch_size(), 27);
+}
+
+TEST(Percentile, InterpolatesAndHandlesEdges) {
+  EXPECT_EQ(util::percentile({}, 50.0), 0.0);
+  const std::vector<double> one = {7.0};
+  EXPECT_EQ(util::percentile(one, 0.0), 7.0);
+  EXPECT_EQ(util::percentile(one, 100.0), 7.0);
+
+  // Order must not matter for the unsorted entry point.
+  const std::vector<double> values = {40.0, 10.0, 30.0, 20.0};
+  EXPECT_DOUBLE_EQ(util::percentile(values, 0.0), 10.0);
+  EXPECT_DOUBLE_EQ(util::percentile(values, 50.0), 25.0);   // between 20 and 30
+  EXPECT_DOUBLE_EQ(util::percentile(values, 100.0), 40.0);
+  EXPECT_DOUBLE_EQ(util::percentile(values, 150.0), 40.0);  // clamped
+  EXPECT_DOUBLE_EQ(util::percentile(values, -5.0), 10.0);   // clamped
+
+  const std::vector<double> sorted = {10.0, 20.0, 30.0, 40.0};
+  for (const double q : {0.0, 25.0, 50.0, 90.0, 100.0}) {
+    EXPECT_DOUBLE_EQ(util::percentile_sorted(sorted, q), util::percentile(values, q));
+  }
 }
 
 }  // namespace

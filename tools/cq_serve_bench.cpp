@@ -1,0 +1,136 @@
+// cq_serve_bench — closed-loop load generator against a .cqar artifact.
+//
+// Spins up a serve::Server over the artifact and drives it with
+// `threads` synchronous submitters (each waits for its response before
+// sending the next request), then reports throughput, latency
+// percentiles and micro-batch shape. The serving-side counterpart of
+// cqar_info: where cqar_info inspects the deployed bytes, this measures
+// the deployed behaviour under concurrent traffic.
+//
+// Usage: cq_serve_bench <model.cqar> [options]
+//   --requests=N     total requests across all submitters (default 512)
+//   --threads=N      closed-loop submitter threads (default 8)
+//   --workers=N      server batch workers / engine contexts (default 4)
+//   --max_batch=N    micro-batch flush size (default 16)
+//   --max_wait_us=N  micro-batch flush age in microseconds (default 200)
+//   --queue=N        bounded request queue depth (default 1024)
+//   --warmup=N       untimed warmup requests (default 64)
+//   --seed=N         input generator seed (default 1)
+
+#include <atomic>
+#include <cstdio>
+#include <future>
+#include <thread>
+#include <vector>
+
+#include "deploy/artifact.h"
+#include "serve/server.h"
+#include "util/cli.h"
+#include "util/rng.h"
+#include "util/timer.h"
+
+int main(int argc, char** argv) {
+  using namespace cq;
+  if (argc < 2 || argv[1][0] == '-') {
+    std::fprintf(stderr,
+                 "usage: cq_serve_bench <model.cqar> [--requests=512] [--threads=8] "
+                 "[--workers=4] [--max_batch=16] [--max_wait_us=200] [--queue=1024] "
+                 "[--warmup=64] [--seed=1]\n");
+    return 2;
+  }
+  const std::string path = argv[1];
+  const util::Cli cli(argc, argv);
+  const long requests = cli.get_int("requests", 512);
+  const long threads = cli.get_int("threads", 8);
+  const long warmup = cli.get_int("warmup", 64);
+  if (requests < 1 || threads < 1 || warmup < 0) {
+    std::fprintf(stderr, "cq_serve_bench: requests/threads must be >= 1, warmup >= 0\n");
+    return 2;
+  }
+
+  serve::ServerConfig config;
+  config.workers = static_cast<int>(cli.get_int("workers", 4));
+  config.max_batch = static_cast<int>(cli.get_int("max_batch", 16));
+  config.max_wait_us = cli.get_int("max_wait_us", 200);
+  config.queue_capacity = static_cast<std::size_t>(cli.get_int("queue", 1024));
+
+  deploy::QuantizedArtifact artifact;
+  try {
+    artifact = deploy::load_artifact(path);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "cq_serve_bench: %s\n", e.what());
+    return 1;
+  }
+
+  try {
+    serve::Server server(artifact, config);
+    const tensor::Shape& sample_shape = server.session().sample_shape();
+    std::printf("%s: %s, input %s, %d classes, %zu integer layers\n", path.c_str(),
+                artifact.arch.kind.c_str(),
+                tensor::shape_to_string(sample_shape).c_str(),
+                server.session().num_classes(),
+                server.session().integer_layer_count());
+    std::printf("workers %d, max_batch %d, max_wait %ld us, queue %zu, "
+                "%ld closed-loop submitters, %ld requests, %u hw threads\n",
+                config.workers, config.max_batch, config.max_wait_us,
+                config.queue_capacity, threads, requests,
+                std::thread::hardware_concurrency());
+
+    // Deterministic per-thread request streams.
+    const std::uint64_t seed = static_cast<std::uint64_t>(cli.get_int("seed", 1));
+    const auto make_sample = [&sample_shape](util::Rng& rng) {
+      return tensor::Tensor::rand_uniform(sample_shape, rng, 0.0f, 1.0f);
+    };
+
+    {  // untimed warmup: fills caches and exercises every context once
+      util::Rng rng(seed ^ 0x9e3779b97f4a7c15ULL);
+      std::vector<std::future<tensor::Tensor>> inflight;
+      for (long i = 0; i < warmup; ++i) inflight.push_back(server.submit(make_sample(rng)));
+      for (auto& f : inflight) f.get();
+    }
+    server.reset_stats();  // the open-loop warmup must not skew the report
+    util::Timer timer;
+
+    std::vector<std::thread> submitters;
+    submitters.reserve(static_cast<std::size_t>(threads));
+    std::atomic<long> failed{0};
+    for (long t = 0; t < threads; ++t) {
+      const long share = requests / threads + (t < requests % threads ? 1 : 0);
+      submitters.emplace_back([&server, &make_sample, &failed, share, seed, t] {
+        util::Rng rng(seed + static_cast<std::uint64_t>(t) * 1000003ULL);
+        for (long i = 0; i < share; ++i) {
+          try {
+            server.submit(make_sample(rng)).get();  // closed loop
+          } catch (const std::exception& e) {
+            // An escaping exception would std::terminate the whole
+            // process from this thread; report and count instead.
+            if (failed.fetch_add(1) == 0) {
+              std::fprintf(stderr, "cq_serve_bench: request failed: %s\n", e.what());
+            }
+          }
+        }
+      });
+    }
+    for (std::thread& submitter : submitters) submitter.join();
+    const double elapsed = timer.seconds();
+    if (failed.load() != 0) {
+      std::fprintf(stderr, "cq_serve_bench: %ld/%ld requests failed\n", failed.load(),
+                   requests);
+      return 1;
+    }
+
+    const serve::ServerStats stats = server.stats();
+    std::printf("\n%zu requests in %.3f s  ->  %.1f req/s\n", stats.completed, elapsed,
+                static_cast<double>(stats.completed) / elapsed);
+    std::printf("latency  p50 %.0f us   p95 %.0f us   p99 %.0f us   mean %.0f us   "
+                "max %.0f us\n",
+                stats.p50_us, stats.p95_us, stats.p99_us, stats.mean_us, stats.max_us);
+    std::printf("batching %zu batches, %.2f mean size, %zu max size\n", stats.batches,
+                stats.mean_batch, stats.max_batch);
+    server.shutdown();
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "cq_serve_bench: %s\n", e.what());
+    return 1;
+  }
+  return 0;
+}

@@ -1,17 +1,55 @@
 // cqar_info — inspect a .cqar deployment artifact without loading the
-// model: architecture, per-layer bit histograms, size breakdown and
-// integrity status. The deployment-side counterpart of
-// examples/export_and_deploy.
+// model: architecture, per-layer bit histograms, activation-quantizer
+// calibration, size breakdown and integrity status. The
+// deployment-side counterpart of examples/export_and_deploy.
 //
 // Usage: cqar_info <model.cqar> [--verify]
 //   --verify   additionally instantiate the model (full structural check)
+//
+// Exit status: 0 on success, 1 for any unreadable/truncated/corrupted
+// artifact (with a one-line diagnostic on stderr), 2 for usage errors.
 
 #include <cstdio>
 #include <map>
+#include <vector>
 
 #include "deploy/artifact.h"
+#include "nn/models/model.h"
 #include "util/cli.h"
 #include "util/table.h"
+
+namespace {
+
+/// Index into artifact.act_quants for each packed layer (the
+/// quantizer on that layer's post-ReLU output), recovered by
+/// instantiating the architecture skeleton and walking its scored
+/// layers in export order. -1 when the mapping cannot be formed.
+std::vector<int> act_quant_of_packed_layer(const cq::deploy::QuantizedArtifact& artifact) {
+  std::vector<int> map;
+  try {
+    auto model = cq::deploy::instantiate_model(artifact.arch);
+    const auto quantizers = model->activation_quantizers();
+    for (const cq::nn::ScoredLayerRef& ref : model->scored_layers()) {
+      int index = -1;
+      for (std::size_t i = 0; i < quantizers.size(); ++i) {
+        if (quantizers[i] == ref.act_quant) {
+          index = static_cast<int>(i);
+          break;
+        }
+      }
+      // Multi-layer refs (projection shortcuts) pack one entry each.
+      for (std::size_t l = 0; l < ref.layers.size(); ++l) map.push_back(index);
+    }
+  } catch (const std::exception&) {
+    map.clear();  // unknown architecture: print the table without the mapping
+  }
+  if (map.size() != artifact.packed_layers.size()) {
+    map.assign(artifact.packed_layers.size(), -1);
+  }
+  return map;
+}
+
+}  // namespace
 
 int main(int argc, char** argv) {
   using namespace cq;
@@ -25,7 +63,7 @@ int main(int argc, char** argv) {
   deploy::QuantizedArtifact artifact;
   try {
     artifact = deploy::load_artifact(path);
-  } catch (const deploy::ArtifactError& e) {
+  } catch (const std::exception& e) {
     std::fprintf(stderr, "cqar_info: %s\n", e.what());
     return 1;
   }
@@ -45,16 +83,26 @@ int main(int argc, char** argv) {
   }
   std::printf("\n\n");
 
+  const std::vector<int> act_of = act_quant_of_packed_layer(artifact);
   util::Table table({"layer", "filters", "w/filter", "bits/weight", "0-bit", "range",
-                     "payload B"});
-  for (const deploy::PackedLayer& layer : artifact.packed_layers) {
+                     "payload B", "act bits", "act clip"});
+  for (std::size_t i = 0; i < artifact.packed_layers.size(); ++i) {
+    const deploy::PackedLayer& layer = artifact.packed_layers[i];
     int pruned = 0;
     for (const std::uint8_t b : layer.filter_bits) pruned += (b == 0);
+    std::string act_bits = "-";
+    std::string act_clip = "-";
+    const int aq = act_of[i];
+    if (aq >= 0 && aq < static_cast<int>(artifact.act_quants.size())) {
+      act_bits = std::to_string(artifact.act_quants[static_cast<std::size_t>(aq)].bits);
+      act_clip = util::Table::num(
+          artifact.act_quants[static_cast<std::size_t>(aq)].max_activation, 4);
+    }
     table.add_row({layer.name, std::to_string(layer.num_filters),
                    std::to_string(layer.weights_per_filter),
                    util::Table::num(layer.bits_per_weight(), 3), std::to_string(pruned),
                    util::Table::num(layer.range_hi, 4),
-                   std::to_string(layer.codes.size())});
+                   std::to_string(layer.codes.size()), act_bits, act_clip});
   }
   std::printf("%s\n", table.render().c_str());
 

@@ -1,0 +1,40 @@
+# Regression check for cqar_info's corrupted-input behaviour: a
+# truncated artifact must produce a nonzero exit and a one-line
+# "cqar_info: ..." diagnostic on stderr — not a crash or a zero exit.
+#
+# Driven as: cmake -DTOOL=<cqar_info> -DARTIFACT=<x.cqar> -DOUT=<tmp> -P <this>
+
+foreach(var TOOL ARTIFACT OUT)
+  if(NOT DEFINED ${var})
+    message(FATAL_ERROR "truncated_info_test: -D${var}=... is required")
+  endif()
+endforeach()
+
+file(SIZE "${ARTIFACT}" full_size)
+if(full_size LESS 100)
+  message(FATAL_ERROR "truncated_info_test: artifact implausibly small (${full_size} B)")
+endif()
+math(EXPR keep "${full_size} * 6 / 10")
+
+execute_process(
+  COMMAND head -c ${keep} "${ARTIFACT}"
+  OUTPUT_FILE "${OUT}"
+  RESULT_VARIABLE head_result)
+if(NOT head_result EQUAL 0)
+  message(FATAL_ERROR "truncated_info_test: could not truncate the artifact")
+endif()
+
+execute_process(
+  COMMAND "${TOOL}" "${OUT}"
+  RESULT_VARIABLE tool_result
+  OUTPUT_VARIABLE tool_stdout
+  ERROR_VARIABLE tool_stderr)
+
+if(tool_result EQUAL 0)
+  message(FATAL_ERROR "cqar_info accepted a truncated artifact (stdout: ${tool_stdout})")
+endif()
+if(NOT tool_stderr MATCHES "cqar_info: ")
+  message(FATAL_ERROR
+    "cqar_info exited ${tool_result} without a clean diagnostic (stderr: ${tool_stderr})")
+endif()
+message(STATUS "cqar_info rejected the truncated artifact: ${tool_stderr}")
