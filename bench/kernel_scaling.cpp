@@ -1,0 +1,303 @@
+// Intra-op kernel scaling harness: times the threaded integer/float
+// kernels at a list of thread counts, verifies every threaded run is
+// byte-identical to the serial reference, and emits machine-readable
+// JSON for the CI perf lane.
+//
+// This is the repository's only *measured* scaling check: the dev
+// container is single-core, so the perf-smoke CI job runs this binary
+// on a multi-core runner and asserts the speedup it observes, e.g.
+//
+//   kernel_scaling --json=kernel_scaling.json --assert-case=integer_conv_large
+//                  --assert-threads=4 --assert-speedup=1.5
+//
+// Exit codes: 0 ok, 1 assertion failed, 2 threaded output mismatch.
+//
+// Other knobs: --threads=1,2,4 (thread counts), --repeat=N (timed runs
+// per point; best-of is reported to shed scheduler noise).
+
+#include <cstdio>
+#include <cstring>
+#include <functional>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "deploy/int_engine.h"
+#include "tensor/ops.h"
+#include "util/cli.h"
+#include "util/exec_context.h"
+#include "util/rng.h"
+#include "util/table.h"
+#include "util/thread_pool.h"
+#include "util/timer.h"
+
+namespace {
+
+using namespace cq;
+
+/// One timed kernel under test: run() executes the kernel under the
+/// given context and returns the output bytes for the byte-identity
+/// check against the serial reference.
+struct Case {
+  std::string name;
+  std::string desc;
+  long long work_macs = 0;
+  std::function<std::vector<float>(const util::ExecContext&)> run;
+};
+
+/// Synthetic IntegerLayer with a mixed bit pattern (pruned filters
+/// included) and dense random codes — the shape CQ deployments have.
+deploy::IntegerLayer fabricate_integer_layer(int num_filters, std::int64_t per_filter,
+                                             util::Rng& rng) {
+  deploy::IntegerLayer layer;
+  layer.num_filters = num_filters;
+  layer.weights_per_filter = per_filter;
+  layer.range_hi = 0.9f;
+  const int pattern[8] = {2, 3, 2, 1, 4, 2, 0, 2};
+  layer.filter_bits.resize(static_cast<std::size_t>(num_filters));
+  layer.codes.assign(static_cast<std::size_t>(num_filters) * per_filter, 0);
+  layer.bias.resize(static_cast<std::size_t>(num_filters));
+  for (int k = 0; k < num_filters; ++k) {
+    const int b = pattern[k % 8];
+    layer.filter_bits[static_cast<std::size_t>(k)] = static_cast<std::uint8_t>(b);
+    layer.bias[static_cast<std::size_t>(k)] =
+        static_cast<float>(rng.uniform(-0.5, 0.5));
+    if (b == 0) continue;
+    const int levels = 1 << b;
+    std::int32_t* row = layer.codes.data() + static_cast<std::size_t>(k) * per_filter;
+    for (std::int64_t j = 0; j < per_filter; ++j) {
+      row[j] = static_cast<std::int32_t>(rng.uniform_int(0, levels - 1));
+    }
+  }
+  return layer;
+}
+
+deploy::ActCodes fabricate_act_codes(std::size_t count, int bits, util::Rng& rng) {
+  deploy::ActCodes acts;
+  acts.bits = bits;
+  const int levels = 1 << bits;
+  acts.scale = 1.0f / static_cast<float>(levels - 1);
+  acts.codes.resize(count);
+  for (std::int32_t& c : acts.codes) {
+    c = static_cast<std::int32_t>(rng.uniform_int(0, levels - 1));
+  }
+  return acts;
+}
+
+std::vector<int> parse_threads(const std::string& list) {
+  std::vector<int> threads;
+  std::string token;
+  for (const char c : list + ",") {
+    if (c == ',') {
+      if (!token.empty()) threads.push_back(std::stoi(token));
+      token.clear();
+    } else {
+      token += c;
+    }
+  }
+  return threads;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const util::Cli cli(argc, argv);
+  const std::vector<int> thread_counts = parse_threads(cli.get("threads", "1,2,4"));
+  const int repeat = static_cast<int>(cli.get_int("repeat", 5));
+  const std::string json_path = cli.get("json", "");
+  const std::string assert_case = cli.get("assert-case", "");
+  const int assert_threads = static_cast<int>(cli.get_int("assert-threads", 4));
+  const double assert_speedup = cli.get_double("assert-speedup", 0.0);
+
+  util::Rng rng(42);
+  std::vector<Case> cases;
+
+  // The "large-layer case" of the perf-smoke assertion: one image
+  // through a VGG-middle-sized conv, ~75M MACs.
+  {
+    const int in_c = 64, hw = 32, filters = 128, kernel = 3, batch = 1;
+    const std::int64_t per_filter = static_cast<std::int64_t>(in_c) * kernel * kernel;
+    auto layer = std::make_shared<deploy::IntegerLayer>(
+        fabricate_integer_layer(filters, per_filter, rng));
+    auto acts = std::make_shared<deploy::ActCodes>(fabricate_act_codes(
+        static_cast<std::size_t>(batch) * in_c * hw * hw, 3, rng));
+    cases.push_back(
+        {"integer_conv_large",
+         "integer_conv_forward 64x32x32 -> 128 filters, 3x3",
+         2LL * batch * filters * per_filter * hw * hw,
+         [=](const util::ExecContext& exec) {
+           tensor::Tensor out = deploy::integer_conv_forward(
+               *layer, *acts, batch, in_c, hw, hw, kernel, 1, 1, exec);
+           return std::vector<float>(out.data(), out.data() + out.numel());
+         }});
+  }
+
+  // Small conv: shows where threading overhead eats the win.
+  {
+    const int in_c = 8, hw = 16, filters = 16, kernel = 3, batch = 1;
+    const std::int64_t per_filter = static_cast<std::int64_t>(in_c) * kernel * kernel;
+    auto layer = std::make_shared<deploy::IntegerLayer>(
+        fabricate_integer_layer(filters, per_filter, rng));
+    auto acts = std::make_shared<deploy::ActCodes>(fabricate_act_codes(
+        static_cast<std::size_t>(batch) * in_c * hw * hw, 3, rng));
+    cases.push_back(
+        {"integer_conv_small", "integer_conv_forward 8x16x16 -> 16 filters, 3x3",
+         2LL * batch * filters * per_filter * hw * hw,
+         [=](const util::ExecContext& exec) {
+           tensor::Tensor out = deploy::integer_conv_forward(
+               *layer, *acts, batch, in_c, hw, hw, kernel, 1, 1, exec);
+           return std::vector<float>(out.data(), out.data() + out.numel());
+         }});
+  }
+
+  // Integer FC layer, chunked over output rows.
+  {
+    const int in_features = 1024, filters = 1024, batch = 16;
+    auto layer = std::make_shared<deploy::IntegerLayer>(
+        fabricate_integer_layer(filters, in_features, rng));
+    auto acts = std::make_shared<deploy::ActCodes>(fabricate_act_codes(
+        static_cast<std::size_t>(batch) * in_features, 4, rng));
+    cases.push_back(
+        {"integer_linear_large", "integer_linear_forward 16x1024 -> 1024",
+         2LL * batch * in_features * filters,
+         [=](const util::ExecContext& exec) {
+           tensor::Tensor out =
+               deploy::integer_linear_forward(*layer, *acts, batch, in_features, exec);
+           return std::vector<float>(out.data(), out.data() + out.numel());
+         }});
+  }
+
+  // Float GEMM — the training-side im2col+GEMM path.
+  {
+    const int m = 256, k = 256, n = 256;
+    util::Rng gemm_rng(7);
+    auto a = std::make_shared<tensor::Tensor>(
+        tensor::Tensor::randn({m, k}, gemm_rng));
+    auto b = std::make_shared<tensor::Tensor>(
+        tensor::Tensor::randn({k, n}, gemm_rng));
+    cases.push_back({"gemm_float_256", "tensor::gemm 256x256x256",
+                     2LL * m * k * n,
+                     [=](const util::ExecContext& exec) {
+                       std::vector<float> c(static_cast<std::size_t>(m) * n);
+                       tensor::gemm(a->data(), b->data(), c.data(), m, k, n,
+                                    /*accumulate=*/false, exec);
+                       return c;
+                     }});
+  }
+
+  struct Point {
+    int threads = 0;
+    double best_ms = 0.0;
+    double speedup = 1.0;
+  };
+  struct CaseResult {
+    const Case* c = nullptr;
+    std::vector<Point> points;
+  };
+  std::vector<CaseResult> results;
+
+  for (const Case& c : cases) {
+    CaseResult result;
+    result.c = &c;
+    const std::vector<float> reference = c.run({});  // serial reference (warm)
+    // The speedup baseline is always the strictly serial run, whatever
+    // --threads lists — otherwise omitting 1 would silently rebase the
+    // asserted speedup on a threaded time.
+    double base_ms = 0.0;
+    for (int r = 0; r < repeat; ++r) {
+      util::Timer timer;
+      c.run({});
+      const double ms = timer.millis();
+      if (r == 0 || ms < base_ms) base_ms = ms;
+    }
+    for (const int t : thread_counts) {
+      // The caller participates, so a pool of t-1 helpers gives t
+      // threads; t=1 is the strictly serial path (no pool at all).
+      std::unique_ptr<util::ThreadPool> pool;
+      if (t > 1) pool = std::make_unique<util::ThreadPool>(t - 1);
+      const util::ExecContext exec{pool.get(), t};
+
+      const std::vector<float> warm = c.run(exec);  // warm + verify
+      if (warm.size() != reference.size() ||
+          std::memcmp(warm.data(), reference.data(),
+                      reference.size() * sizeof(float)) != 0) {
+        std::fprintf(stderr,
+                     "kernel_scaling: %s at %d threads is NOT byte-identical "
+                     "to serial\n",
+                     c.name.c_str(), t);
+        return 2;
+      }
+
+      double best = 0.0;
+      for (int r = 0; r < repeat; ++r) {
+        util::Timer timer;
+        c.run(exec);
+        const double ms = timer.millis();
+        if (r == 0 || ms < best) best = ms;
+      }
+      result.points.push_back({t, best, base_ms > 0.0 ? base_ms / best : 1.0});
+    }
+    results.push_back(std::move(result));
+  }
+
+  // Human-readable report.
+  for (const CaseResult& r : results) {
+    util::Table table({"threads", "best ms", "speedup", "GMAC/s"});
+    for (const Point& p : r.points) {
+      table.add_row({std::to_string(p.threads), util::Table::num(p.best_ms, 3),
+                     util::Table::num(p.speedup, 2),
+                     util::Table::num(static_cast<double>(r.c->work_macs) /
+                                          (p.best_ms * 1e6),
+                                      2)});
+    }
+    std::printf("%s — %s\n%s\n", r.c->name.c_str(), r.c->desc.c_str(),
+                table.render().c_str());
+  }
+  std::printf("hardware threads: %u, repeat: %d (best-of)\n",
+              std::thread::hardware_concurrency(), repeat);
+
+  if (!json_path.empty()) {
+    std::FILE* f = std::fopen(json_path.c_str(), "w");
+    if (f == nullptr) {
+      std::fprintf(stderr, "kernel_scaling: cannot write %s\n", json_path.c_str());
+      return 1;
+    }
+    std::fprintf(f, "{\n  \"hardware_threads\": %u,\n  \"repeat\": %d,\n  \"cases\": [\n",
+                 std::thread::hardware_concurrency(), repeat);
+    for (std::size_t i = 0; i < results.size(); ++i) {
+      const CaseResult& r = results[i];
+      std::fprintf(f,
+                   "    {\"name\": \"%s\", \"desc\": \"%s\", \"work_macs\": %lld,\n"
+                   "     \"results\": [",
+                   r.c->name.c_str(), r.c->desc.c_str(), r.c->work_macs);
+      for (std::size_t j = 0; j < r.points.size(); ++j) {
+        const Point& p = r.points[j];
+        std::fprintf(f, "%s{\"threads\": %d, \"best_ms\": %.4f, \"speedup\": %.3f}",
+                     j == 0 ? "" : ", ", p.threads, p.best_ms, p.speedup);
+      }
+      std::fprintf(f, "]}%s\n", i + 1 == results.size() ? "" : ",");
+    }
+    std::fprintf(f, "  ]\n}\n");
+    std::fclose(f);
+    std::printf("wrote %s\n", json_path.c_str());
+  }
+
+  if (assert_speedup > 0.0) {
+    for (const CaseResult& r : results) {
+      if (r.c->name != assert_case) continue;
+      for (const Point& p : r.points) {
+        if (p.threads != assert_threads) continue;
+        const bool ok = p.speedup >= assert_speedup;
+        std::fprintf(stderr, "assert: %s at %d threads: %.2fx (need >= %.2fx) — %s\n",
+                     assert_case.c_str(), assert_threads, p.speedup, assert_speedup,
+                     ok ? "PASS" : "FAIL");
+        return ok ? 0 : 1;
+      }
+    }
+    std::fprintf(stderr, "assert: case '%s' with %d threads not measured\n",
+                 assert_case.c_str(), assert_threads);
+    return 1;
+  }
+  return 0;
+}

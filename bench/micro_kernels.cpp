@@ -4,12 +4,17 @@
 
 #include <benchmark/benchmark.h>
 
+#include <memory>
+
 #include "nn/conv2d.h"
 #include "deploy/int_engine.h"
+#include "deploy/packing.h"
 #include "nn/linear.h"
 #include "quant/integer_gemm.h"
 #include "quant/uniform.h"
 #include "tensor/ops.h"
+#include "util/exec_context.h"
+#include "util/thread_pool.h"
 
 namespace {
 
@@ -145,6 +150,76 @@ void BM_LinearForward(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations() * 2LL * 32 * 512 * 256);
 }
 BENCHMARK(BM_LinearForward);
+
+// --- Threaded kernel variants (intra-op ExecContext) -----------------
+// Arg(0) is the thread count (caller included); 1 = serial path. The
+// pool lives outside the timing loop, so these measure steady-state
+// chunking cost, not thread spawn. On a single-core host the >1-thread
+// rows measure pure overhead; real scaling numbers come from the CI
+// perf-smoke lane (bench/kernel_scaling).
+
+/// Pool sized for `threads` participants (caller + helpers).
+std::unique_ptr<util::ThreadPool> pool_for(int threads) {
+  return threads > 1 ? std::make_unique<util::ThreadPool>(threads - 1) : nullptr;
+}
+
+void BM_GemmThreaded(benchmark::State& state) {
+  const int threads = static_cast<int>(state.range(0));
+  const int n = 256;
+  const auto pool = pool_for(threads);
+  const util::ExecContext exec{pool.get(), threads};
+  util::Rng rng(10);
+  const tensor::Tensor a = tensor::Tensor::randn({n, n}, rng);
+  const tensor::Tensor b = tensor::Tensor::randn({n, n}, rng);
+  tensor::Tensor c({n, n});
+  for (auto _ : state) {
+    tensor::gemm(a.data(), b.data(), c.data(), n, n, n, /*accumulate=*/false, exec);
+    benchmark::DoNotOptimize(c.data());
+  }
+  state.SetItemsProcessed(state.iterations() * 2LL * n * n * n);
+}
+BENCHMARK(BM_GemmThreaded)->Arg(1)->Arg(2)->Arg(4);
+
+void BM_IntegerConvForwardThreaded(benchmark::State& state) {
+  const int threads = static_cast<int>(state.range(0));
+  const auto pool = pool_for(threads);
+  const util::ExecContext exec{pool.get(), threads};
+  util::Rng rng(11);
+  nn::Conv2d conv(16, 32, 3, 1, 1, rng);
+  conv.set_filter_bits(std::vector<int>(32, 3));
+  const deploy::PackedLayer packed = deploy::pack_layer(conv, "conv");
+  const deploy::IntegerLayer integer =
+      deploy::build_integer_layer(packed, std::vector<float>(32, 0.0f));
+  const tensor::Tensor x = tensor::Tensor::rand_uniform({4, 16, 16, 16}, rng, 0.0f, 1.0f);
+  const deploy::ActCodes codes = deploy::encode_activations(x, 1.0f, 3);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        deploy::integer_conv_forward(integer, codes, 4, 16, 16, 16, 3, 1, 1, exec)
+            .data());
+  }
+  state.SetItemsProcessed(state.iterations() * 2LL * 4 * 32 * (16 * 9) * 16 * 16);
+}
+BENCHMARK(BM_IntegerConvForwardThreaded)->Arg(1)->Arg(2)->Arg(4);
+
+void BM_IntegerLinearForwardThreaded(benchmark::State& state) {
+  const int threads = static_cast<int>(state.range(0));
+  const auto pool = pool_for(threads);
+  const util::ExecContext exec{pool.get(), threads};
+  util::Rng rng(12);
+  nn::Linear fc(512, 256, rng);
+  fc.set_filter_bits(std::vector<int>(256, 4));
+  const deploy::PackedLayer packed = deploy::pack_layer(fc, "fc");
+  const deploy::IntegerLayer integer =
+      deploy::build_integer_layer(packed, std::vector<float>(256, 0.0f));
+  const tensor::Tensor x = tensor::Tensor::rand_uniform({32, 512}, rng, 0.0f, 1.0f);
+  const deploy::ActCodes codes = deploy::encode_activations(x, 1.0f, 4);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        deploy::integer_linear_forward(integer, codes, 32, 512, exec).data());
+  }
+  state.SetItemsProcessed(state.iterations() * 2LL * 32 * 512 * 256);
+}
+BENCHMARK(BM_IntegerLinearForwardThreaded)->Arg(1)->Arg(2)->Arg(4);
 
 }  // namespace
 

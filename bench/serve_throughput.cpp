@@ -6,13 +6,18 @@
 // floor batching amortizes fixed overheads against. Section 2 runs the
 // full Server under closed-loop concurrent load at 1/2/4 workers and
 // reports throughput, speedup over 1 worker, latency percentiles and
-// the micro-batch sizes the scheduler actually formed.
+// the micro-batch sizes the scheduler actually formed. Section 3
+// sweeps inter-op workers x intra-op threads-per-forward — the two
+// levers trade against each other on a fixed core budget (workers help
+// throughput under concurrency, intra-op threads cut single-request
+// latency).
 //
 // No training is needed: serving cost depends only on the architecture
 // and the bit arrangement, so the model gets a mixed 0..4-bit
 // arrangement and a forward-pass activation calibration before export.
 //
 // Run: ./serve_throughput [--fast] [--requests=N] [--threads=N]
+//                         [--json=sweep.json]   (section 3, machine-readable)
 
 #include <atomic>
 #include <cstdio>
@@ -56,6 +61,44 @@ deploy::QuantizedArtifact make_artifact(util::Rng& rng) {
   return deploy::export_model(*model);
 }
 
+struct LoadResult {
+  double rps = 0.0;
+  serve::ServerStats stats;
+};
+
+/// Closed-loop load: `threads` submitters issue `requests` requests
+/// total and block on each future. Returns -1 rps on request failure.
+LoadResult run_load(const deploy::QuantizedArtifact& artifact,
+                    const serve::ServerConfig& config, long requests, long threads) {
+  serve::Server server(artifact, config);
+  std::vector<std::thread> submitters;
+  std::atomic<long> failed{0};
+  util::Timer timer;
+  for (long t = 0; t < threads; ++t) {
+    const long share = requests / threads + (t < requests % threads ? 1 : 0);
+    submitters.emplace_back([&server, &failed, share, t] {
+      util::Rng thread_rng(100 + static_cast<std::uint64_t>(t));
+      for (long i = 0; i < share; ++i) {
+        try {
+          server.submit(tensor::Tensor::rand_uniform({3, 16, 16}, thread_rng, 0.0f,
+                                                     1.0f))
+              .get();
+        } catch (const std::exception&) {
+          failed.fetch_add(1);  // escaping would std::terminate the bench
+        }
+      }
+    });
+  }
+  for (std::thread& submitter : submitters) submitter.join();
+  LoadResult result;
+  result.rps = failed.load() == 0
+                   ? static_cast<double>(requests) / timer.seconds()
+                   : -1.0;
+  result.stats = server.stats();
+  server.shutdown();
+  return result;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -96,40 +139,18 @@ int main(int argc, char** argv) {
     config.workers = workers;
     config.max_batch = 16;
     config.max_wait_us = 200;
-    serve::Server server(artifact, config);
-
-    std::vector<std::thread> submitters;
-    std::atomic<long> failed{0};
-    util::Timer timer;
-    for (long t = 0; t < threads; ++t) {
-      const long share = requests / threads + (t < requests % threads ? 1 : 0);
-      submitters.emplace_back([&server, &failed, share, t] {
-        util::Rng thread_rng(100 + static_cast<std::uint64_t>(t));
-        for (long i = 0; i < share; ++i) {
-          try {
-            server.submit(tensor::Tensor::rand_uniform({3, 16, 16}, thread_rng, 0.0f,
-                                                       1.0f))
-                .get();
-          } catch (const std::exception&) {
-            failed.fetch_add(1);  // escaping would std::terminate the bench
-          }
-        }
-      });
-    }
-    for (std::thread& submitter : submitters) submitter.join();
-    if (failed.load() != 0) {
-      std::fprintf(stderr, "serve_throughput: %ld requests failed\n", failed.load());
+    const LoadResult r = run_load(artifact, config, requests, threads);
+    if (r.rps < 0.0) {
+      std::fprintf(stderr, "serve_throughput: requests failed\n");
       return 1;
     }
-    const double rps = static_cast<double>(requests) / timer.seconds();
-    if (workers == 1) base_rps = rps;
-
-    const serve::ServerStats stats = server.stats();
-    table.add_row({std::to_string(workers), util::Table::num(rps, 1),
-                   util::Table::num(rps / base_rps, 2), util::Table::num(stats.p50_us, 0),
-                   util::Table::num(stats.p95_us, 0), util::Table::num(stats.p99_us, 0),
-                   util::Table::num(stats.mean_batch, 2)});
-    server.shutdown();
+    if (workers == 1) base_rps = r.rps;
+    table.add_row({std::to_string(workers), util::Table::num(r.rps, 1),
+                   util::Table::num(r.rps / base_rps, 2),
+                   util::Table::num(r.stats.p50_us, 0),
+                   util::Table::num(r.stats.p95_us, 0),
+                   util::Table::num(r.stats.p99_us, 0),
+                   util::Table::num(r.stats.mean_batch, 2)});
   }
   std::printf("Server throughput, %ld closed-loop submitters, %ld requests, "
               "%u hw threads\n%s\n",
@@ -138,5 +159,67 @@ int main(int argc, char** argv) {
   std::printf("(worker scaling needs >= as many hardware threads as workers; "
               "on fewer cores the speedup column measures scheduling overhead "
               "only)\n");
+
+  // --- Section 3: inter-op workers x intra-op threads sweep ----------
+  struct Combo {
+    int workers;
+    int intra;
+  };
+  const Combo combos[] = {{1, 1}, {1, 2}, {1, 4}, {2, 1}, {2, 2}, {4, 1}};
+  util::Table sweep({"workers", "intra", "req/s", "speedup", "p50 us", "p95 us",
+                     "mean batch"});
+  struct SweepRow {
+    Combo combo;
+    LoadResult r;
+  };
+  std::vector<SweepRow> sweep_rows;
+  double sweep_base = 0.0;
+  for (const Combo& combo : combos) {
+    serve::ServerConfig config;
+    config.workers = combo.workers;
+    config.intra_threads = combo.intra;
+    config.max_batch = 16;
+    config.max_wait_us = 200;
+    const LoadResult r = run_load(artifact, config, requests, threads);
+    if (r.rps < 0.0) {
+      std::fprintf(stderr, "serve_throughput: sweep requests failed\n");
+      return 1;
+    }
+    if (sweep_base == 0.0) sweep_base = r.rps;
+    sweep_rows.push_back({combo, r});
+    sweep.add_row({std::to_string(combo.workers), std::to_string(combo.intra),
+                   util::Table::num(r.rps, 1), util::Table::num(r.rps / sweep_base, 2),
+                   util::Table::num(r.stats.p50_us, 0),
+                   util::Table::num(r.stats.p95_us, 0),
+                   util::Table::num(r.stats.mean_batch, 2)});
+  }
+  std::printf("Inter-op x intra-op sweep (speedup vs 1 worker / 1 thread)\n%s\n",
+              sweep.render().c_str());
+
+  const std::string json_path = cli.get("json", "");
+  if (!json_path.empty()) {
+    std::FILE* f = std::fopen(json_path.c_str(), "w");
+    if (f == nullptr) {
+      std::fprintf(stderr, "serve_throughput: cannot write %s\n", json_path.c_str());
+      return 1;
+    }
+    std::fprintf(f,
+                 "{\n  \"hardware_threads\": %u,\n  \"requests\": %ld,\n"
+                 "  \"submitters\": %ld,\n  \"sweep\": [\n",
+                 std::thread::hardware_concurrency(), requests, threads);
+    for (std::size_t i = 0; i < sweep_rows.size(); ++i) {
+      const SweepRow& row = sweep_rows[i];
+      std::fprintf(f,
+                   "    {\"workers\": %d, \"intra_threads\": %d, \"rps\": %.1f, "
+                   "\"p50_us\": %.0f, \"p95_us\": %.0f, \"p99_us\": %.0f, "
+                   "\"mean_batch\": %.2f}%s\n",
+                   row.combo.workers, row.combo.intra, row.r.rps, row.r.stats.p50_us,
+                   row.r.stats.p95_us, row.r.stats.p99_us, row.r.stats.mean_batch,
+                   i + 1 == sweep_rows.size() ? "" : ",");
+    }
+    std::fprintf(f, "  ]\n}\n");
+    std::fclose(f);
+    std::printf("wrote %s\n", json_path.c_str());
+  }
   return 0;
 }

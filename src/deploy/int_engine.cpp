@@ -6,6 +6,7 @@
 
 #include "deploy/bitstream.h"
 #include "quant/uniform.h"
+#include "tensor/ops.h"
 
 namespace cq::deploy {
 
@@ -60,7 +61,7 @@ ActCodes encode_activations(const tensor::Tensor& activations, float hi, int bit
 }
 
 void encode_activations_into(const tensor::Tensor& activations, float hi, int bits,
-                             ActCodes& out) {
+                             ActCodes& out, const util::ExecContext& exec) {
   if (bits < 1 || bits > 16) {
     throw std::invalid_argument("encode_activations: bits must be in [1, 16]");
   }
@@ -72,14 +73,20 @@ void encode_activations_into(const tensor::Tensor& activations, float hi, int bi
   out.scale = hi / static_cast<float>(levels - 1);
   const float to_code = static_cast<float>(levels - 1) / hi;
   out.codes.resize(activations.numel());
-  for (std::size_t i = 0; i < activations.numel(); ++i) {
-    const float clipped = std::clamp(activations[i], 0.0f, hi);
-    out.codes[i] = static_cast<std::int32_t>(std::round(clipped * to_code));
-  }
+  const float* src = activations.data();
+  std::int32_t* dst = out.codes.data();
+  exec.parallel_for(0, static_cast<std::int64_t>(activations.numel()),
+                    [=](std::int64_t lo, std::int64_t hi_i) {
+    for (std::int64_t i = lo; i < hi_i; ++i) {
+      const float clipped = std::clamp(src[i], 0.0f, hi);
+      dst[i] = static_cast<std::int32_t>(std::round(clipped * to_code));
+    }
+  });
 }
 
 tensor::Tensor integer_linear_forward(const IntegerLayer& layer, const ActCodes& acts,
-                                      int batch, int in_features) {
+                                      int batch, int in_features,
+                                      const util::ExecContext& exec) {
   if (in_features != layer.weights_per_filter) {
     throw std::invalid_argument("integer_linear_forward: in_features mismatch");
   }
@@ -87,39 +94,45 @@ tensor::Tensor integer_linear_forward(const IntegerLayer& layer, const ActCodes&
     throw std::invalid_argument("integer_linear_forward: activation code count mismatch");
   }
   tensor::Tensor out({batch, layer.num_filters});
-  for (int n = 0; n < batch; ++n) {
-    const std::int32_t* a =
-        acts.codes.data() + static_cast<std::size_t>(n) * in_features;
-    for (int k = 0; k < layer.num_filters; ++k) {
+  const std::int32_t* codes = acts.codes.data();
+  // Chunked over output filters: each thread owns whole weight rows,
+  // so every output element keeps its fixed ascending-j reduction.
+  exec.parallel_for(0, layer.num_filters, [&](std::int64_t k0, std::int64_t k1) {
+    for (std::int64_t k = k0; k < k1; ++k) {
       const int b = layer.filter_bits[static_cast<std::size_t>(k)];
       if (b == 0) {
         // Pruned filter: output (and bias) are hard zero, matching the
         // fake-quant semantics of 0-bit filters.
-        out.at(n, k) = 0.0f;
+        for (int n = 0; n < batch; ++n) out.at(n, static_cast<int>(k)) = 0.0f;
         continue;
       }
       const std::int32_t offset =
           static_cast<std::int32_t>(quant::levels_for_bits(b)) - 1;
       const std::int32_t* w =
           layer.codes.data() + static_cast<std::size_t>(k) * in_features;
-      // Pure integer MAC loop — the NPU inner product. Centered weight
-      // codes are doubled (2q - (levels-1)) so the offset stays integral;
-      // weight_scale() is the matching half-step.
-      std::int64_t acc = 0;
-      for (int j = 0; j < in_features; ++j) {
-        acc += static_cast<std::int64_t>(2 * w[j] - offset) *
-               static_cast<std::int64_t>(a[j]);
+      const float scale = layer.weight_scale(static_cast<int>(k)) * acts.scale;
+      const float bias = layer.bias[static_cast<std::size_t>(k)];
+      for (int n = 0; n < batch; ++n) {
+        const std::int32_t* a = codes + static_cast<std::size_t>(n) * in_features;
+        // Pure integer MAC loop — the NPU inner product. Centered weight
+        // codes are doubled (2q - (levels-1)) so the offset stays integral;
+        // weight_scale() is the matching half-step.
+        std::int64_t acc = 0;
+        for (int j = 0; j < in_features; ++j) {
+          acc += static_cast<std::int64_t>(2 * w[j] - offset) *
+                 static_cast<std::int64_t>(a[j]);
+        }
+        out.at(n, static_cast<int>(k)) = scale * static_cast<float>(acc) + bias;
       }
-      out.at(n, k) = layer.weight_scale(k) * acts.scale * static_cast<float>(acc) +
-                     layer.bias[static_cast<std::size_t>(k)];
     }
-  }
+  });
   return out;
 }
 
 tensor::Tensor integer_conv_forward(const IntegerLayer& layer, const ActCodes& acts,
                                     int batch, int in_c, int height, int width,
-                                    int kernel, int stride, int pad) {
+                                    int kernel, int stride, int pad,
+                                    const util::ExecContext& exec) {
   if (layer.weights_per_filter != static_cast<std::int64_t>(in_c) * kernel * kernel) {
     throw std::invalid_argument("integer_conv_forward: geometry mismatch");
   }
@@ -133,51 +146,58 @@ tensor::Tensor integer_conv_forward(const IntegerLayer& layer, const ActCodes& a
   if (oh <= 0 || ow <= 0) {
     throw std::invalid_argument("integer_conv_forward: empty output");
   }
+  const std::size_t spatial = static_cast<std::size_t>(oh) * ow;
+  const std::size_t patch = static_cast<std::size_t>(layer.weights_per_filter);
 
   tensor::Tensor out({batch, layer.num_filters, oh, ow});
-  std::vector<std::int32_t> patch(static_cast<std::size_t>(layer.weights_per_filter));
+  std::vector<std::int32_t> cols(patch * spatial);
+  tensor::ConvGeometry geometry;
+  geometry.in_c = in_c;
+  geometry.in_h = height;
+  geometry.in_w = width;
+  geometry.kernel = kernel;
+  geometry.stride = stride;
+  geometry.pad = pad;
   for (int n = 0; n < batch; ++n) {
     const std::int32_t* img = acts.codes.data() + static_cast<std::size_t>(n) * image;
-    for (int oy = 0; oy < oh; ++oy) {
-      for (int ox = 0; ox < ow; ++ox) {
-        // Gather the receptive field's codes (0 outside the image —
-        // exactly activation 0.0 under the [0, hi] range).
-        std::size_t p = 0;
-        for (int c = 0; c < in_c; ++c) {
-          for (int ky = 0; ky < kernel; ++ky) {
-            const int y = oy * stride - pad + ky;
-            for (int kx = 0; kx < kernel; ++kx) {
-              const int x = ox * stride - pad + kx;
-              const bool inside = y >= 0 && y < height && x >= 0 && x < width;
-              patch[p++] = inside ? img[(static_cast<std::size_t>(c) * height + y) * width + x]
-                                  : 0;
-            }
+    // Shared im2col (same unfolding as the float training path), on
+    // integer codes; zero padding is code 0 = activation 0.0.
+    tensor::im2col_any(img, geometry, cols.data(), exec);
+    float* out_n = out.data() +
+                   static_cast<std::size_t>(n) * layer.num_filters * spatial;
+    // MAC stage, chunked over output filters (whole GEMM rows). Every
+    // output element accumulates its patch in ascending-j order; the
+    // int64 accumulator makes the sum exact, so chunking (and the
+    // centered-zero skip) cannot change a single bit of the result.
+    exec.parallel_for(0, layer.num_filters, [&, out_n](std::int64_t k0, std::int64_t k1) {
+      std::vector<std::int64_t> acc(spatial);
+      for (std::int64_t k = k0; k < k1; ++k) {
+        float* plane = out_n + static_cast<std::size_t>(k) * spatial;
+        const int b = layer.filter_bits[static_cast<std::size_t>(k)];
+        if (b == 0) {
+          // Pruned filter: output (and bias) are hard zero.
+          std::fill(plane, plane + spatial, 0.0f);
+          continue;
+        }
+        const std::int32_t offset =
+            static_cast<std::int32_t>(quant::levels_for_bits(b)) - 1;
+        const std::int32_t* w = layer.codes.data() + static_cast<std::size_t>(k) * patch;
+        std::fill(acc.begin(), acc.end(), std::int64_t{0});
+        for (std::size_t j = 0; j < patch; ++j) {
+          const std::int64_t wv = 2 * static_cast<std::int64_t>(w[j]) - offset;
+          if (wv == 0) continue;  // exact: skipping integer zeros adds nothing
+          const std::int32_t* crow = cols.data() + j * spatial;
+          for (std::size_t s = 0; s < spatial; ++s) {
+            acc[s] += wv * static_cast<std::int64_t>(crow[s]);
           }
         }
-        for (int k = 0; k < layer.num_filters; ++k) {
-          const int b = layer.filter_bits[static_cast<std::size_t>(k)];
-          float value = 0.0f;
-          if (b != 0) {
-            const std::int32_t offset =
-                static_cast<std::int32_t>(quant::levels_for_bits(b)) - 1;
-            const std::int32_t* w =
-                layer.codes.data() + static_cast<std::size_t>(k) * layer.weights_per_filter;
-            std::int64_t acc = 0;
-            for (std::size_t j = 0; j < patch.size(); ++j) {
-              acc += static_cast<std::int64_t>(2 * w[j] - offset) *
-                     static_cast<std::int64_t>(patch[j]);
-            }
-            value = layer.weight_scale(k) * acts.scale * static_cast<float>(acc) +
-                    layer.bias[static_cast<std::size_t>(k)];
-          }
-          out[((static_cast<std::size_t>(n) * layer.num_filters + k) *
-                   static_cast<std::size_t>(oh) +
-               oy) *
-                  static_cast<std::size_t>(ow) +
-              ox] = value;
+        const float scale = layer.weight_scale(static_cast<int>(k)) * acts.scale;
+        const float bias = layer.bias[static_cast<std::size_t>(k)];
+        for (std::size_t s = 0; s < spatial; ++s) {
+          plane[s] = scale * static_cast<float>(acc[s]) + bias;
         }
       }
-    }
+    });
   }
   return out;
 }

@@ -5,6 +5,7 @@
 
 #include "deploy/packing.h"
 #include "tensor/tensor.h"
+#include "util/exec_context.h"
 
 namespace cq::deploy {
 
@@ -55,16 +56,23 @@ ActCodes encode_activations(const tensor::Tensor& activations, float hi, int bit
 /// Same encoding, writing into a caller-owned ActCodes whose code
 /// buffer is reused across calls (the serving hot path encodes one
 /// activation tensor per layer and must not reallocate per request).
+/// Elementwise and deterministic, so it chunks over `exec` freely.
 void encode_activations_into(const tensor::Tensor& activations, float hi, int bits,
-                             ActCodes& out);
+                             ActCodes& out, const util::ExecContext& exec = {});
 
 /// Executes y[n,k] = s_w(k) * s_a * sum_j (2*q_w - (levels-1)) * q_a / 2
 /// + bias[k] over a [N, weights_per_filter] activation-code matrix
 /// with pure integer accumulation (std::int64_t, no wrap). This is the
 /// arithmetic an integer NPU would run; the float fake-quant forward
 /// is its reference semantics.
+///
+/// Intra-op parallelism: output filters chunk over `exec` (each thread
+/// owns whole rows of the weight-code matrix). Integer accumulation is
+/// exact and the one float rescale per output is unchanged, so results
+/// are byte-identical at every thread count.
 tensor::Tensor integer_linear_forward(const IntegerLayer& layer, const ActCodes& acts,
-                                      int batch, int in_features);
+                                      int batch, int in_features,
+                                      const util::ExecContext& exec = {});
 
 /// Convolution on integer codes: im2col over the [N, C, H, W]
 /// activation-code volume (zero padding is code 0, which is exactly
@@ -73,8 +81,14 @@ tensor::Tensor integer_linear_forward(const IntegerLayer& layer, const ActCodes&
 /// weights_per_filter must equal in_c * kernel * kernel. Returns
 /// [N, num_filters, out_h, out_w] float outputs (one rescale per
 /// output, as in the FC path).
+///
+/// Intra-op parallelism: per image, the im2col code gather chunks over
+/// patch rows and the MAC stage chunks over output filters — each
+/// thread owns whole rows of the im2col GEMM, preserving the fixed
+/// per-output-element reduction order (byte-identical to serial).
 tensor::Tensor integer_conv_forward(const IntegerLayer& layer, const ActCodes& acts,
                                     int batch, int in_c, int height, int width,
-                                    int kernel, int stride, int pad);
+                                    int kernel, int stride, int pad,
+                                    const util::ExecContext& exec = {});
 
 }  // namespace cq::deploy

@@ -71,16 +71,19 @@ Tensor Conv2d::forward(const Tensor& input) {
   const int ow = g.out_w();
   const int spatial = oh * ow;
   const int patch = g.patch_size();
-  cols_.resize(static_cast<std::size_t>(patch) * spatial);
+  // Per-call scratch: concurrent forwards on cloned chains never share
+  // an unfold buffer (a member buffer made the layer non-reentrant).
+  std::vector<float> cols(static_cast<std::size_t>(patch) * spatial);
 
   Tensor out({batch, out_channels_, oh, ow});
   const std::size_t in_stride = static_cast<std::size_t>(in_channels_) * g.in_h * g.in_w;
   const std::size_t out_stride = static_cast<std::size_t>(out_channels_) * spatial;
   for (int n = 0; n < batch; ++n) {
-    tensor::im2col(input.data() + static_cast<std::size_t>(n) * in_stride, g, cols_.data());
+    tensor::im2col(input.data() + static_cast<std::size_t>(n) * in_stride, g, cols.data(),
+                   exec_);
     float* out_n = out.data() + static_cast<std::size_t>(n) * out_stride;
-    tensor::gemm(effective_weight_.data(), cols_.data(), out_n, out_channels_, patch,
-                 spatial);
+    tensor::gemm(effective_weight_.data(), cols.data(), out_n, out_channels_, patch,
+                 spatial, /*accumulate=*/false, exec_);
     if (wrap_period_ > 0.0f) {
       const std::size_t count = static_cast<std::size_t>(out_channels_) * spatial;
       for (std::size_t i = 0; i < count; ++i) {
@@ -102,7 +105,7 @@ Tensor Conv2d::backward(const Tensor& grad_output) {
   const int batch = cached_input_.dim(0);
   const int spatial = g.out_h() * g.out_w();
   const int patch = g.patch_size();
-  cols_.resize(static_cast<std::size_t>(patch) * spatial);
+  std::vector<float> cols(static_cast<std::size_t>(patch) * spatial);
   std::vector<float> dcols(static_cast<std::size_t>(patch) * spatial);
 
   Tensor grad_input(cached_input_.shape());
@@ -113,10 +116,12 @@ Tensor Conv2d::backward(const Tensor& grad_output) {
     // Recompute the im2col patches of this image (cheaper than caching
     // the whole batch unfolding across the layer).
     tensor::im2col(cached_input_.data() + static_cast<std::size_t>(n) * in_stride, g,
-                   cols_.data());
-    // dW += dY_n * cols^T (STE: accumulated on master weights).
-    tensor::gemm_a_bt(dy_n, cols_.data(), weight_.grad.data(), out_channels_, spatial,
-                      patch, /*accumulate=*/true);
+                   cols.data(), exec_);
+    // dW += dY_n * cols^T (STE: accumulated on master weights). Row
+    // chunks own whole filters of the gradient, so accumulation stays
+    // race-free and in fixed order.
+    tensor::gemm_a_bt(dy_n, cols.data(), weight_.grad.data(), out_channels_, spatial,
+                      patch, /*accumulate=*/true, exec_);
     // db += row sums of dY_n.
     for (int c = 0; c < out_channels_; ++c) {
       const float* plane = dy_n + static_cast<std::size_t>(c) * spatial;
@@ -126,7 +131,7 @@ Tensor Conv2d::backward(const Tensor& grad_output) {
     }
     // dcols = W_eff^T * dY_n ; scatter-add back to the input gradient.
     tensor::gemm_at_b(effective_weight_.data(), dy_n, dcols.data(), out_channels_, patch,
-                      spatial);
+                      spatial, /*accumulate=*/false, exec_);
     tensor::col2im(dcols.data(), g,
                    grad_input.data() + static_cast<std::size_t>(n) * in_stride);
   }

@@ -15,6 +15,13 @@ namespace cq::nn {
 /// per-filter granularity the CQ bit-width search assigns bits to.
 /// Quantization semantics match Linear: per-layer symmetric range,
 /// per-filter bits, 0 bits = pruned filter, STE backward.
+///
+/// Reentrancy: the im2col scratch is per call (no hidden shared
+/// buffer), but forward() still refreshes the effective (quantized)
+/// weights and caches the input for backward(), so one instance must
+/// not run forward() from two threads at once. To share a trained
+/// model across threads, clone the chain per thread the way
+/// serve::EngineSession keeps one module chain per execution context.
 class Conv2d : public Module, public quant::QuantizableLayer {
  public:
   Conv2d(int in_channels, int out_channels, int kernel, int stride, int pad,
@@ -23,6 +30,9 @@ class Conv2d : public Module, public quant::QuantizableLayer {
   Tensor forward(const Tensor& input) override;
   Tensor backward(const Tensor& grad_output) override;
   void collect_parameters(std::vector<Parameter*>& out) override;
+  /// Intra-op context for the im2col + GEMM kernels of this layer's
+  /// forward/backward (row-block chunking; bit-identical to serial).
+  void set_exec_context(const util::ExecContext& exec) override { exec_ = exec; }
   std::string name() const override { return name_; }
 
   // QuantizableLayer interface.
@@ -73,7 +83,7 @@ class Conv2d : public Module, public quant::QuantizableLayer {
   Tensor effective_weight_;
   Tensor effective_bias_;
   Tensor cached_input_;
-  std::vector<float> cols_;  ///< scratch im2col buffer (one image)
+  util::ExecContext exec_;  ///< intra-op context; default serial
   float wrap_period_ = 0.0f;
   float range_override_ = 0.0f;
 };

@@ -72,6 +72,12 @@ void BasicBlock::set_training(bool training) {
   if (down_bn_) down_bn_->set_training(training);
 }
 
+void BasicBlock::set_exec_context(const util::ExecContext& exec) {
+  conv1_->set_exec_context(exec);
+  conv2_->set_exec_context(exec);
+  if (down_conv_) down_conv_->set_exec_context(exec);
+}
+
 ResNet20::ResNet20(ResNet20Config config) : config_(std::move(config)) {
   util::Rng rng(config_.seed);
   const int w1 = config_.base_width * config_.expand;

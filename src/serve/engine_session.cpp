@@ -57,7 +57,9 @@ struct EngineSession::Context {
   deploy::ActCodes scratch;
 };
 
-EngineSession::EngineSession(const deploy::QuantizedArtifact& artifact, int contexts) {
+EngineSession::EngineSession(const deploy::QuantizedArtifact& artifact, int contexts,
+                             util::ExecContext exec)
+    : exec_(exec) {
   if (contexts < 1) {
     throw std::invalid_argument("EngineSession: contexts must be >= 1");
   }
@@ -73,6 +75,9 @@ EngineSession::EngineSession(const deploy::QuantizedArtifact& artifact, int cont
   for (int i = 0; i < contexts; ++i) {
     auto ctx = std::make_unique<Context>();
     ctx->model = deploy::instantiate(artifact);
+    // Float-path layers (stem/output) run the same intra-op context as
+    // the integer kernels.
+    ctx->model->set_exec_context(exec_);
     contexts_.push_back(std::move(ctx));
   }
 
@@ -195,15 +200,16 @@ tensor::Tensor EngineSession::exec_quantized(Context& ctx, nn::Module& module,
     return module.forward(x);
   }
   const deploy::IntegerLayer& layer = layers_[it->second];
-  deploy::encode_activations_into(x, grid.hi, grid.bits, ctx.scratch);
+  deploy::encode_activations_into(x, grid.hi, grid.bits, ctx.scratch, exec_);
   const int batch = x.dim(0);
   if (auto* conv = dynamic_cast<nn::Conv2d*>(&module)) {
     return deploy::integer_conv_forward(layer, ctx.scratch, batch, conv->in_channels(),
                                         x.dim(2), x.dim(3), conv->kernel(),
-                                        conv->stride(), conv->pad());
+                                        conv->stride(), conv->pad(), exec_);
   }
   auto& fc = dynamic_cast<nn::Linear&>(module);
-  return deploy::integer_linear_forward(layer, ctx.scratch, batch, fc.in_features());
+  return deploy::integer_linear_forward(layer, ctx.scratch, batch, fc.in_features(),
+                                        exec_);
 }
 
 tensor::Tensor EngineSession::exec_block(Context& ctx, nn::BasicBlock& block,

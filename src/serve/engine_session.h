@@ -9,6 +9,7 @@
 #include "deploy/artifact.h"
 #include "deploy/int_engine.h"
 #include "tensor/tensor.h"
+#include "util/exec_context.h"
 
 namespace cq::nn {
 class ActQuant;
@@ -42,11 +43,21 @@ namespace cq::serve {
 /// order, so outputs are bit-exact identical no matter how requests
 /// are coalesced into batches. serve::Server builds on this to make
 /// micro-batching a pure scheduling concern.
+///
+/// Intra-op parallelism: the optional util::ExecContext is handed to
+/// every kernel of the executed graph (encode, integer conv/linear,
+/// and the float layers' GEMMs), parallelizing *within* one forward.
+/// Kernels chunk only over independent outputs, so results stay
+/// byte-identical to serial execution at any thread count. Concurrent
+/// run() calls may share the context's pool; its chunk cursor keeps
+/// every caller making progress.
 class EngineSession {
  public:
   /// Builds the session with `contexts` concurrent execution contexts
-  /// (>= 1). Throws deploy::ArtifactError on malformed artifacts.
-  explicit EngineSession(const deploy::QuantizedArtifact& artifact, int contexts = 1);
+  /// (>= 1) and an intra-op execution context (default: serial
+  /// kernels). Throws deploy::ArtifactError on malformed artifacts.
+  explicit EngineSession(const deploy::QuantizedArtifact& artifact, int contexts = 1,
+                         util::ExecContext exec = {});
   ~EngineSession();
 
   EngineSession(const EngineSession&) = delete;
@@ -61,6 +72,8 @@ class EngineSession {
   const tensor::Shape& sample_shape() const { return sample_shape_; }
   int num_classes() const { return num_classes_; }
   int contexts() const { return static_cast<int>(contexts_.size()); }
+  /// Intra-op context the kernels run under (serial by default).
+  const util::ExecContext& exec_context() const { return exec_; }
   /// Number of quantized layers executing on the integer path.
   std::size_t integer_layer_count() const { return layers_.size(); }
 
@@ -95,6 +108,7 @@ class EngineSession {
   tensor::Tensor exec_quantized(Context& ctx, nn::Module& module, tensor::Tensor x,
                                 const Grid& grid);
 
+  util::ExecContext exec_;  ///< intra-op context for all kernels
   std::vector<deploy::IntegerLayer> layers_;  ///< shared, read-only after init
   std::vector<std::unique_ptr<Context>> contexts_;
   std::vector<Context*> free_contexts_;

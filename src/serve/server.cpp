@@ -21,6 +21,7 @@ BatchSchedulerConfig scheduler_config(const ServerConfig& config) {
 
 ServerConfig normalized(ServerConfig config) {
   config.workers = std::max(1, config.workers);
+  config.intra_threads = std::max(1, config.intra_threads);
   return config;
 }
 
@@ -28,7 +29,11 @@ ServerConfig normalized(ServerConfig config) {
 
 Server::Server(const deploy::QuantizedArtifact& artifact, ServerConfig config)
     : config_(normalized(config)),
-      session_(artifact, config_.workers),
+      intra_pool_(config_.intra_threads > 1
+                      ? std::make_unique<util::ThreadPool>(config_.intra_threads - 1)
+                      : nullptr),
+      session_(artifact, config_.workers,
+               util::ExecContext{intra_pool_.get(), config_.intra_threads}),
       scheduler_(scheduler_config(config_)),
       pool_(config_.workers),
       started_(std::chrono::steady_clock::now()) {

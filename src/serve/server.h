@@ -3,6 +3,7 @@
 #include <chrono>
 #include <cstddef>
 #include <future>
+#include <memory>
 #include <mutex>
 #include <vector>
 
@@ -15,6 +16,13 @@ namespace cq::serve {
 
 struct ServerConfig {
   int workers = 1;              ///< batch workers (= engine contexts); < 1 becomes 1
+  /// Threads one forward pass may occupy (intra-op parallelism); < 2
+  /// keeps the kernels serial. The server owns one shared intra-op
+  /// pool of (intra_threads - 1) helpers, so total CPU demand is about
+  /// workers + intra_threads - 1; size workers * intra_threads toward
+  /// the core count (inter-op scales with concurrent load, intra-op
+  /// cuts single-request latency).
+  int intra_threads = 1;
   int max_batch = 16;           ///< micro-batch flush size
   long max_wait_us = 200;       ///< micro-batch flush age
   std::size_t queue_capacity = 1024;  ///< bounded request queue depth
@@ -82,6 +90,10 @@ class Server {
   void worker_loop();
 
   ServerConfig config_;
+  /// Shared intra-op helper pool (workers participate in their own
+  /// parallel_for, so it holds intra_threads - 1 helpers); declared
+  /// before session_ so it outlives every kernel that chunks over it.
+  std::unique_ptr<util::ThreadPool> intra_pool_;
   EngineSession session_;
   BatchScheduler scheduler_;
   util::ThreadPool pool_;

@@ -1,21 +1,32 @@
 #pragma once
 
 #include "tensor/tensor.h"
+#include "util/exec_context.h"
 
 namespace cq::tensor {
 
+/// The GEMM/im2col kernels accept an optional util::ExecContext and
+/// chunk their independent output rows over it. Every output element
+/// is produced by exactly one chunk with its reduction order fixed by
+/// the element (not the thread count), so results are bit-identical
+/// between serial and any parallel execution. The default context runs
+/// the historical serial loops unchanged.
+
 /// C = A * B for row-major A[M,K], B[K,N], C[M,N].
 /// `accumulate` adds into C instead of overwriting it.
+/// Parallelism: row blocks of A/C.
 void gemm(const float* a, const float* b, float* c, int m, int k, int n,
-          bool accumulate = false);
+          bool accumulate = false, const util::ExecContext& exec = {});
 
 /// C = A^T * B for A[K,M], B[K,N], C[M,N].
+/// Parallelism: row blocks of C (columns of A).
 void gemm_at_b(const float* a, const float* b, float* c, int k, int m, int n,
-               bool accumulate = false);
+               bool accumulate = false, const util::ExecContext& exec = {});
 
 /// C = A * B^T for A[M,K], B[N,K], C[M,N].
+/// Parallelism: row blocks of A/C.
 void gemm_a_bt(const float* a, const float* b, float* c, int m, int k, int n,
-               bool accumulate = false);
+               bool accumulate = false, const util::ExecContext& exec = {});
 
 /// Geometry of a 2-D convolution / pooling window.
 struct ConvGeometry {
@@ -30,9 +41,50 @@ struct ConvGeometry {
   int patch_size() const { return in_c * kernel * kernel; }
 };
 
-/// im2col for one image: input [C,H,W] (contiguous) is unfolded into
-/// `cols` of shape [patch_size, out_h*out_w], zero padding applied.
-void im2col(const float* input, const ConvGeometry& g, float* cols);
+/// im2col for one image of any scalar type: input [C,H,W] (contiguous)
+/// is unfolded into `cols` of shape [patch_size, out_h*out_w], zero
+/// padding applied. One implementation serves the float training path
+/// and the integer-engine code path so the geometry/padding logic can
+/// never diverge between them. cols layout: row = (c, ky, kx), col =
+/// (y, x) of the output. Rows are fully independent writes, so they
+/// chunk over the context.
+template <typename T>
+void im2col_any(const T* input, const ConvGeometry& g, T* cols,
+                const util::ExecContext& exec = {}) {
+  const int oh = g.out_h();
+  const int ow = g.out_w();
+  const int spatial = oh * ow;
+  const int kk = g.kernel * g.kernel;
+  exec.parallel_for(0, static_cast<std::int64_t>(g.in_c) * kk,
+                    [=](std::int64_t r0, std::int64_t r1) {
+    for (std::int64_t r = r0; r < r1; ++r) {
+      const int c = static_cast<int>(r / kk);
+      const int rem = static_cast<int>(r % kk);
+      const int ky = rem / g.kernel;
+      const int kx = rem % g.kernel;
+      const T* plane = input + static_cast<std::size_t>(c) * g.in_h * g.in_w;
+      T* crow = cols + static_cast<std::size_t>(r) * spatial;
+      for (int y = 0; y < oh; ++y) {
+        const int iy = y * g.stride - g.pad + ky;
+        T* orow = crow + static_cast<std::size_t>(y) * ow;
+        if (iy < 0 || iy >= g.in_h) {
+          std::fill(orow, orow + ow, T{0});
+          continue;
+        }
+        const T* irow = plane + static_cast<std::size_t>(iy) * g.in_w;
+        for (int x = 0; x < ow; ++x) {
+          const int ix = x * g.stride - g.pad + kx;
+          orow[x] = (ix >= 0 && ix < g.in_w) ? irow[ix] : T{0};
+        }
+      }
+    }
+  });
+}
+
+/// im2col for one float image (see im2col_any).
+/// Parallelism: blocks of the patch_size output rows.
+void im2col(const float* input, const ConvGeometry& g, float* cols,
+            const util::ExecContext& exec = {});
 
 /// Inverse scatter-add of im2col: accumulates `cols` back into
 /// `input_grad` (must be zeroed by the caller for a fresh gradient).
