@@ -1,0 +1,131 @@
+// plan_compile — measures deploy::compile_plan cost and the compiled
+// plan's footprint for the three zoo models, so plan-compile
+// regressions (time or arena bytes) are visible in the perf-smoke CI
+// lane's JSON artifact alongside kernel_scaling.
+//
+// Usage: plan_compile [--repeat=N] [--json=path]
+//   --repeat   timed compiles per model, best-of reported (default 5)
+//   --json     machine-readable output for the CI artifact
+
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "deploy/artifact.h"
+#include "deploy/plan.h"
+#include "nn/models/mlp.h"
+#include "nn/models/resnet20.h"
+#include "nn/models/vgg_small.h"
+#include "serve_fixtures.h"
+#include "util/cli.h"
+#include "util/table.h"
+#include "util/timer.h"
+
+namespace {
+
+using namespace cq;
+
+struct Result {
+  std::string name;
+  double best_ms = 0.0;
+  std::size_t ops = 0;
+  int slots = 0;
+  std::size_t arena_bytes = 0;
+  std::size_t no_reuse_bytes = 0;  ///< one fresh buffer per op output
+  std::size_t integer_layers = 0;
+};
+
+Result measure(const std::string& name, const deploy::QuantizedArtifact& artifact,
+               int repeat) {
+  Result r;
+  r.name = name;
+  const deploy::ExecutionPlan plan = deploy::compile_plan(artifact);  // warm
+  for (int i = 0; i < repeat; ++i) {
+    util::Timer timer;
+    const deploy::ExecutionPlan timed = deploy::compile_plan(artifact);
+    const double ms = timer.millis();
+    (void)timed;
+    if (i == 0 || ms < r.best_ms) r.best_ms = ms;
+  }
+  r.ops = plan.ops().size();
+  r.slots = plan.slot_count();
+  r.arena_bytes = plan.arena_bytes();
+  r.integer_layers = plan.integer_layers().size();
+  for (const deploy::PlanOp& op : plan.ops()) {
+    r.no_reuse_bytes +=
+        plan.slots()[static_cast<std::size_t>(op.out)].numel * sizeof(float);
+  }
+  return r;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const util::Cli cli(argc, argv);
+  const int repeat = static_cast<int>(cli.get_int("repeat", 5));
+  const std::string json_path = cli.get("json", "");
+
+  // Default-size zoo models (larger than the tiny_* test fixtures, so
+  // the compile cost is representative), fabricated with the shared
+  // fixture helper; input shapes derive from each config.
+  std::vector<Result> results;
+  {
+    const nn::MlpConfig cfg;
+    nn::Mlp mlp(cfg);
+    results.push_back(
+        measure("Mlp", serve::fabricate_artifact(mlp, {cfg.in_features}, 3, 3), repeat));
+  }
+  {
+    const nn::VggSmallConfig cfg;
+    nn::VggSmall vgg(cfg);
+    results.push_back(measure(
+        "VggSmall",
+        serve::fabricate_artifact(
+            vgg, {cfg.in_channels, cfg.image_size, cfg.image_size}, 3, 5),
+        repeat));
+  }
+  {
+    const nn::ResNet20Config cfg;
+    nn::ResNet20 resnet(cfg);
+    results.push_back(measure(
+        "ResNet20",
+        serve::fabricate_artifact(
+            resnet, {cfg.in_channels, cfg.image_size, cfg.image_size}, 3, 7),
+        repeat));
+  }
+
+  util::Table table({"model", "compile ms", "ops", "slots", "arena B/sample",
+                     "no-reuse B", "int layers"});
+  for (const Result& r : results) {
+    table.add_row({r.name, util::Table::num(r.best_ms, 3), std::to_string(r.ops),
+                   std::to_string(r.slots), std::to_string(r.arena_bytes),
+                   std::to_string(r.no_reuse_bytes),
+                   std::to_string(r.integer_layers)});
+  }
+  std::printf("compile_plan cost and plan footprint (best of %d)\n%s\n", repeat,
+              table.render().c_str());
+
+  if (!json_path.empty()) {
+    std::FILE* f = std::fopen(json_path.c_str(), "w");
+    if (f == nullptr) {
+      std::fprintf(stderr, "plan_compile: cannot write %s\n", json_path.c_str());
+      return 1;
+    }
+    std::fprintf(f, "{\n  \"repeat\": %d,\n  \"models\": [\n", repeat);
+    for (std::size_t i = 0; i < results.size(); ++i) {
+      const Result& r = results[i];
+      std::fprintf(f,
+                   "    {\"name\": \"%s\", \"compile_ms\": %.4f, \"ops\": %zu, "
+                   "\"slots\": %d, \"arena_bytes\": %zu, "
+                   "\"no_reuse_bytes\": %zu, \"integer_layers\": %zu}%s\n",
+                   r.name.c_str(), r.best_ms, r.ops, r.slots, r.arena_bytes,
+                   r.no_reuse_bytes, r.integer_layers,
+                   i + 1 == results.size() ? "" : ",");
+    }
+    std::fprintf(f, "  ]\n}\n");
+    std::fclose(f);
+    std::printf("wrote %s\n", json_path.c_str());
+  }
+  return 0;
+}

@@ -137,8 +137,14 @@ int ArchDescriptor::int_param(const std::string& key) const {
 double ArchDescriptor::param(const std::string& key) const {
   const auto it = params.find(key);
   if (it == params.end()) {
+    std::string available;
+    for (const auto& [name, value] : params) {
+      if (!available.empty()) available += ", ";
+      available += name;
+    }
+    if (available.empty()) available = "<none>";
     throw ArtifactError("architecture descriptor '" + kind + "' missing parameter '" +
-                        key + "'");
+                        key + "' (available: " + available + ")");
   }
   return it->second;
 }

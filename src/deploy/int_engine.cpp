@@ -62,6 +62,11 @@ ActCodes encode_activations(const tensor::Tensor& activations, float hi, int bit
 
 void encode_activations_into(const tensor::Tensor& activations, float hi, int bits,
                              ActCodes& out, const util::ExecContext& exec) {
+  encode_activations_into(activations.data(), activations.numel(), hi, bits, out, exec);
+}
+
+void encode_activations_into(const float* activations, std::size_t count, float hi,
+                             int bits, ActCodes& out, const util::ExecContext& exec) {
   if (bits < 1 || bits > 16) {
     throw std::invalid_argument("encode_activations: bits must be in [1, 16]");
   }
@@ -72,10 +77,10 @@ void encode_activations_into(const tensor::Tensor& activations, float hi, int bi
   const int levels = quant::levels_for_bits(bits);
   out.scale = hi / static_cast<float>(levels - 1);
   const float to_code = static_cast<float>(levels - 1) / hi;
-  out.codes.resize(activations.numel());
-  const float* src = activations.data();
+  out.codes.resize(count);
+  const float* src = activations;
   std::int32_t* dst = out.codes.data();
-  exec.parallel_for(0, static_cast<std::int64_t>(activations.numel()),
+  exec.parallel_for(0, static_cast<std::int64_t>(count),
                     [=](std::int64_t lo, std::int64_t hi_i) {
     for (std::int64_t i = lo; i < hi_i; ++i) {
       const float clipped = std::clamp(src[i], 0.0f, hi);
@@ -87,13 +92,21 @@ void encode_activations_into(const tensor::Tensor& activations, float hi, int bi
 tensor::Tensor integer_linear_forward(const IntegerLayer& layer, const ActCodes& acts,
                                       int batch, int in_features,
                                       const util::ExecContext& exec) {
+  tensor::Tensor out({batch, layer.num_filters});
+  integer_linear_forward_into(layer, acts, batch, in_features, out.data(), exec);
+  return out;
+}
+
+void integer_linear_forward_into(const IntegerLayer& layer, const ActCodes& acts,
+                                 int batch, int in_features, float* out,
+                                 const util::ExecContext& exec) {
   if (in_features != layer.weights_per_filter) {
     throw std::invalid_argument("integer_linear_forward: in_features mismatch");
   }
   if (acts.codes.size() != static_cast<std::size_t>(batch) * in_features) {
     throw std::invalid_argument("integer_linear_forward: activation code count mismatch");
   }
-  tensor::Tensor out({batch, layer.num_filters});
+  const std::size_t filters = static_cast<std::size_t>(layer.num_filters);
   const std::int32_t* codes = acts.codes.data();
   // Chunked over output filters: each thread owns whole weight rows,
   // so every output element keeps its fixed ascending-j reduction.
@@ -103,7 +116,9 @@ tensor::Tensor integer_linear_forward(const IntegerLayer& layer, const ActCodes&
       if (b == 0) {
         // Pruned filter: output (and bias) are hard zero, matching the
         // fake-quant semantics of 0-bit filters.
-        for (int n = 0; n < batch; ++n) out.at(n, static_cast<int>(k)) = 0.0f;
+        for (int n = 0; n < batch; ++n) {
+          out[static_cast<std::size_t>(n) * filters + static_cast<std::size_t>(k)] = 0.0f;
+        }
         continue;
       }
       const std::int32_t offset =
@@ -122,17 +137,34 @@ tensor::Tensor integer_linear_forward(const IntegerLayer& layer, const ActCodes&
           acc += static_cast<std::int64_t>(2 * w[j] - offset) *
                  static_cast<std::int64_t>(a[j]);
         }
-        out.at(n, static_cast<int>(k)) = scale * static_cast<float>(acc) + bias;
+        out[static_cast<std::size_t>(n) * filters + static_cast<std::size_t>(k)] =
+            scale * static_cast<float>(acc) + bias;
       }
     }
   });
-  return out;
 }
 
 tensor::Tensor integer_conv_forward(const IntegerLayer& layer, const ActCodes& acts,
                                     int batch, int in_c, int height, int width,
                                     int kernel, int stride, int pad,
                                     const util::ExecContext& exec) {
+  const int oh = (height + 2 * pad - kernel) / stride + 1;
+  const int ow = (width + 2 * pad - kernel) / stride + 1;
+  if (oh <= 0 || ow <= 0) {
+    throw std::invalid_argument("integer_conv_forward: empty output");
+  }
+  tensor::Tensor out({batch, layer.num_filters, oh, ow});
+  std::vector<std::int32_t> cols;
+  integer_conv_forward_into(layer, acts, batch, in_c, height, width, kernel, stride,
+                            pad, out.data(), cols, exec);
+  return out;
+}
+
+void integer_conv_forward_into(const IntegerLayer& layer, const ActCodes& acts,
+                               int batch, int in_c, int height, int width, int kernel,
+                               int stride, int pad, float* out,
+                               std::vector<std::int32_t>& cols_scratch,
+                               const util::ExecContext& exec) {
   if (layer.weights_per_filter != static_cast<std::int64_t>(in_c) * kernel * kernel) {
     throw std::invalid_argument("integer_conv_forward: geometry mismatch");
   }
@@ -149,8 +181,8 @@ tensor::Tensor integer_conv_forward(const IntegerLayer& layer, const ActCodes& a
   const std::size_t spatial = static_cast<std::size_t>(oh) * ow;
   const std::size_t patch = static_cast<std::size_t>(layer.weights_per_filter);
 
-  tensor::Tensor out({batch, layer.num_filters, oh, ow});
-  std::vector<std::int32_t> cols(patch * spatial);
+  cols_scratch.resize(patch * spatial);
+  std::int32_t* const cols_data = cols_scratch.data();
   tensor::ConvGeometry geometry;
   geometry.in_c = in_c;
   geometry.in_h = height;
@@ -162,9 +194,8 @@ tensor::Tensor integer_conv_forward(const IntegerLayer& layer, const ActCodes& a
     const std::int32_t* img = acts.codes.data() + static_cast<std::size_t>(n) * image;
     // Shared im2col (same unfolding as the float training path), on
     // integer codes; zero padding is code 0 = activation 0.0.
-    tensor::im2col_any(img, geometry, cols.data(), exec);
-    float* out_n = out.data() +
-                   static_cast<std::size_t>(n) * layer.num_filters * spatial;
+    tensor::im2col_any(img, geometry, cols_data, exec);
+    float* out_n = out + static_cast<std::size_t>(n) * layer.num_filters * spatial;
     // MAC stage, chunked over output filters (whole GEMM rows). Every
     // output element accumulates its patch in ascending-j order; the
     // int64 accumulator makes the sum exact, so chunking (and the
@@ -186,7 +217,7 @@ tensor::Tensor integer_conv_forward(const IntegerLayer& layer, const ActCodes& a
         for (std::size_t j = 0; j < patch; ++j) {
           const std::int64_t wv = 2 * static_cast<std::int64_t>(w[j]) - offset;
           if (wv == 0) continue;  // exact: skipping integer zeros adds nothing
-          const std::int32_t* crow = cols.data() + j * spatial;
+          const std::int32_t* crow = cols_data + j * spatial;
           for (std::size_t s = 0; s < spatial; ++s) {
             acc[s] += wv * static_cast<std::int64_t>(crow[s]);
           }
@@ -199,7 +230,6 @@ tensor::Tensor integer_conv_forward(const IntegerLayer& layer, const ActCodes& a
       }
     });
   }
-  return out;
 }
 
 }  // namespace cq::deploy

@@ -60,6 +60,12 @@ ActCodes encode_activations(const tensor::Tensor& activations, float hi, int bit
 void encode_activations_into(const tensor::Tensor& activations, float hi, int bits,
                              ActCodes& out, const util::ExecContext& exec = {});
 
+/// Raw-span variant for sources that live in an execution-plan arena
+/// rather than a Tensor (same arithmetic, same reuse contract).
+void encode_activations_into(const float* activations, std::size_t count, float hi,
+                             int bits, ActCodes& out,
+                             const util::ExecContext& exec = {});
+
 /// Executes y[n,k] = s_w(k) * s_a * sum_j (2*q_w - (levels-1)) * q_a / 2
 /// + bias[k] over a [N, weights_per_filter] activation-code matrix
 /// with pure integer accumulation (std::int64_t, no wrap). This is the
@@ -73,6 +79,13 @@ void encode_activations_into(const tensor::Tensor& activations, float hi, int bi
 tensor::Tensor integer_linear_forward(const IntegerLayer& layer, const ActCodes& acts,
                                       int batch, int in_features,
                                       const util::ExecContext& exec = {});
+
+/// Same kernel writing its [batch, num_filters] outputs into a
+/// caller-owned buffer (an ExecutionPlan arena slot), so steady-state
+/// plan interpretation allocates nothing per request.
+void integer_linear_forward_into(const IntegerLayer& layer, const ActCodes& acts,
+                                 int batch, int in_features, float* out,
+                                 const util::ExecContext& exec = {});
 
 /// Convolution on integer codes: im2col over the [N, C, H, W]
 /// activation-code volume (zero padding is code 0, which is exactly
@@ -90,5 +103,14 @@ tensor::Tensor integer_conv_forward(const IntegerLayer& layer, const ActCodes& a
                                     int batch, int in_c, int height, int width,
                                     int kernel, int stride, int pad,
                                     const util::ExecContext& exec = {});
+
+/// Same kernel writing its [batch, num_filters, out_h, out_w] outputs
+/// into a caller-owned buffer. `cols_scratch` is the reusable im2col
+/// code matrix (resized as needed, capacity retained across calls).
+void integer_conv_forward_into(const IntegerLayer& layer, const ActCodes& acts,
+                               int batch, int in_c, int height, int width, int kernel,
+                               int stride, int pad, float* out,
+                               std::vector<std::int32_t>& cols_scratch,
+                               const util::ExecContext& exec = {});
 
 }  // namespace cq::deploy

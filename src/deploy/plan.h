@@ -1,0 +1,146 @@
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "deploy/artifact.h"
+#include "deploy/int_engine.h"
+#include "tensor/tensor.h"
+
+namespace cq::deploy {
+
+/// Operation kinds of the flat deployment IR. The set is closed over
+/// everything the model zoo's inference graphs contain; compile_plan
+/// throws ArtifactError on anything it cannot lower.
+enum class OpKind {
+  EncodeAct,    ///< activation fake-quantizer (places values on the act grid)
+  IntConv,      ///< integer-code convolution (encode + integer MACs)
+  IntLinear,    ///< integer-code fully-connected layer
+  FloatConv,    ///< float im2col+GEMM conv (stem / grid-less fallback)
+  FloatLinear,  ///< float GEMM fully-connected layer (output head)
+  BatchNorm,    ///< frozen-statistics per-channel affine map
+  Relu,
+  MaxPool,
+  AvgPool,      ///< global average pool [C,H,W] -> [C]
+  Flatten,      ///< logical reshape; free when the slots alias
+  Add,          ///< residual add: out = in0 + in1 (accumulation order of in0)
+};
+
+/// Short stable mnemonic ("int_conv", "relu", ...) for listings.
+const char* op_kind_name(OpKind kind);
+
+/// One op of the program. A PlanOp is a plain record: all shapes are
+/// per-sample (the batch dimension is the interpreter's runtime
+/// parameter), all routing is through slot ids, and the float-path
+/// parameters it needs are stored inline so executing an op never
+/// touches an nn::Module.
+struct PlanOp {
+  OpKind kind = OpKind::Relu;
+  int in0 = -1;  ///< primary input slot
+  int in1 = -1;  ///< second input slot (Add shortcut); -1 otherwise
+  int out = -1;  ///< output slot
+
+  // Spatial geometry (conv / pool / batch-norm inputs), per sample.
+  int in_c = 0, in_h = 0, in_w = 0;
+  int out_c = 0, out_h = 0, out_w = 0;
+  int kernel = 0, stride = 0, pad = 0;
+  // Fully-connected geometry.
+  int in_features = 0, out_features = 0;
+
+  // Integer path: which IntegerLayer to execute and the activation
+  // grid its inputs sit on (a compile-time constant of the artifact).
+  int layer = -1;        ///< index into ExecutionPlan::integer_layers()
+  float act_hi = 0.0f;   ///< activation clip bound (EncodeAct/Int*)
+  int act_bits = 0;      ///< activation bit-width (EncodeAct/Int*)
+
+  // Float path: the effective (already fake-quantized when the layer
+  // carries bits) weights and bias, exactly as the training-side
+  // forward would build them.
+  tensor::Tensor weight;     ///< [out, in] row-major
+  std::vector<float> bias;   ///< per output filter/feature
+
+  // Frozen batch-norm state, precomputed per channel.
+  std::vector<float> bn_mean, bn_inv_std, bn_gamma, bn_beta;
+
+  std::string label;  ///< originating layer name, for listings
+};
+
+/// One tensor slot: a per-sample interval of the execution arena. The
+/// buffer planner reuses intervals whose lifetimes do not overlap (and
+/// aliases elementwise ops in place), so slot_count() is typically far
+/// smaller than ops().size(). All offsets/counts are in floats per
+/// sample; the runtime scales them by the batch size, which preserves
+/// disjointness of concurrently live slots.
+struct PlanSlot {
+  std::size_t offset = 0;  ///< arena offset, floats per sample
+  std::size_t numel = 0;   ///< element count per sample
+  tensor::Shape shape;     ///< per-sample logical shape
+};
+
+class PlanCompiler;
+
+/// A compiled, architecture-independent op program for one artifact.
+///
+/// compile_plan() walks the training-side module tree exactly once,
+/// ahead of time: it performs shape inference, decides per layer
+/// whether the integer or the float path runs (the activation grid is
+/// a compile-time constant), expands packed layers into integer code
+/// matrices, snapshots the float-path weights, and lays out a
+/// slot-lifetime-planned arena. The result is immutable and shared
+/// read-only by any number of interpreter contexts; executing it never
+/// touches an nn::Module, so new backends dispatch on op records
+/// instead of module types.
+class ExecutionPlan {
+ public:
+  const std::vector<PlanOp>& ops() const { return ops_; }
+  const std::vector<PlanSlot>& slots() const { return slots_; }
+  int slot_count() const { return static_cast<int>(slots_.size()); }
+
+  /// Arena footprint in bytes *per sample*; an interpreter context
+  /// running batches of N needs N times this (allocated once, reused
+  /// across requests).
+  std::size_t arena_bytes() const { return arena_floats_ * sizeof(float); }
+  /// Arena footprint in floats per sample.
+  std::size_t arena_floats() const { return arena_floats_; }
+
+  /// Expanded integer code matrices, indexed by PlanOp::layer.
+  const std::vector<IntegerLayer>& integer_layers() const { return integer_layers_; }
+
+  int input_slot() const { return input_slot_; }
+  int output_slot() const { return output_slot_; }
+  const tensor::Shape& sample_shape() const { return sample_shape_; }
+  int num_classes() const { return num_classes_; }
+
+  /// Compile-time maxima of the per-context scratch buffers (so the
+  /// interpreter sizes them once): im2col patch matrices of the float
+  /// and integer conv ops, and the largest tensor an EncodeAct/Int op
+  /// encodes (all per sample; code counts scale by batch).
+  std::size_t max_float_cols() const { return max_float_cols_; }
+  std::size_t max_int_cols() const { return max_int_cols_; }
+  std::size_t max_encode_floats() const { return max_encode_floats_; }
+
+ private:
+  friend class PlanCompiler;  ///< the compile_plan implementation
+
+  std::vector<PlanOp> ops_;
+  std::vector<PlanSlot> slots_;
+  std::vector<IntegerLayer> integer_layers_;
+  std::size_t arena_floats_ = 0;
+  int input_slot_ = -1;
+  int output_slot_ = -1;
+  tensor::Shape sample_shape_;
+  int num_classes_ = 0;
+  std::size_t max_float_cols_ = 0;
+  std::size_t max_int_cols_ = 0;
+  std::size_t max_encode_floats_ = 0;
+};
+
+/// Compiles an artifact into an ExecutionPlan. This is the only place
+/// the deployment runtime meets the training-side class hierarchy: the
+/// architecture is instantiated once, its module chain is lowered to
+/// ops, and the result carries everything inference needs. Throws
+/// ArtifactError on malformed artifacts or unlowerable architectures.
+ExecutionPlan compile_plan(const QuantizedArtifact& artifact);
+
+}  // namespace cq::deploy

@@ -64,10 +64,14 @@ class Conv2d : public Module, public quant::QuantizableLayer {
   int pad() const { return pad_; }
   Parameter& weight() { return weight_; }
   Parameter& bias() { return bias_; }
+  /// Rebuilds the effective (quantized) weights/bias exactly as
+  /// forward() would; deploy::compile_plan snapshots them so the
+  /// compiled float path multiplies the same values bit-for-bit.
+  void build_effective_weight();
   const Tensor& effective_weight() const { return effective_weight_; }
+  const Tensor& effective_bias() const { return effective_bias_; }
 
  private:
-  void build_effective_weight();
   tensor::ConvGeometry geometry(const Tensor& input) const;
 
   int in_channels_;

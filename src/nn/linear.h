@@ -54,12 +54,17 @@ class Linear : public Module, public quant::QuantizableLayer {
   Parameter& weight() { return weight_; }
   Parameter& bias() { return bias_; }
 
+  /// Rebuilds the effective (quantized) weights/bias exactly as
+  /// forward() would; deploy::compile_plan snapshots them so the
+  /// compiled float path multiplies the same values bit-for-bit.
+  void build_effective_weight();
   /// The weights actually multiplied in the last forward (quantized
-  /// when bits are set). Exposed for inspection in tests.
+  /// when bits are set). Exposed for inspection in tests and for the
+  /// plan compiler's snapshot.
   const Tensor& effective_weight() const { return effective_weight_; }
+  const Tensor& effective_bias() const { return effective_bias_; }
 
  private:
-  void build_effective_weight();
 
   int in_features_;
   int out_features_;

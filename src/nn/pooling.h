@@ -14,6 +14,9 @@ class MaxPool2d : public Module {
   Tensor backward(const Tensor& grad_output) override;
   std::string name() const override { return "MaxPool2d"; }
 
+  int kernel() const { return kernel_; }
+  int stride() const { return stride_; }
+
  private:
   int kernel_;
   int stride_;

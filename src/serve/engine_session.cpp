@@ -1,118 +1,72 @@
 #include "serve/engine_session.h"
 
-#include <algorithm>
+#include <cstring>
+#include <limits>
 #include <stdexcept>
-#include <unordered_map>
 #include <utility>
 
-#include "nn/act_quant.h"
-#include "nn/activations.h"
-#include "nn/conv2d.h"
-#include "nn/linear.h"
-#include "nn/models/model.h"
-#include "nn/models/resnet20.h"
-#include "nn/pooling.h"
-#include "nn/probe.h"
+#include "deploy/int_engine.h"
+#include "quant/uniform.h"
+#include "tensor/ops.h"
 
 namespace cq::serve {
 
+/// One concurrent execution lane: the slot arena (every tensor of the
+/// plan, laid out by the compile-time buffer planner and scaled by the
+/// batch size) plus the reused activation-code and im2col scratch. The
+/// arena grows to the largest batch seen, then serving is
+/// allocation-free per request.
+struct EngineSession::Context {
+  std::vector<float> arena;
+  deploy::ActCodes codes;
+  std::vector<std::int32_t> int_cols;
+  std::vector<float> float_cols;
+};
+
 namespace {
 
-void relu_inplace(tensor::Tensor& t) {
-  for (float& v : t.span()) v = std::max(0.0f, v);
-}
-
-/// Bias vector of a quantizable layer (the integer kernels add it per
-/// output; pruned filters suppress it inside the kernel).
-std::vector<float> bias_of(quant::QuantizableLayer& layer) {
-  nn::Parameter* bias = nullptr;
-  if (auto* conv = dynamic_cast<nn::Conv2d*>(&layer)) {
-    bias = &conv->bias();
-  } else if (auto* fc = dynamic_cast<nn::Linear*>(&layer)) {
-    bias = &fc->bias();
-  } else {
-    throw deploy::ArtifactError(
-        "EngineSession: quantizable layer is neither Conv2d nor Linear");
+/// Shared fail-fast validation: the artifact constructor runs it
+/// *before* paying for the plan compile.
+int required_contexts(int contexts) {
+  if (contexts < 1) {
+    throw std::invalid_argument("EngineSession: contexts must be >= 1");
   }
-  const std::span<const float> values = bias->value.span();
-  return {values.begin(), values.end()};
-}
-
-const nn::Module* as_module(quant::QuantizableLayer* layer) {
-  auto* module = dynamic_cast<nn::Module*>(layer);
-  if (module == nullptr) {
-    throw deploy::ArtifactError("EngineSession: quantizable layer is not a module");
-  }
-  return module;
+  return contexts;
 }
 
 }  // namespace
 
-/// One concurrent execution lane: its own instantiated module chain
-/// (module forward() calls cache state, so a chain must never be shared
-/// between in-flight requests) plus the reused activation-code buffer.
-struct EngineSession::Context {
-  std::unique_ptr<nn::Model> model;
-  std::unordered_map<const nn::Module*, std::size_t> integer_index;
-  deploy::ActCodes scratch;
-};
-
 EngineSession::EngineSession(const deploy::QuantizedArtifact& artifact, int contexts,
                              util::ExecContext exec)
-    : exec_(exec) {
-  if (contexts < 1) {
-    throw std::invalid_argument("EngineSession: contexts must be >= 1");
-  }
-  num_classes_ = artifact.arch.int_param("num_classes");
-  if (artifact.arch.params.count("in_features") != 0) {
-    sample_shape_ = {artifact.arch.int_param("in_features")};
-  } else {
-    const int channels = artifact.arch.int_param("in_channels");
-    const int size = artifact.arch.int_param("image_size");
-    sample_shape_ = {channels, size, size};
-  }
+    : EngineSession((required_contexts(contexts),
+                     std::make_shared<const deploy::ExecutionPlan>(
+                         deploy::compile_plan(artifact))),
+                    contexts, exec) {}
 
+EngineSession::EngineSession(deploy::ExecutionPlan plan, int contexts,
+                             util::ExecContext exec)
+    : EngineSession(std::make_shared<const deploy::ExecutionPlan>(std::move(plan)),
+                    contexts, exec) {}
+
+EngineSession::EngineSession(std::shared_ptr<const deploy::ExecutionPlan> plan,
+                             int contexts, util::ExecContext exec)
+    : exec_(exec), plan_(std::move(plan)) {
+  if (plan_ == nullptr) {
+    throw std::invalid_argument("EngineSession: plan must not be null");
+  }
+  required_contexts(contexts);
   for (int i = 0; i < contexts; ++i) {
     auto ctx = std::make_unique<Context>();
-    ctx->model = deploy::instantiate(artifact);
-    // Float-path layers (stem/output) run the same intra-op context as
-    // the integer kernels.
-    ctx->model->set_exec_context(exec_);
+    // im2col scratch is per image, so its compile-time maximum is
+    // batch-independent; sizing it here keeps the hot path clean.
+    ctx->float_cols.resize(plan_->max_float_cols());
+    ctx->int_cols.reserve(plan_->max_int_cols());
     contexts_.push_back(std::move(ctx));
-  }
-
-  // Expand every packed layer into its integer code matrix once; the
-  // scored-layer traversal is the exact order export_model packed them
-  // in (instantiate() already validated the counts line up).
-  std::size_t next = 0;
-  for (const nn::ScoredLayerRef& ref : contexts_.front()->model->scored_layers()) {
-    for (quant::QuantizableLayer* layer : ref.layers) {
-      layers_.push_back(
-          deploy::build_integer_layer(artifact.packed_layers[next], bias_of(*layer)));
-      ++next;
-    }
-  }
-
-  for (auto& ctx : contexts_) {
-    std::size_t index = 0;
-    for (const nn::ScoredLayerRef& ref : ctx->model->scored_layers()) {
-      for (quant::QuantizableLayer* layer : ref.layers) {
-        ctx->integer_index.emplace(as_module(layer), index++);
-      }
-    }
-    free_contexts_.push_back(ctx.get());
+    free_contexts_.push_back(contexts_.back().get());
   }
 }
 
 EngineSession::~EngineSession() = default;
-
-EngineSession::Grid EngineSession::grid_after(const nn::ActQuant& aq) {
-  Grid grid;
-  grid.hi = aq.max_activation();
-  grid.bits = aq.bits();
-  grid.valid = grid.bits >= 1 && grid.bits <= 16 && grid.hi > 0.0f;
-  return grid;
-}
 
 EngineSession::Context& EngineSession::acquire_context() {
   std::unique_lock<std::mutex> lock(mutex_);
@@ -130,17 +84,24 @@ void EngineSession::release_context(Context& ctx) {
   context_available_.notify_one();
 }
 
+float* EngineSession::slot_data(Context& ctx, int slot, int batch) {
+  return ctx.arena.data() + plan_->slots()[static_cast<std::size_t>(slot)].offset *
+                                static_cast<std::size_t>(batch);
+}
+
 tensor::Tensor EngineSession::run(const tensor::Tensor& batch) {
-  if (batch.rank() != sample_shape_.size() + 1 || batch.dim(0) < 1) {
+  const tensor::Shape& sample = plan_->sample_shape();
+  if (batch.rank() != sample.size() + 1 || batch.dim(0) < 1) {
     throw std::invalid_argument("EngineSession::run: batch must be [N, " +
-                                tensor::shape_to_string(sample_shape_).substr(1));
+                                tensor::shape_to_string(sample).substr(1));
   }
-  for (std::size_t d = 0; d < sample_shape_.size(); ++d) {
-    if (batch.dim(d + 1) != sample_shape_[d]) {
+  for (std::size_t d = 0; d < sample.size(); ++d) {
+    if (batch.dim(d + 1) != sample[d]) {
       throw std::invalid_argument("EngineSession::run: sample shape mismatch, want " +
-                                  tensor::shape_to_string(sample_shape_));
+                                  tensor::shape_to_string(sample));
     }
   }
+  const int n = batch.dim(0);
 
   Context& ctx = acquire_context();
   struct Releaser {
@@ -149,99 +110,171 @@ tensor::Tensor EngineSession::run(const tensor::Tensor& batch) {
     ~Releaser() { session->release_context(*ctx); }
   } releaser{this, &ctx};
 
-  Grid grid;
-  return exec_sequential(ctx, ctx.model->body(), batch, grid);
-}
+  const std::size_t arena_floats = plan_->arena_floats() * static_cast<std::size_t>(n);
+  if (ctx.arena.size() < arena_floats) ctx.arena.resize(arena_floats);
+  ctx.codes.codes.reserve(plan_->max_encode_floats() * static_cast<std::size_t>(n));
 
-tensor::Tensor EngineSession::exec_sequential(Context& ctx, nn::Sequential& chain,
-                                              tensor::Tensor x, Grid& grid) {
-  for (std::size_t i = 0; i < chain.size(); ++i) {
-    x = exec_module(ctx, *chain.at(i), std::move(x), grid);
-  }
-  return x;
-}
+  std::memcpy(slot_data(ctx, plan_->input_slot(), n), batch.data(),
+              batch.numel() * sizeof(float));
+  for (const deploy::PlanOp& op : plan_->ops()) execute(ctx, op, n);
 
-tensor::Tensor EngineSession::exec_module(Context& ctx, nn::Module& module,
-                                          tensor::Tensor x, Grid& grid) {
-  if (auto* block = dynamic_cast<nn::BasicBlock*>(&module)) {
-    return exec_block(ctx, *block, std::move(x), grid);
-  }
-  if (auto* chain = dynamic_cast<nn::Sequential*>(&module)) {
-    return exec_sequential(ctx, *chain, std::move(x), grid);
-  }
-  if (auto* aq = dynamic_cast<nn::ActQuant*>(&module)) {
-    tensor::Tensor out = aq->forward(x);
-    grid = grid_after(*aq);
-    return out;
-  }
-  if (dynamic_cast<nn::Conv2d*>(&module) != nullptr ||
-      dynamic_cast<nn::Linear*>(&module) != nullptr) {
-    tensor::Tensor out = exec_quantized(ctx, module, std::move(x), grid);
-    grid.valid = false;
-    return out;
-  }
-  if (dynamic_cast<nn::MaxPool2d*>(&module) != nullptr ||
-      dynamic_cast<nn::Flatten*>(&module) != nullptr ||
-      dynamic_cast<nn::Probe*>(&module) != nullptr) {
-    // Value-preserving modules: the outputs still sit on the same
-    // activation-code grid (a max over grid points is a grid point).
-    return module.forward(x);
-  }
-  grid.valid = false;
-  return module.forward(x);
-}
-
-tensor::Tensor EngineSession::exec_quantized(Context& ctx, nn::Module& module,
-                                             tensor::Tensor x, const Grid& grid) {
-  const auto it = ctx.integer_index.find(&module);
-  if (it == ctx.integer_index.end() || !grid.valid) {
-    // Unquantized layer (first/output), or activations are not on an
-    // integer grid (activation quantization disabled): float forward.
-    return module.forward(x);
-  }
-  const deploy::IntegerLayer& layer = layers_[it->second];
-  deploy::encode_activations_into(x, grid.hi, grid.bits, ctx.scratch, exec_);
-  const int batch = x.dim(0);
-  if (auto* conv = dynamic_cast<nn::Conv2d*>(&module)) {
-    return deploy::integer_conv_forward(layer, ctx.scratch, batch, conv->in_channels(),
-                                        x.dim(2), x.dim(3), conv->kernel(),
-                                        conv->stride(), conv->pad(), exec_);
-  }
-  auto& fc = dynamic_cast<nn::Linear&>(module);
-  return deploy::integer_linear_forward(layer, ctx.scratch, batch, fc.in_features(),
-                                        exec_);
-}
-
-tensor::Tensor EngineSession::exec_block(Context& ctx, nn::BasicBlock& block,
-                                         tensor::Tensor x, Grid& grid) {
-  const Grid entry_grid = grid;  // both conv1 and the projection read it
-
-  // Main branch: conv1 -> bn1 -> relu -> probe1 -> aq1 -> conv2 -> bn2.
-  tensor::Tensor h = exec_quantized(ctx, *block.conv1(), x, entry_grid);
-  h = block.bn1()->forward(h);
-  relu_inplace(h);
-  h = block.probe1()->forward(h);
-  h = block.act_quant1()->forward(h);
-  const Grid mid_grid = grid_after(*block.act_quant1());
-  tensor::Tensor main = exec_quantized(ctx, *block.conv2(), std::move(h), mid_grid);
-  main = block.bn2()->forward(main);
-
-  // Shortcut: identity or 1x1 projection (same add order as
-  // BasicBlock::forward so float results match bit-for-bit).
-  if (block.downsample_conv() != nullptr) {
-    tensor::Tensor shortcut = exec_quantized(ctx, *block.downsample_conv(),
-                                             std::move(x), entry_grid);
-    shortcut = block.downsample_bn()->forward(shortcut);
-    main += shortcut;
-  } else {
-    main += x;
-  }
-
-  relu_inplace(main);
-  main = block.probe2()->forward(main);
-  tensor::Tensor out = block.act_quant2()->forward(main);
-  grid = grid_after(*block.act_quant2());
+  tensor::Tensor out({n, plan_->num_classes()});
+  std::memcpy(out.data(), slot_data(ctx, plan_->output_slot(), n),
+              out.numel() * sizeof(float));
   return out;
+}
+
+void EngineSession::execute(Context& ctx, const deploy::PlanOp& op, int batch) {
+  const std::vector<deploy::PlanSlot>& slots = plan_->slots();
+  const std::size_t out_numel =
+      slots[static_cast<std::size_t>(op.out)].numel * static_cast<std::size_t>(batch);
+  const float* in0 = slot_data(ctx, op.in0, batch);
+  float* out = slot_data(ctx, op.out, batch);
+
+  // Every case reproduces the float arithmetic of the module it was
+  // lowered from, expression for expression — the plan-vs-module
+  // byte-identity property test pins this down.
+  switch (op.kind) {
+    case deploy::OpKind::EncodeAct: {
+      const quant::UniformRange range{0.0f, op.act_hi};
+      quant::quantize_span({in0, out_numel}, {out, out_numel}, range, op.act_bits);
+      return;
+    }
+    case deploy::OpKind::Relu: {
+      for (std::size_t i = 0; i < out_numel; ++i) {
+        out[i] = in0[i] > 0.0f ? in0[i] : 0.0f;
+      }
+      return;
+    }
+    case deploy::OpKind::Flatten: {
+      // Pure reshape; free when the planner aliased the slots.
+      if (out != in0) std::memcpy(out, in0, out_numel * sizeof(float));
+      return;
+    }
+    case deploy::OpKind::Add: {
+      const float* in1 = slot_data(ctx, op.in1, batch);
+      for (std::size_t i = 0; i < out_numel; ++i) out[i] = in0[i] + in1[i];
+      return;
+    }
+    case deploy::OpKind::BatchNorm: {
+      const int spatial = op.in_h * op.in_w;
+      for (int c = 0; c < op.in_c; ++c) {
+        const auto ci = static_cast<std::size_t>(c);
+        const float mean = op.bn_mean[ci];
+        const float inv_std = op.bn_inv_std[ci];
+        const float g = op.bn_gamma[ci];
+        const float b = op.bn_beta[ci];
+        for (int n = 0; n < batch; ++n) {
+          const std::size_t off =
+              (static_cast<std::size_t>(n) * op.in_c + ci) * spatial;
+          const float* src = in0 + off;
+          float* dst = out + off;
+          for (int s = 0; s < spatial; ++s) {
+            const float xh = (src[s] - mean) * inv_std;
+            dst[s] = g * xh + b;
+          }
+        }
+      }
+      return;
+    }
+    case deploy::OpKind::MaxPool: {
+      std::size_t oidx = 0;
+      for (int n = 0; n < batch; ++n) {
+        for (int c = 0; c < op.in_c; ++c) {
+          const float* plane =
+              in0 + (static_cast<std::size_t>(n) * op.in_c + c) * op.in_h * op.in_w;
+          for (int y = 0; y < op.out_h; ++y) {
+            for (int x = 0; x < op.out_w; ++x, ++oidx) {
+              float best = -std::numeric_limits<float>::infinity();
+              for (int ky = 0; ky < op.kernel; ++ky) {
+                const int iy = y * op.stride + ky;
+                for (int kx = 0; kx < op.kernel; ++kx) {
+                  const int ix = x * op.stride + kx;
+                  const float v = plane[iy * op.in_w + ix];
+                  if (v > best) best = v;
+                }
+              }
+              out[oidx] = best;
+            }
+          }
+        }
+      }
+      return;
+    }
+    case deploy::OpKind::AvgPool: {
+      const int spatial = op.in_h * op.in_w;
+      const float inv = 1.0f / static_cast<float>(spatial);
+      for (int n = 0; n < batch; ++n) {
+        for (int c = 0; c < op.in_c; ++c) {
+          const float* plane =
+              in0 + (static_cast<std::size_t>(n) * op.in_c + c) * spatial;
+          double acc = 0.0;
+          for (int s = 0; s < spatial; ++s) acc += plane[s];
+          out[static_cast<std::size_t>(n) * op.in_c + c] =
+              static_cast<float>(acc) * inv;
+        }
+      }
+      return;
+    }
+    case deploy::OpKind::FloatConv: {
+      tensor::ConvGeometry g;
+      g.in_c = op.in_c;
+      g.in_h = op.in_h;
+      g.in_w = op.in_w;
+      g.kernel = op.kernel;
+      g.stride = op.stride;
+      g.pad = op.pad;
+      const int spatial = op.out_h * op.out_w;
+      const std::size_t in_stride =
+          static_cast<std::size_t>(op.in_c) * op.in_h * op.in_w;
+      const std::size_t out_stride = static_cast<std::size_t>(op.out_c) * spatial;
+      for (int n = 0; n < batch; ++n) {
+        tensor::im2col(in0 + static_cast<std::size_t>(n) * in_stride, g,
+                       ctx.float_cols.data(), exec_);
+        float* out_n = out + static_cast<std::size_t>(n) * out_stride;
+        tensor::gemm(op.weight.data(), ctx.float_cols.data(), out_n, op.out_c,
+                     g.patch_size(), spatial, /*accumulate=*/false, exec_);
+        for (int c = 0; c < op.out_c; ++c) {
+          const float b = op.bias[static_cast<std::size_t>(c)];
+          if (b == 0.0f) continue;
+          float* plane = out_n + static_cast<std::size_t>(c) * spatial;
+          for (int s = 0; s < spatial; ++s) plane[s] += b;
+        }
+      }
+      return;
+    }
+    case deploy::OpKind::FloatLinear: {
+      tensor::gemm_a_bt(in0, op.weight.data(), out, batch, op.in_features,
+                        op.out_features, /*accumulate=*/false, exec_);
+      for (int n = 0; n < batch; ++n) {
+        float* row = out + static_cast<std::size_t>(n) * op.out_features;
+        for (int k = 0; k < op.out_features; ++k) {
+          row[k] += op.bias[static_cast<std::size_t>(k)];
+        }
+      }
+      return;
+    }
+    case deploy::OpKind::IntConv: {
+      deploy::encode_activations_into(
+          in0, slots[static_cast<std::size_t>(op.in0)].numel *
+                   static_cast<std::size_t>(batch),
+          op.act_hi, op.act_bits, ctx.codes, exec_);
+      deploy::integer_conv_forward_into(
+          plan_->integer_layers()[static_cast<std::size_t>(op.layer)], ctx.codes,
+          batch, op.in_c, op.in_h, op.in_w, op.kernel, op.stride, op.pad, out,
+          ctx.int_cols, exec_);
+      return;
+    }
+    case deploy::OpKind::IntLinear: {
+      deploy::encode_activations_into(
+          in0, static_cast<std::size_t>(op.in_features) * static_cast<std::size_t>(batch),
+          op.act_hi, op.act_bits, ctx.codes, exec_);
+      deploy::integer_linear_forward_into(
+          plan_->integer_layers()[static_cast<std::size_t>(op.layer)], ctx.codes,
+          batch, op.in_features, out, exec_);
+      return;
+    }
+  }
 }
 
 }  // namespace cq::serve

@@ -7,116 +7,100 @@
 #include <vector>
 
 #include "deploy/artifact.h"
-#include "deploy/int_engine.h"
+#include "deploy/plan.h"
 #include "tensor/tensor.h"
 #include "util/exec_context.h"
 
-namespace cq::nn {
-class ActQuant;
-class BasicBlock;
-class Module;
-class Sequential;
-}  // namespace cq::nn
-
 namespace cq::serve {
 
-/// Integer-arithmetic inference session over a deployed artifact.
+/// Inference session interpreting a compiled deploy::ExecutionPlan.
 ///
-/// An EngineSession is the servable unit of the deployment story: it
-/// loads a QuantizedArtifact once, expands every packed layer into an
-/// IntegerLayer (deploy::build_integer_layer), and then answers
-/// run(batch) calls by driving encode_activations +
-/// integer_conv_forward / integer_linear_forward through the whole
-/// network — the execution an integer NPU would perform, end to end
-/// rather than one layer at a time. Unquantized modules (first/output
-/// layers, batch-norm, pooling) run their regular float forward.
+/// An EngineSession is the servable unit of the deployment story. The
+/// artifact constructor compiles the architecture to a flat op program
+/// once (deploy::compile_plan); run(batch) is then a loop over typed
+/// op records — integer-code kernels for quantized layers, float
+/// im2col+GEMM for the stem/head, with residual routing and the
+/// float-vs-integer path choice fixed at compile time. No nn::Module
+/// is instantiated or walked at serving time.
 ///
 /// Reentrancy: run() may be called from any number of threads
 /// concurrently. Each call borrows one of `contexts` pre-built
-/// execution contexts (its own instantiated module chain plus a reused
-/// activation-code buffer, so steady-state serving does not allocate
-/// codes per request); callers beyond the context count block until
-/// one frees up. The integer code matrices are shared read-only.
+/// execution contexts (an arena holding every tensor slot of the plan
+/// plus reused code/im2col scratch, so steady-state serving allocates
+/// nothing per request beyond the returned tensor); callers beyond the
+/// context count block until one frees up. The plan — op records,
+/// integer code matrices, float weights — is shared read-only.
 ///
-/// Batching invariant: every operator in the executed graph treats
-/// batch samples independently with a fixed per-sample reduction
-/// order, so outputs are bit-exact identical no matter how requests
-/// are coalesced into batches. serve::Server builds on this to make
-/// micro-batching a pure scheduling concern.
+/// Batching invariant: every op treats batch samples independently
+/// with a fixed per-sample reduction order, so outputs are bit-exact
+/// identical no matter how requests are coalesced into batches.
+/// serve::Server builds on this to make micro-batching a pure
+/// scheduling concern.
 ///
 /// Intra-op parallelism: the optional util::ExecContext is handed to
-/// every kernel of the executed graph (encode, integer conv/linear,
-/// and the float layers' GEMMs), parallelizing *within* one forward.
-/// Kernels chunk only over independent outputs, so results stay
-/// byte-identical to serial execution at any thread count. Concurrent
-/// run() calls may share the context's pool; its chunk cursor keeps
-/// every caller making progress.
+/// every kernel the interpreter drives (encode, integer conv/linear,
+/// float GEMM/im2col), parallelizing *within* one forward. Kernels
+/// chunk only over independent outputs, so results stay byte-identical
+/// to serial execution at any thread count.
 class EngineSession {
  public:
-  /// Builds the session with `contexts` concurrent execution contexts
-  /// (>= 1) and an intra-op execution context (default: serial
-  /// kernels). Throws deploy::ArtifactError on malformed artifacts.
+  /// Compiles the artifact internally and builds the session with
+  /// `contexts` concurrent execution contexts (>= 1) and an intra-op
+  /// execution context (default: serial kernels). Throws
+  /// deploy::ArtifactError on malformed artifacts.
   explicit EngineSession(const deploy::QuantizedArtifact& artifact, int contexts = 1,
                          util::ExecContext exec = {});
+
+  /// Interprets a pre-compiled plan (compile once, build sessions
+  /// cheaply — e.g. one per shard of a fleet).
+  explicit EngineSession(deploy::ExecutionPlan plan, int contexts = 1,
+                         util::ExecContext exec = {});
+
+  /// Shares one immutable compiled plan across any number of sessions
+  /// without copying its weights/code matrices. Throws
+  /// std::invalid_argument on a null plan.
+  explicit EngineSession(std::shared_ptr<const deploy::ExecutionPlan> plan,
+                         int contexts = 1, util::ExecContext exec = {});
   ~EngineSession();
 
   EngineSession(const EngineSession&) = delete;
   EngineSession& operator=(const EngineSession&) = delete;
 
-  /// Runs a [N, ...sample_shape()] batch through the integer pipeline
-  /// and returns [N, num_classes()] logits. Thread-safe.
+  /// Runs a [N, ...sample_shape()] batch through the plan and returns
+  /// [N, num_classes()] logits. Thread-safe.
   tensor::Tensor run(const tensor::Tensor& batch);
 
+  /// The compiled program this session interprets.
+  const deploy::ExecutionPlan& plan() const { return *plan_; }
+
   /// Shape of one input sample (e.g. [C, H, W] for the CNNs, [F] for
-  /// the MLP), derived from the artifact's architecture descriptor.
-  const tensor::Shape& sample_shape() const { return sample_shape_; }
-  int num_classes() const { return num_classes_; }
+  /// the MLP), inferred at plan compile time.
+  const tensor::Shape& sample_shape() const { return plan_->sample_shape(); }
+  int num_classes() const { return plan_->num_classes(); }
   int contexts() const { return static_cast<int>(contexts_.size()); }
   /// Intra-op context the kernels run under (serial by default).
   const util::ExecContext& exec_context() const { return exec_; }
   /// Number of quantized layers executing on the integer path.
-  std::size_t integer_layer_count() const { return layers_.size(); }
+  std::size_t integer_layer_count() const { return plan_->integer_layers().size(); }
 
  private:
   struct Context;
 
-  /// Activation-code grid the current tensor lives on: set right after
-  /// an ActQuant, preserved through value-preserving modules (max
-  /// pooling, flatten, probes), consumed by the next quantized layer.
-  struct Grid {
-    float hi = 0.0f;
-    int bits = 0;
-    bool valid = false;
-  };
-
-  /// Grid the quantizer's outputs sit on — the single definition of
-  /// when an activation tensor is integer-encodable
-  /// (encode_activations' domain: bits in [1, 16], positive clip).
-  static Grid grid_after(const nn::ActQuant& aq);
-
   Context& acquire_context();
   void release_context(Context& ctx);
 
-  tensor::Tensor exec_sequential(Context& ctx, nn::Sequential& chain, tensor::Tensor x,
-                                 Grid& grid);
-  tensor::Tensor exec_module(Context& ctx, nn::Module& module, tensor::Tensor x,
-                             Grid& grid);
-  tensor::Tensor exec_block(Context& ctx, nn::BasicBlock& block, tensor::Tensor x,
-                            Grid& grid);
-  /// Integer path for a quantized Conv2d/Linear when the input sits on
-  /// a valid activation grid; float fake-quant forward otherwise.
-  tensor::Tensor exec_quantized(Context& ctx, nn::Module& module, tensor::Tensor x,
-                                const Grid& grid);
+  /// Executes one op record against a context's arena for a batch of
+  /// `batch` samples.
+  void execute(Context& ctx, const deploy::PlanOp& op, int batch);
+
+  float* slot_data(Context& ctx, int slot, int batch);
 
   util::ExecContext exec_;  ///< intra-op context for all kernels
-  std::vector<deploy::IntegerLayer> layers_;  ///< shared, read-only after init
+  std::shared_ptr<const deploy::ExecutionPlan> plan_;  ///< shared, read-only
   std::vector<std::unique_ptr<Context>> contexts_;
   std::vector<Context*> free_contexts_;
   std::mutex mutex_;
   std::condition_variable context_available_;
-
-  tensor::Shape sample_shape_;
-  int num_classes_ = 0;
 };
 
 }  // namespace cq::serve

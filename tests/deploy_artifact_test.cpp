@@ -54,6 +54,33 @@ TEST(ArchDescriptor, MissingParameterThrows) {
   EXPECT_THROW(instantiate_model(arch), ArtifactError);
 }
 
+TEST(ArchDescriptor, MissingParameterNamesKindAndAvailableKeys) {
+  ArchDescriptor arch;
+  arch.kind = "VggSmall";
+  arch.params = {{"image_size", 16.0}, {"num_classes", 10.0}};
+  try {
+    arch.int_param("c1");
+    FAIL() << "expected ArtifactError";
+  } catch (const ArtifactError& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("VggSmall"), std::string::npos) << what;
+    EXPECT_NE(what.find("'c1'"), std::string::npos) << what;
+    EXPECT_NE(what.find("image_size"), std::string::npos) << what;
+    EXPECT_NE(what.find("num_classes"), std::string::npos) << what;
+  }
+}
+
+TEST(ArchDescriptor, MissingParameterOnEmptyDescriptorSaysNone) {
+  ArchDescriptor arch;
+  arch.kind = "Mlp";
+  try {
+    arch.param("in_features");
+    FAIL() << "expected ArtifactError";
+  } catch (const ArtifactError& e) {
+    EXPECT_NE(std::string(e.what()).find("<none>"), std::string::npos) << e.what();
+  }
+}
+
 TEST(ArchDescriptor, UnknownKindThrows) {
   ArchDescriptor arch;
   arch.kind = "Transformer";

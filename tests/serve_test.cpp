@@ -7,82 +7,16 @@
 #include <vector>
 
 #include "deploy/artifact.h"
-#include "nn/models/mlp.h"
-#include "nn/models/model.h"
-#include "nn/models/resnet20.h"
-#include "nn/models/vgg_small.h"
 #include "serve/batch_scheduler.h"
 #include "serve/engine_session.h"
 #include "serve/server.h"
+#include "serve_fixtures.h"
 #include "util/rng.h"
 
 namespace cq::serve {
 namespace {
 
 using tensor::Tensor;
-
-/// Gives `model` a deployable state without training: calibrated
-/// activation quantizers and a mixed per-filter bit arrangement
-/// (including pruned filters), then exports it.
-deploy::QuantizedArtifact fabricate_artifact(nn::Model& model, const tensor::Shape& in,
-                                             int act_bits, std::uint64_t seed) {
-  util::Rng rng(seed);
-  tensor::Shape calib_shape;
-  calib_shape.push_back(32);
-  calib_shape.insert(calib_shape.end(), in.begin(), in.end());
-  model.calibrate_activations(Tensor::rand_uniform(calib_shape, rng, 0.0f, 1.0f));
-  model.set_activation_bits(act_bits);
-  const int pattern[7] = {2, 3, 1, 4, 2, 0, 2};
-  int i = 0;
-  for (const nn::ScoredLayerRef& ref : model.scored_layers()) {
-    for (quant::QuantizableLayer* layer : ref.layers) {
-      std::vector<int> bits(static_cast<std::size_t>(layer->num_filters()));
-      for (int& b : bits) b = pattern[i++ % 7];
-      layer->set_filter_bits(std::move(bits));
-    }
-  }
-  return deploy::export_model(model);
-}
-
-deploy::QuantizedArtifact tiny_vgg_artifact() {
-  nn::VggSmallConfig cfg;
-  cfg.image_size = 8;
-  cfg.num_classes = 4;
-  cfg.c1 = 4;
-  cfg.c2 = 6;
-  cfg.c3 = 8;
-  cfg.f1 = 24;
-  cfg.f2 = 16;
-  cfg.f3 = 12;
-  nn::VggSmall model(cfg);
-  return fabricate_artifact(model, {3, 8, 8}, 3, 11);
-}
-
-deploy::QuantizedArtifact tiny_mlp_artifact() {
-  nn::MlpConfig cfg;
-  cfg.in_features = 12;
-  cfg.hidden = {20, 16, 14};
-  cfg.num_classes = 5;
-  nn::Mlp model(cfg);
-  return fabricate_artifact(model, {12}, 4, 13);
-}
-
-deploy::QuantizedArtifact tiny_resnet_artifact() {
-  nn::ResNet20Config cfg;
-  cfg.image_size = 8;
-  cfg.num_classes = 4;
-  cfg.base_width = 4;
-  nn::ResNet20 model(cfg);
-  return fabricate_artifact(model, {3, 8, 8}, 3, 17);
-}
-
-Tensor random_batch(const tensor::Shape& sample, int n, std::uint64_t seed) {
-  util::Rng rng(seed);
-  tensor::Shape shape;
-  shape.push_back(n);
-  shape.insert(shape.end(), sample.begin(), sample.end());
-  return Tensor::rand_uniform(shape, rng, -0.2f, 1.2f);
-}
 
 TEST(EngineSession, DerivesShapesFromTheArchitecture) {
   EngineSession vgg(tiny_vgg_artifact());

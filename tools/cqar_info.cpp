@@ -3,8 +3,11 @@
 // calibration, size breakdown and integrity status. The
 // deployment-side counterpart of examples/export_and_deploy.
 //
-// Usage: cqar_info <model.cqar> [--verify]
+// Usage: cqar_info <model.cqar> [--verify] [--plan]
 //   --verify   additionally instantiate the model (full structural check)
+//   --plan     compile the deployment ExecutionPlan and print its op
+//              listing (kind, shapes, bits, slots, arena offsets) plus
+//              the planned arena size
 //
 // Exit status: 0 on success, 1 for any unreadable/truncated/corrupted
 // artifact (with a one-line diagnostic on stderr), 2 for usage errors.
@@ -14,6 +17,7 @@
 #include <vector>
 
 #include "deploy/artifact.h"
+#include "deploy/plan.h"
 #include "nn/models/model.h"
 #include "util/cli.h"
 #include "util/table.h"
@@ -54,7 +58,7 @@ std::vector<int> act_quant_of_packed_layer(const cq::deploy::QuantizedArtifact& 
 int main(int argc, char** argv) {
   using namespace cq;
   if (argc < 2 || argv[1][0] == '-') {
-    std::fprintf(stderr, "usage: cqar_info <model.cqar> [--verify]\n");
+    std::fprintf(stderr, "usage: cqar_info <model.cqar> [--verify] [--plan]\n");
     return 2;
   }
   const std::string path = argv[1];
@@ -111,6 +115,37 @@ int main(int argc, char** argv) {
               "(%.2fx vs fp32)\n",
               size.packed_code_bytes, size.packed_meta_bytes, size.dense_bytes,
               size.total_bytes(), size.compression_ratio());
+
+  if (cli.get_bool("plan", false)) {
+    try {
+      const deploy::ExecutionPlan plan = deploy::compile_plan(artifact);
+      util::Table ops({"#", "op", "layer", "slots", "out shape", "bits",
+                       "arena off"});
+      for (std::size_t i = 0; i < plan.ops().size(); ++i) {
+        const deploy::PlanOp& op = plan.ops()[i];
+        const deploy::PlanSlot& out = plan.slots()[static_cast<std::size_t>(op.out)];
+        std::string slots = std::to_string(op.in0);
+        if (op.in1 >= 0) slots += "," + std::to_string(op.in1);
+        slots += " -> " + std::to_string(op.out);
+        const bool has_bits = op.kind == deploy::OpKind::EncodeAct ||
+                              op.kind == deploy::OpKind::IntConv ||
+                              op.kind == deploy::OpKind::IntLinear;
+        ops.add_row({std::to_string(i), deploy::op_kind_name(op.kind),
+                     op.label.empty() ? "-" : op.label, slots,
+                     cq::tensor::shape_to_string(out.shape),
+                     has_bits ? std::to_string(op.act_bits) : "-",
+                     std::to_string(out.offset)});
+      }
+      std::printf("\nexecution plan\n%s\n", ops.render().c_str());
+      std::printf("plan         : %zu ops, %d slots, %zu integer layers, "
+                  "arena %zu B/sample\n",
+                  plan.ops().size(), plan.slot_count(), plan.integer_layers().size(),
+                  plan.arena_bytes());
+    } catch (const std::exception& e) {
+      std::fprintf(stderr, "cqar_info: plan compilation failed — %s\n", e.what());
+      return 1;
+    }
+  }
 
   if (cli.get_bool("verify", false)) {
     try {
