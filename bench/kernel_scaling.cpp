@@ -1,19 +1,27 @@
 // Intra-op kernel scaling harness: times the threaded integer/float
-// kernels at a list of thread counts, verifies every threaded run is
-// byte-identical to the serial reference, and emits machine-readable
-// JSON for the CI perf lane.
+// kernels at a list of thread counts — for each backend in
+// --backends — verifies every timed run is byte-identical to the
+// scalar serial reference, and emits machine-readable JSON for the CI
+// perf lane.
 //
-// This is the repository's only *measured* scaling check: the dev
+// This is the repository's only *measured* perf check: the dev
 // container is single-core, so the perf-smoke CI job runs this binary
-// on a multi-core runner and asserts the speedup it observes, e.g.
+// on a multi-core runner and asserts the speedups it observes, e.g.
 //
 //   kernel_scaling --json=kernel_scaling.json --assert-case=integer_conv_large
 //                  --assert-threads=4 --assert-speedup=1.5
+//                  --assert-backend-speedup=1.2
 //
-// Exit codes: 0 ok, 1 assertion failed, 2 threaded output mismatch.
+// --assert-speedup gates thread scaling of the named scalar case;
+// --assert-backend-speedup gates the blocked backend's win over the
+// scalar kernels on the same case at --assert-threads (requires both
+// backends in the sweep). Exit codes: 0 ok, 1 assertion failed,
+// 2 output mismatch vs the scalar reference.
 //
 // Other knobs: --threads=1,2,4 (thread counts), --repeat=N (timed runs
-// per point; best-of is reported to shed scheduler noise).
+// per point; best-of is reported to shed scheduler noise),
+// --backends=scalar,blocked (kernel backends to sweep; blocked cases
+// are named <case>@blocked and always verified against scalar).
 
 #include <cstdio>
 #include <cstring>
@@ -23,6 +31,7 @@
 #include <thread>
 #include <vector>
 
+#include "deploy/backend.h"
 #include "deploy/int_engine.h"
 #include "tensor/ops.h"
 #include "util/cli.h"
@@ -38,12 +47,17 @@ using namespace cq;
 
 /// One timed kernel under test: run() executes the kernel under the
 /// given context and returns the output bytes for the byte-identity
-/// check against the serial reference.
+/// check. `ref` (when set) produces the reference those bytes must
+/// equal — blocked cases point it at the scalar kernel, so every
+/// blocked measurement doubles as a cross-backend identity check;
+/// scalar cases default to their own serial run.
 struct Case {
   std::string name;
   std::string desc;
+  std::string backend = "scalar";
   long long work_macs = 0;
   std::function<std::vector<float>(const util::ExecContext&)> run;
+  std::function<std::vector<float>()> ref;
 };
 
 /// Synthetic IntegerLayer with a mixed bit pattern (pruned filters
@@ -85,105 +99,164 @@ deploy::ActCodes fabricate_act_codes(std::size_t count, int bits, util::Rng& rng
   return acts;
 }
 
-std::vector<int> parse_threads(const std::string& list) {
-  std::vector<int> threads;
+std::vector<std::string> parse_list(const std::string& list) {
+  std::vector<std::string> out;
   std::string token;
   for (const char c : list + ",") {
     if (c == ',') {
-      if (!token.empty()) threads.push_back(std::stoi(token));
+      if (!token.empty()) out.push_back(token);
       token.clear();
     } else {
       token += c;
     }
   }
-  return threads;
+  return out;
+}
+
+bool contains(const std::vector<std::string>& list, const std::string& value) {
+  for (const std::string& v : list) {
+    if (v == value) return true;
+  }
+  return false;
 }
 
 }  // namespace
 
 int main(int argc, char** argv) {
   const util::Cli cli(argc, argv);
-  const std::vector<int> thread_counts = parse_threads(cli.get("threads", "1,2,4"));
+  std::vector<int> thread_counts;
+  for (const std::string& t : parse_list(cli.get("threads", "1,2,4"))) {
+    thread_counts.push_back(std::stoi(t));
+  }
+  const std::vector<std::string> backends =
+      parse_list(cli.get("backends", "scalar,blocked"));
+  for (const std::string& b : backends) {
+    deploy::parse_backend_kind(b);  // fail fast on typos, naming the options
+  }
   const int repeat = static_cast<int>(cli.get_int("repeat", 5));
   const std::string json_path = cli.get("json", "");
   const std::string assert_case = cli.get("assert-case", "");
   const int assert_threads = static_cast<int>(cli.get_int("assert-threads", 4));
   const double assert_speedup = cli.get_double("assert-speedup", 0.0);
+  const double assert_backend_speedup = cli.get_double("assert-backend-speedup", 0.0);
+  const bool want_scalar = contains(backends, "scalar");
+  const bool want_blocked = contains(backends, "blocked");
 
   util::Rng rng(42);
   std::vector<Case> cases;
 
-  // The "large-layer case" of the perf-smoke assertion: one image
+  /// Registers a scalar integer case plus (per --backends) its blocked
+  /// twin running the packed kernels over the same layer and codes.
+  const auto add_integer_case =
+      [&](const std::string& name, const std::string& desc, long long macs,
+          std::function<std::vector<float>(const util::ExecContext&)> scalar_run,
+          std::function<std::vector<float>(const util::ExecContext&)> blocked_run) {
+        if (want_scalar) cases.push_back({name, desc, "scalar", macs, scalar_run, {}});
+        if (want_blocked) {
+          cases.push_back({name + "@blocked", desc + " (blocked backend)", "blocked",
+                           macs, blocked_run,
+                           [scalar_run] { return scalar_run({}); }});
+        }
+      };
+
+  // The "large-layer case" of the perf-smoke assertions: one image
   // through a VGG-middle-sized conv, ~75M MACs.
   {
     const int in_c = 64, hw = 32, filters = 128, kernel = 3, batch = 1;
     const std::int64_t per_filter = static_cast<std::int64_t>(in_c) * kernel * kernel;
     auto layer = std::make_shared<deploy::IntegerLayer>(
         fabricate_integer_layer(filters, per_filter, rng));
+    auto packed = std::make_shared<deploy::blocked::PackedCodes>(
+        deploy::blocked::pack_codes(*layer));
     auto acts = std::make_shared<deploy::ActCodes>(fabricate_act_codes(
         static_cast<std::size_t>(batch) * in_c * hw * hw, 3, rng));
-    cases.push_back(
-        {"integer_conv_large",
-         "integer_conv_forward 64x32x32 -> 128 filters, 3x3",
-         2LL * batch * filters * per_filter * hw * hw,
-         [=](const util::ExecContext& exec) {
-           tensor::Tensor out = deploy::integer_conv_forward(
-               *layer, *acts, batch, in_c, hw, hw, kernel, 1, 1, exec);
-           return std::vector<float>(out.data(), out.data() + out.numel());
-         }});
+    add_integer_case(
+        "integer_conv_large", "integer conv 64x32x32 -> 128 filters, 3x3",
+        2LL * batch * filters * per_filter * hw * hw,
+        [=](const util::ExecContext& exec) {
+          tensor::Tensor out = deploy::integer_conv_forward(
+              *layer, *acts, batch, in_c, hw, hw, kernel, 1, 1, exec);
+          return std::vector<float>(out.data(), out.data() + out.numel());
+        },
+        [=](const util::ExecContext& exec) {
+          std::vector<float> out(static_cast<std::size_t>(batch) * filters * hw * hw);
+          std::vector<std::int32_t> cols;
+          deploy::blocked::conv_forward_into(*packed, *acts, batch, in_c, hw, hw,
+                                             kernel, 1, 1, out.data(), cols, exec);
+          return out;
+        });
   }
 
-  // Small conv: shows where threading overhead eats the win.
+  // Small conv: shows where threading/tiling overhead eats the win.
   {
     const int in_c = 8, hw = 16, filters = 16, kernel = 3, batch = 1;
     const std::int64_t per_filter = static_cast<std::int64_t>(in_c) * kernel * kernel;
     auto layer = std::make_shared<deploy::IntegerLayer>(
         fabricate_integer_layer(filters, per_filter, rng));
+    auto packed = std::make_shared<deploy::blocked::PackedCodes>(
+        deploy::blocked::pack_codes(*layer));
     auto acts = std::make_shared<deploy::ActCodes>(fabricate_act_codes(
         static_cast<std::size_t>(batch) * in_c * hw * hw, 3, rng));
-    cases.push_back(
-        {"integer_conv_small", "integer_conv_forward 8x16x16 -> 16 filters, 3x3",
-         2LL * batch * filters * per_filter * hw * hw,
-         [=](const util::ExecContext& exec) {
-           tensor::Tensor out = deploy::integer_conv_forward(
-               *layer, *acts, batch, in_c, hw, hw, kernel, 1, 1, exec);
-           return std::vector<float>(out.data(), out.data() + out.numel());
-         }});
+    add_integer_case(
+        "integer_conv_small", "integer conv 8x16x16 -> 16 filters, 3x3",
+        2LL * batch * filters * per_filter * hw * hw,
+        [=](const util::ExecContext& exec) {
+          tensor::Tensor out = deploy::integer_conv_forward(
+              *layer, *acts, batch, in_c, hw, hw, kernel, 1, 1, exec);
+          return std::vector<float>(out.data(), out.data() + out.numel());
+        },
+        [=](const util::ExecContext& exec) {
+          std::vector<float> out(static_cast<std::size_t>(batch) * filters * hw * hw);
+          std::vector<std::int32_t> cols;
+          deploy::blocked::conv_forward_into(*packed, *acts, batch, in_c, hw, hw,
+                                             kernel, 1, 1, out.data(), cols, exec);
+          return out;
+        });
   }
 
-  // Integer FC layer, chunked over output rows.
+  // Integer FC layer, chunked over output rows / filter tiles.
   {
     const int in_features = 1024, filters = 1024, batch = 16;
     auto layer = std::make_shared<deploy::IntegerLayer>(
         fabricate_integer_layer(filters, in_features, rng));
+    auto packed = std::make_shared<deploy::blocked::PackedCodes>(
+        deploy::blocked::pack_codes(*layer));
     auto acts = std::make_shared<deploy::ActCodes>(fabricate_act_codes(
         static_cast<std::size_t>(batch) * in_features, 4, rng));
-    cases.push_back(
-        {"integer_linear_large", "integer_linear_forward 16x1024 -> 1024",
-         2LL * batch * in_features * filters,
-         [=](const util::ExecContext& exec) {
-           tensor::Tensor out =
-               deploy::integer_linear_forward(*layer, *acts, batch, in_features, exec);
-           return std::vector<float>(out.data(), out.data() + out.numel());
-         }});
+    add_integer_case(
+        "integer_linear_large", "integer linear 16x1024 -> 1024",
+        2LL * batch * in_features * filters,
+        [=](const util::ExecContext& exec) {
+          tensor::Tensor out =
+              deploy::integer_linear_forward(*layer, *acts, batch, in_features, exec);
+          return std::vector<float>(out.data(), out.data() + out.numel());
+        },
+        [=](const util::ExecContext& exec) {
+          std::vector<float> out(static_cast<std::size_t>(batch) * filters);
+          deploy::blocked::linear_forward_into(*packed, *acts, batch, in_features,
+                                               out.data(), exec);
+          return out;
+        });
   }
 
-  // Float GEMM — the training-side im2col+GEMM path.
-  {
+  // Float GEMM — the training-side im2col+GEMM path (backends only
+  // differ on integer ops, so this is scalar-only).
+  if (want_scalar) {
     const int m = 256, k = 256, n = 256;
     util::Rng gemm_rng(7);
     auto a = std::make_shared<tensor::Tensor>(
         tensor::Tensor::randn({m, k}, gemm_rng));
     auto b = std::make_shared<tensor::Tensor>(
         tensor::Tensor::randn({k, n}, gemm_rng));
-    cases.push_back({"gemm_float_256", "tensor::gemm 256x256x256",
+    cases.push_back({"gemm_float_256", "tensor::gemm 256x256x256", "scalar",
                      2LL * m * k * n,
                      [=](const util::ExecContext& exec) {
                        std::vector<float> c(static_cast<std::size_t>(m) * n);
                        tensor::gemm(a->data(), b->data(), c.data(), m, k, n,
                                     /*accumulate=*/false, exec);
                        return c;
-                     }});
+                     },
+                     {}});
   }
 
   struct Point {
@@ -200,10 +273,15 @@ int main(int argc, char** argv) {
   for (const Case& c : cases) {
     CaseResult result;
     result.c = &c;
-    const std::vector<float> reference = c.run({});  // serial reference (warm)
+    // Identity reference: the case's own serial run, or — for blocked
+    // cases — the scalar kernel's serial run (the byte-identity
+    // contract every backend is held to).
+    const std::vector<float> reference = c.ref ? c.ref() : c.run({});
     // The speedup baseline is always the strictly serial run, whatever
     // --threads lists — otherwise omitting 1 would silently rebase the
-    // asserted speedup on a threaded time.
+    // asserted speedup on a threaded time. Scalar cases are already
+    // warm from the reference run; blocked cases warm their own kernel.
+    if (c.ref) c.run({});
     double base_ms = 0.0;
     for (int r = 0; r < repeat; ++r) {
       util::Timer timer;
@@ -224,7 +302,7 @@ int main(int argc, char** argv) {
                       reference.size() * sizeof(float)) != 0) {
         std::fprintf(stderr,
                      "kernel_scaling: %s at %d threads is NOT byte-identical "
-                     "to serial\n",
+                     "to the scalar serial reference\n",
                      c.name.c_str(), t);
         return 2;
       }
@@ -268,9 +346,11 @@ int main(int argc, char** argv) {
     for (std::size_t i = 0; i < results.size(); ++i) {
       const CaseResult& r = results[i];
       std::fprintf(f,
-                   "    {\"name\": \"%s\", \"desc\": \"%s\", \"work_macs\": %lld,\n"
+                   "    {\"name\": \"%s\", \"desc\": \"%s\", \"backend\": \"%s\", "
+                   "\"work_macs\": %lld,\n"
                    "     \"results\": [",
-                   r.c->name.c_str(), r.c->desc.c_str(), r.c->work_macs);
+                   r.c->name.c_str(), r.c->desc.c_str(), r.c->backend.c_str(),
+                   r.c->work_macs);
       for (std::size_t j = 0; j < r.points.size(); ++j) {
         const Point& p = r.points[j];
         std::fprintf(f, "%s{\"threads\": %d, \"best_ms\": %.4f, \"speedup\": %.3f}",
@@ -283,21 +363,59 @@ int main(int argc, char** argv) {
     std::printf("wrote %s\n", json_path.c_str());
   }
 
+  const auto best_ms_at = [&results](const std::string& name, int threads,
+                                     double* out) {
+    for (const CaseResult& r : results) {
+      if (r.c->name != name) continue;
+      for (const Point& p : r.points) {
+        if (p.threads != threads) continue;
+        *out = p.best_ms;
+        return true;
+      }
+    }
+    return false;
+  };
+
+  bool failed = false;
   if (assert_speedup > 0.0) {
+    bool measured = false;
     for (const CaseResult& r : results) {
       if (r.c->name != assert_case) continue;
       for (const Point& p : r.points) {
         if (p.threads != assert_threads) continue;
+        measured = true;
         const bool ok = p.speedup >= assert_speedup;
         std::fprintf(stderr, "assert: %s at %d threads: %.2fx (need >= %.2fx) — %s\n",
                      assert_case.c_str(), assert_threads, p.speedup, assert_speedup,
                      ok ? "PASS" : "FAIL");
-        return ok ? 0 : 1;
+        failed = failed || !ok;
       }
     }
-    std::fprintf(stderr, "assert: case '%s' with %d threads not measured\n",
-                 assert_case.c_str(), assert_threads);
-    return 1;
+    if (!measured) {
+      std::fprintf(stderr, "assert: case '%s' with %d threads not measured\n",
+                   assert_case.c_str(), assert_threads);
+      failed = true;
+    }
   }
-  return 0;
+  if (assert_backend_speedup > 0.0) {
+    double scalar_ms = 0.0, blocked_ms = 0.0;
+    if (!best_ms_at(assert_case, assert_threads, &scalar_ms) ||
+        !best_ms_at(assert_case + "@blocked", assert_threads, &blocked_ms)) {
+      std::fprintf(stderr,
+                   "assert: backend comparison needs '%s' under both backends at "
+                   "%d threads (run with --backends=scalar,blocked)\n",
+                   assert_case.c_str(), assert_threads);
+      failed = true;
+    } else {
+      const double ratio = blocked_ms > 0.0 ? scalar_ms / blocked_ms : 0.0;
+      const bool ok = ratio >= assert_backend_speedup;
+      std::fprintf(stderr,
+                   "assert: %s blocked vs scalar at %d threads: %.2fx "
+                   "(need >= %.2fx) — %s\n",
+                   assert_case.c_str(), assert_threads, ratio, assert_backend_speedup,
+                   ok ? "PASS" : "FAIL");
+      failed = failed || !ok;
+    }
+  }
+  return failed ? 1 : 0;
 }

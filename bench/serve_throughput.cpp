@@ -17,7 +17,10 @@
 // arrangement and a forward-pass activation calibration before export.
 //
 // Run: ./serve_throughput [--fast] [--requests=N] [--threads=N]
-//                         [--json=sweep.json]   (section 3, machine-readable)
+//                         [--backend=scalar|blocked]  (kernel backend, all sections)
+//                         [--json=sweep.json]   (section 3, machine-readable;
+//                          records the backend so artifacts from different
+//                          backends stay distinguishable in the trajectory)
 
 #include <atomic>
 #include <cstdio>
@@ -106,13 +109,16 @@ int main(int argc, char** argv) {
   const bool fast = cli.get_bool("fast", false);
   const long requests = cli.get_int("requests", fast ? 96 : 512);
   const long threads = cli.get_int("threads", 8);
+  const deploy::BackendKind backend =
+      deploy::parse_backend_kind(cli.get("backend", "scalar"));
 
   util::Rng rng(7);
   const deploy::QuantizedArtifact artifact = make_artifact(rng);
+  std::printf("kernel backend: %s\n\n", deploy::backend_kind_name(backend));
 
   // --- Section 1: raw integer pipeline vs batch size -----------------
   {
-    serve::EngineSession session(artifact, 1);
+    serve::EngineSession session(artifact, 1, {}, deploy::make_backend(backend));
     util::Table table({"batch", "runs", "total ms", "us/sample"});
     for (const int batch : {1, 8, 32}) {
       const int runs = fast ? 4 : 16;
@@ -137,6 +143,7 @@ int main(int argc, char** argv) {
   for (const int workers : {1, 2, 4}) {
     serve::ServerConfig config;
     config.workers = workers;
+    config.backend = backend;
     config.max_batch = 16;
     config.max_wait_us = 200;
     const LoadResult r = run_load(artifact, config, requests, threads);
@@ -178,6 +185,7 @@ int main(int argc, char** argv) {
     serve::ServerConfig config;
     config.workers = combo.workers;
     config.intra_threads = combo.intra;
+    config.backend = backend;
     config.max_batch = 16;
     config.max_wait_us = 200;
     const LoadResult r = run_load(artifact, config, requests, threads);
@@ -205,8 +213,9 @@ int main(int argc, char** argv) {
     }
     std::fprintf(f,
                  "{\n  \"hardware_threads\": %u,\n  \"requests\": %ld,\n"
-                 "  \"submitters\": %ld,\n  \"sweep\": [\n",
-                 std::thread::hardware_concurrency(), requests, threads);
+                 "  \"submitters\": %ld,\n  \"backend\": \"%s\",\n  \"sweep\": [\n",
+                 std::thread::hardware_concurrency(), requests, threads,
+                 deploy::backend_kind_name(backend));
     for (std::size_t i = 0; i < sweep_rows.size(); ++i) {
       const SweepRow& row = sweep_rows[i];
       std::fprintf(f,

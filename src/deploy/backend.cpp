@@ -1,0 +1,49 @@
+#include "deploy/backend.h"
+
+#include <stdexcept>
+
+namespace cq::deploy {
+
+void Backend::prepare(const ExecutionPlan&) {}
+
+const char* Backend::dispatch(const PlanOp&) const { return name(); }
+
+const char* backend_kind_name(BackendKind kind) {
+  switch (kind) {
+    case BackendKind::Scalar:
+      return "scalar";
+    case BackendKind::Blocked:
+      return "blocked";
+  }
+  return "?";
+}
+
+const std::vector<BackendKind>& all_backend_kinds() {
+  static const std::vector<BackendKind> kinds = {BackendKind::Scalar,
+                                                 BackendKind::Blocked};
+  return kinds;
+}
+
+BackendKind parse_backend_kind(const std::string& name) {
+  for (const BackendKind kind : all_backend_kinds()) {
+    if (name == backend_kind_name(kind)) return kind;
+  }
+  std::string known;
+  for (const BackendKind kind : all_backend_kinds()) {
+    if (!known.empty()) known += ", ";
+    known += backend_kind_name(kind);
+  }
+  throw std::invalid_argument("unknown backend '" + name + "' (known: " + known + ")");
+}
+
+std::unique_ptr<Backend> make_backend(BackendKind kind) {
+  switch (kind) {
+    case BackendKind::Scalar:
+      return std::make_unique<ScalarBackend>();
+    case BackendKind::Blocked:
+      return std::make_unique<BlockedBackend>();
+  }
+  throw std::invalid_argument("make_backend: unknown kind");
+}
+
+}  // namespace cq::deploy

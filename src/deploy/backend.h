@@ -1,0 +1,188 @@
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "deploy/int_engine.h"
+#include "deploy/plan.h"
+#include "util/exec_context.h"
+
+namespace cq::deploy {
+
+/// Per-op input/output pointers resolved by the interpreter: arena
+/// slot addresses for the current batch. `in1` is non-null only for
+/// ops with a second input (residual Add).
+struct BackendIo {
+  const float* in0 = nullptr;
+  const float* in1 = nullptr;
+  float* out = nullptr;
+  int batch = 1;
+};
+
+/// Caller-owned scratch a backend kernel may use, reused across
+/// requests so steady-state serving allocates nothing per op: the
+/// activation-code buffer, the integer im2col patch matrix, and the
+/// float im2col patch matrix. One BackendScratch per interpreter
+/// context; sized once from the plan's compile-time maxima.
+struct BackendScratch {
+  ActCodes codes;
+  std::vector<std::int32_t> int_cols;
+  std::vector<float> float_cols;
+};
+
+/// Kernel-dispatch seam of the deployment runtime.
+///
+/// serve::EngineSession's interpreter never calls a kernel directly:
+/// every PlanOp is handed to Backend::run, which picks *how* the op
+/// executes while the plan fixes *what* it computes. This is the
+/// paper's "uniform codes run on existing processors directly" claim
+/// made concrete — swapping the backend swaps the execution strategy
+/// (scalar reference, cache-blocked, a future ISA- or
+/// accelerator-specific variant) without touching compilation,
+/// scheduling, or serving.
+///
+/// Contract:
+///  - prepare(plan) is called exactly once before any run() against
+///    that plan. Backends build plan-derived state there (packed
+///    weight layouts, retiled code matrices); it is the only place a
+///    backend may mutate itself.
+///  - run() is const and must be safe to call concurrently from any
+///    number of interpreter contexts (prepare()-built state is
+///    read-only at run time; per-call mutable state lives in the
+///    caller's BackendScratch).
+///  - Byte-identity: integer ops (IntConv/IntLinear) accumulate in
+///    exact int64 arithmetic, so a backend may retile, reorder or
+///    block them freely as long as the final per-output float rescale
+///    `weight_scale(k) * act_scale * acc + bias` is computed with the
+///    same expressions — outputs must be byte-identical to
+///    ScalarBackend. Float ops (FloatConv/FloatLinear, stem/head) must
+///    keep the per-output-element reduction order or delegate to the
+///    scalar reference.
+class Backend {
+ public:
+  virtual ~Backend() = default;
+
+  /// Stable lowercase identifier ("scalar", "blocked") used by CLI
+  /// flags, bench JSON records and listings.
+  virtual const char* name() const = 0;
+
+  /// One-time hook after plan compilation: build any packed/retiled
+  /// weight layout the kernels want. Default: no preparation.
+  virtual void prepare(const ExecutionPlan& plan);
+
+  /// Executes one op record for a batch of io.batch samples.
+  virtual void run(const PlanOp& op, const ExecutionPlan& plan, const BackendIo& io,
+                   BackendScratch& scratch, const util::ExecContext& exec) const = 0;
+
+  /// Which implementation actually runs `op` ("scalar" for delegated
+  /// ops) — introspection for cqar_info's plan listing. Default: name().
+  virtual const char* dispatch(const PlanOp& op) const;
+};
+
+/// The registered backend implementations.
+enum class BackendKind { Scalar, Blocked };
+
+/// Stable name of a kind ("scalar", "blocked").
+const char* backend_kind_name(BackendKind kind);
+
+/// Parses a backend name; throws std::invalid_argument naming the
+/// known backends on anything else.
+BackendKind parse_backend_kind(const std::string& name);
+
+/// All registered kinds, for sweeps and usage strings.
+const std::vector<BackendKind>& all_backend_kinds();
+
+/// Constructs a fresh backend instance (prepare() not yet called).
+std::unique_ptr<Backend> make_backend(BackendKind kind);
+
+/// The byte-exact reference: the int_engine / tensor-ops kernels the
+/// plan interpreter originally hard-wired, moved behind the seam
+/// unchanged. Stateless — prepare() is a no-op.
+class ScalarBackend : public Backend {
+ public:
+  const char* name() const override { return "scalar"; }
+  void run(const PlanOp& op, const ExecutionPlan& plan, const BackendIo& io,
+           BackendScratch& scratch, const util::ExecContext& exec) const override;
+};
+
+namespace blocked {
+
+/// Filters per packed panel: the inner kernels broadcast one im2col /
+/// activation row across this many output filters, so each code row is
+/// read once per tile instead of once per filter.
+inline constexpr int kFilterTile = 8;
+/// Output positions per cache block of the conv kernel; the int64
+/// accumulator tile (kFilterTile x kSpatialBlock) stays L1-resident.
+inline constexpr int kSpatialBlock = 128;
+
+/// Backend-owned packed layout of one IntegerLayer: centered doubled
+/// weight codes (2q - (levels-1), the value the MAC loop actually
+/// multiplies by) narrowed to int16 and interleaved into panels of
+/// kFilterTile filters — panels[tile][j][lane] — so the 2-4-bit rows
+/// of a tile are contiguous for the inner loop. Per-filter rescale
+/// state rides along, with pruned (0-bit) filters encoded as
+/// scale = bias = 0 so they cost no branch in the hot loop.
+struct PackedCodes {
+  std::int32_t num_filters = 0;
+  std::int64_t weights_per_filter = 0;
+  /// False when some filter's centered codes exceed int16 (bits > 15);
+  /// BlockedBackend then delegates the layer to the scalar kernels.
+  bool usable = false;
+  std::vector<std::int16_t> panels;   ///< [ceil(F/tile)][per_filter][tile]
+  std::vector<float> weight_scales;   ///< IntegerLayer::weight_scale(k); 0 if pruned
+  std::vector<float> out_bias;        ///< per-filter bias; forced 0 if pruned
+  /// Largest |centered code| over all filters: with the activation
+  /// code bound it proves when a whole reduction fits exactly in
+  /// int32, unlocking the vectorizable narrow-accumulator path (int64
+  /// multiplies do not vectorize on most SIMD ISAs; int32 ones do).
+  std::int32_t max_abs_weight = 0;
+};
+
+/// Packs an IntegerLayer into the blocked layout (done once at
+/// Backend::prepare time, never on the serving path).
+PackedCodes pack_codes(const IntegerLayer& layer);
+
+/// Cache-blocked integer convolution: same im2col as the scalar
+/// kernel, then a tiled MAC stage — kFilterTile filters x kSpatialBlock
+/// output positions per block, int64 accumulation. Exact integer
+/// arithmetic plus the scalar kernel's final rescale expression makes
+/// the output byte-identical to integer_conv_forward_into at any
+/// thread count. Parallelism: filter tiles chunk over `exec`.
+void conv_forward_into(const PackedCodes& packed, const ActCodes& acts, int batch,
+                       int in_c, int height, int width, int kernel, int stride,
+                       int pad, float* out, std::vector<std::int32_t>& cols_scratch,
+                       const util::ExecContext& exec = {});
+
+/// Blocked fully-connected kernel: per filter tile, the int16 weight
+/// panel (L1-resident) is swept once per sample with a kFilterTile-wide
+/// accumulator. Byte-identical to integer_linear_forward_into.
+void linear_forward_into(const PackedCodes& packed, const ActCodes& acts, int batch,
+                         int in_features, float* out,
+                         const util::ExecContext& exec = {});
+
+}  // namespace blocked
+
+/// Cache-blocked/packed integer backend: IntConv/IntLinear run the
+/// blocked:: kernels over panel layouts built in prepare(); every
+/// other op (and any integer layer the layout cannot hold) delegates
+/// to the scalar reference. Byte-identical to ScalarBackend on every
+/// plan op — the cross-backend property test enforces it.
+class BlockedBackend : public ScalarBackend {
+ public:
+  const char* name() const override { return "blocked"; }
+  void prepare(const ExecutionPlan& plan) override;
+  void run(const PlanOp& op, const ExecutionPlan& plan, const BackendIo& io,
+           BackendScratch& scratch, const util::ExecContext& exec) const override;
+  const char* dispatch(const PlanOp& op) const override;
+
+ private:
+  std::vector<blocked::PackedCodes> packed_;  ///< by PlanOp::layer
+  /// Identity of the plan prepare() packed for; run() refuses any
+  /// other plan (same-sized layer lists would otherwise silently
+  /// execute with the wrong weights).
+  const ExecutionPlan* prepared_for_ = nullptr;
+};
+
+}  // namespace cq::deploy

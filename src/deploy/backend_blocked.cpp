@@ -1,0 +1,318 @@
+// Cache-blocked integer backend.
+//
+// The scalar conv kernel streams the whole im2col matrix (patch x
+// spatial int32, often megabytes) through the cache once per output
+// filter. The blocked kernels instead broadcast each code row across a
+// panel of kFilterTile filters and block the output positions so the
+// int64 accumulator tile stays L1-resident: code-matrix traffic drops
+// by the tile width. Weight codes are packed once at prepare() time
+// into int16 panels — 2-4-bit rows contiguous per tile, half the
+// footprint of the scalar int32 layout — and the per-filter rescale
+// state rides along so pruned filters cost nothing in the hot loop.
+//
+// Integer accumulation is exact, so any retiling produces the same
+// int64 sums; the final float rescale uses the scalar kernel's exact
+// expressions, making every output byte-identical to ScalarBackend
+// (backend_test's property suite and the CI sanitizer lanes pin this).
+
+#include <algorithm>
+#include <cstring>
+#include <limits>
+#include <stdexcept>
+
+#include "deploy/backend.h"
+#include "quant/uniform.h"
+#include "tensor/ops.h"
+
+namespace cq::deploy {
+namespace blocked {
+
+PackedCodes pack_codes(const IntegerLayer& layer) {
+  PackedCodes packed;
+  packed.num_filters = layer.num_filters;
+  packed.weights_per_filter = layer.weights_per_filter;
+  for (const std::uint8_t b : layer.filter_bits) {
+    // Centered doubled codes span [-(levels-1), levels-1]; levels-1
+    // overflows int16 above 15 bits. Such layers (none in the paper's
+    // 0-8-bit regime) stay on the scalar kernels.
+    if (b > 15) return packed;
+  }
+  packed.usable = true;
+
+  const std::size_t filters = static_cast<std::size_t>(layer.num_filters);
+  const std::size_t patch = static_cast<std::size_t>(layer.weights_per_filter);
+  const std::size_t tiles = (filters + kFilterTile - 1) / kFilterTile;
+  // Tail lanes of the last panel stay zero: the inner loops may sweep
+  // a full tile and the extra lanes accumulate exact zeros.
+  packed.panels.assign(tiles * patch * kFilterTile, 0);
+  packed.weight_scales.resize(filters);
+  packed.out_bias.resize(filters);
+  for (std::size_t k = 0; k < filters; ++k) {
+    const int b = layer.filter_bits[k];
+    packed.weight_scales[k] = layer.weight_scale(static_cast<int>(k));  // 0 if pruned
+    packed.out_bias[k] = b == 0 ? 0.0f : layer.bias[k];
+    if (b == 0) continue;  // pruned: zero panel row, zero scale/bias
+    const std::int32_t offset =
+        static_cast<std::int32_t>(quant::levels_for_bits(b)) - 1;
+    const std::int32_t* row = layer.codes.data() + k * patch;
+    std::int16_t* panel =
+        packed.panels.data() + (k / kFilterTile) * patch * kFilterTile;
+    const std::size_t lane = k % kFilterTile;
+    for (std::size_t j = 0; j < patch; ++j) {
+      const std::int32_t centered = 2 * row[j] - offset;
+      panel[j * kFilterTile + lane] = static_cast<std::int16_t>(centered);
+      packed.max_abs_weight =
+          std::max(packed.max_abs_weight, centered < 0 ? -centered : centered);
+    }
+  }
+  return packed;
+}
+
+namespace {
+
+void check_packed(const PackedCodes& packed, const char* kernel) {
+  if (!packed.usable) {
+    throw std::logic_error(std::string(kernel) +
+                           ": layer is not packable (use the scalar kernels)");
+  }
+}
+
+/// True when every possible reduction over `terms` products of packed
+/// weights and `acts` codes provably fits in int32. Integer sums below
+/// the overflow bound are exact in any width, so the narrow
+/// accumulator changes nothing but speed: int32 multiply-accumulate
+/// vectorizes (8 lanes on AVX2) where int64 runs scalar.
+bool fits_int32(const PackedCodes& packed, const ActCodes& acts, std::size_t terms) {
+  if (acts.bits < 1 || acts.bits > 16) return false;
+  const std::int64_t act_max = quant::levels_for_bits(acts.bits) - 1;
+  const std::int64_t bound =
+      static_cast<std::int64_t>(packed.max_abs_weight) * act_max *
+      static_cast<std::int64_t>(terms);
+  return bound <= std::numeric_limits<std::int32_t>::max();
+}
+
+/// The conv MAC stage over one image's im2col matrix, chunked over
+/// filter tiles; Acc is int32 when fits_int32 proved it exact.
+template <typename Acc>
+void conv_mac_tiles(const PackedCodes& packed, const ActCodes& acts,
+                    const std::int32_t* cols_data, std::size_t patch,
+                    std::size_t spatial, float* out_n,
+                    const util::ExecContext& exec) {
+  const std::size_t filters = static_cast<std::size_t>(packed.num_filters);
+  const std::size_t tiles = (filters + kFilterTile - 1) / kFilterTile;
+  exec.parallel_for(0, static_cast<std::int64_t>(tiles),
+                    [&, out_n](std::int64_t t0, std::int64_t t1) {
+    Acc acc[kFilterTile][kSpatialBlock];
+    for (std::int64_t t = t0; t < t1; ++t) {
+      const std::size_t k0 = static_cast<std::size_t>(t) * kFilterTile;
+      const int kt =
+          static_cast<int>(std::min<std::size_t>(kFilterTile, filters - k0));
+      const std::int16_t* panel =
+          packed.panels.data() + static_cast<std::size_t>(t) * patch * kFilterTile;
+      for (std::size_t s0 = 0; s0 < spatial; s0 += kSpatialBlock) {
+        const std::size_t sb = std::min<std::size_t>(kSpatialBlock, spatial - s0);
+        for (int f = 0; f < kt; ++f) {
+          std::memset(acc[f], 0, sb * sizeof(Acc));
+        }
+        // Each code row slice is loaded once and broadcast across the
+        // whole filter tile — the cache win over the scalar kernel.
+        for (std::size_t j = 0; j < patch; ++j) {
+          const std::int32_t* crow = cols_data + j * spatial + s0;
+          const std::int16_t* w = panel + j * kFilterTile;
+          for (int f = 0; f < kt; ++f) {
+            const Acc wv = w[f];
+            if (wv == 0) continue;  // exact: pruned lanes add nothing
+            Acc* arow = acc[f];
+            for (std::size_t s = 0; s < sb; ++s) {
+              arow[s] += wv * static_cast<Acc>(crow[s]);
+            }
+          }
+        }
+        for (int f = 0; f < kt; ++f) {
+          const std::size_t k = k0 + static_cast<std::size_t>(f);
+          // The scalar kernel's exact rescale expressions; pruned
+          // filters have scale = bias = 0 and exact-zero sums, so
+          // they produce the same hard 0.0f.
+          const float scale = packed.weight_scales[k] * acts.scale;
+          const float bias = packed.out_bias[k];
+          float* plane = out_n + k * spatial + s0;
+          for (std::size_t s = 0; s < sb; ++s) {
+            plane[s] = scale * static_cast<float>(acc[f][s]) + bias;
+          }
+        }
+      }
+    }
+  });
+}
+
+/// Samples processed per weight-panel sweep of the linear kernel: each
+/// panel row is loaded once and multiplied into this many samples'
+/// accumulators, amortizing the weight traffic over the batch.
+inline constexpr int kBatchBlock = 4;
+
+/// The fully-connected MAC stage, chunked over filter tiles: one
+/// L1-resident weight panel swept per kBatchBlock samples with a
+/// kFilterTile-wide accumulator per sample.
+template <typename Acc>
+void linear_mac_tiles(const PackedCodes& packed, const ActCodes& acts, int batch,
+                      std::size_t features, float* out,
+                      const util::ExecContext& exec) {
+  const std::size_t filters = static_cast<std::size_t>(packed.num_filters);
+  const std::size_t tiles = (filters + kFilterTile - 1) / kFilterTile;
+  exec.parallel_for(0, static_cast<std::int64_t>(tiles),
+                    [&](std::int64_t t0, std::int64_t t1) {
+    Acc acc[kBatchBlock][kFilterTile];
+    for (std::int64_t t = t0; t < t1; ++t) {
+      const std::size_t k0 = static_cast<std::size_t>(t) * kFilterTile;
+      const int kt =
+          static_cast<int>(std::min<std::size_t>(kFilterTile, filters - k0));
+      const std::int16_t* panel =
+          packed.panels.data() + static_cast<std::size_t>(t) * features * kFilterTile;
+      for (int n0 = 0; n0 < batch; n0 += kBatchBlock) {
+        const int nb = std::min(kBatchBlock, batch - n0);
+        const std::int32_t* a =
+            acts.codes.data() + static_cast<std::size_t>(n0) * features;
+        std::memset(acc, 0, sizeof(acc));
+        for (std::size_t j = 0; j < features; ++j) {
+          const std::int16_t* w = panel + j * kFilterTile;
+          for (int b = 0; b < nb; ++b) {
+            const Acc av = static_cast<Acc>(a[static_cast<std::size_t>(b) * features + j]);
+            for (int f = 0; f < kFilterTile; ++f) {  // tail lanes are zero panels
+              acc[b][f] += static_cast<Acc>(w[f]) * av;
+            }
+          }
+        }
+        for (int b = 0; b < nb; ++b) {
+          float* row = out + static_cast<std::size_t>(n0 + b) * filters;
+          for (int f = 0; f < kt; ++f) {
+            const std::size_t k = k0 + static_cast<std::size_t>(f);
+            const float scale = packed.weight_scales[k] * acts.scale;
+            row[k] = scale * static_cast<float>(acc[b][f]) + packed.out_bias[k];
+          }
+        }
+      }
+    }
+  });
+}
+
+}  // namespace
+
+void conv_forward_into(const PackedCodes& packed, const ActCodes& acts, int batch,
+                       int in_c, int height, int width, int kernel, int stride,
+                       int pad, float* out, std::vector<std::int32_t>& cols_scratch,
+                       const util::ExecContext& exec) {
+  check_packed(packed, "blocked::conv_forward_into");
+  if (packed.weights_per_filter !=
+      static_cast<std::int64_t>(in_c) * kernel * kernel) {
+    throw std::invalid_argument("blocked::conv_forward_into: geometry mismatch");
+  }
+  const std::size_t image =
+      static_cast<std::size_t>(in_c) * static_cast<std::size_t>(height) * width;
+  if (acts.codes.size() != static_cast<std::size_t>(batch) * image) {
+    throw std::invalid_argument(
+        "blocked::conv_forward_into: activation code count mismatch");
+  }
+  const int oh = (height + 2 * pad - kernel) / stride + 1;
+  const int ow = (width + 2 * pad - kernel) / stride + 1;
+  if (oh <= 0 || ow <= 0) {
+    throw std::invalid_argument("blocked::conv_forward_into: empty output");
+  }
+  const std::size_t spatial = static_cast<std::size_t>(oh) * ow;
+  const std::size_t patch = static_cast<std::size_t>(packed.weights_per_filter);
+  const std::size_t filters = static_cast<std::size_t>(packed.num_filters);
+
+  cols_scratch.resize(patch * spatial);
+  std::int32_t* const cols_data = cols_scratch.data();
+  tensor::ConvGeometry geometry;
+  geometry.in_c = in_c;
+  geometry.in_h = height;
+  geometry.in_w = width;
+  geometry.kernel = kernel;
+  geometry.stride = stride;
+  geometry.pad = pad;
+  const bool narrow = fits_int32(packed, acts, patch);
+  for (int n = 0; n < batch; ++n) {
+    const std::int32_t* img = acts.codes.data() + static_cast<std::size_t>(n) * image;
+    // Same im2col as the scalar kernel (the packing only changes the
+    // MAC stage); zero padding is code 0 = activation 0.0.
+    tensor::im2col_any(img, geometry, cols_data, exec);
+    float* out_n = out + static_cast<std::size_t>(n) * filters * spatial;
+    if (narrow) {
+      conv_mac_tiles<std::int32_t>(packed, acts, cols_data, patch, spatial, out_n,
+                                   exec);
+    } else {
+      conv_mac_tiles<std::int64_t>(packed, acts, cols_data, patch, spatial, out_n,
+                                   exec);
+    }
+  }
+}
+
+void linear_forward_into(const PackedCodes& packed, const ActCodes& acts, int batch,
+                         int in_features, float* out, const util::ExecContext& exec) {
+  check_packed(packed, "blocked::linear_forward_into");
+  if (in_features != packed.weights_per_filter) {
+    throw std::invalid_argument("blocked::linear_forward_into: in_features mismatch");
+  }
+  if (acts.codes.size() !=
+      static_cast<std::size_t>(batch) * static_cast<std::size_t>(in_features)) {
+    throw std::invalid_argument(
+        "blocked::linear_forward_into: activation code count mismatch");
+  }
+  const std::size_t features = static_cast<std::size_t>(in_features);
+  if (fits_int32(packed, acts, features)) {
+    linear_mac_tiles<std::int32_t>(packed, acts, batch, features, out, exec);
+  } else {
+    linear_mac_tiles<std::int64_t>(packed, acts, batch, features, out, exec);
+  }
+}
+
+}  // namespace blocked
+
+void BlockedBackend::prepare(const ExecutionPlan& plan) {
+  packed_.clear();
+  packed_.reserve(plan.integer_layers().size());
+  for (const IntegerLayer& layer : plan.integer_layers()) {
+    packed_.push_back(blocked::pack_codes(layer));
+  }
+  prepared_for_ = &plan;
+}
+
+void BlockedBackend::run(const PlanOp& op, const ExecutionPlan& plan,
+                         const BackendIo& io, BackendScratch& scratch,
+                         const util::ExecContext& exec) const {
+  if (op.kind == OpKind::IntConv || op.kind == OpKind::IntLinear) {
+    if (prepared_for_ != &plan) {
+      throw std::logic_error("BlockedBackend: prepare() was not run for this plan");
+    }
+    const blocked::PackedCodes& packed = packed_[static_cast<std::size_t>(op.layer)];
+    if (packed.usable) {
+      if (op.kind == OpKind::IntConv) {
+        encode_activations_into(io.in0,
+                                plan.slots()[static_cast<std::size_t>(op.in0)].numel *
+                                    static_cast<std::size_t>(io.batch),
+                                op.act_hi, op.act_bits, scratch.codes, exec);
+        blocked::conv_forward_into(packed, scratch.codes, io.batch, op.in_c, op.in_h,
+                                   op.in_w, op.kernel, op.stride, op.pad, io.out,
+                                   scratch.int_cols, exec);
+      } else {
+        encode_activations_into(io.in0,
+                                static_cast<std::size_t>(op.in_features) *
+                                    static_cast<std::size_t>(io.batch),
+                                op.act_hi, op.act_bits, scratch.codes, exec);
+        blocked::linear_forward_into(packed, scratch.codes, io.batch, op.in_features,
+                                     io.out, exec);
+      }
+      return;
+    }
+  }
+  ScalarBackend::run(op, plan, io, scratch, exec);
+}
+
+const char* BlockedBackend::dispatch(const PlanOp& op) const {
+  if (op.kind != OpKind::IntConv && op.kind != OpKind::IntLinear) return "scalar";
+  const auto layer = static_cast<std::size_t>(op.layer);
+  if (layer >= packed_.size() || !packed_[layer].usable) return "scalar";
+  return "blocked";
+}
+
+}  // namespace cq::deploy

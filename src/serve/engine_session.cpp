@@ -1,26 +1,21 @@
 #include "serve/engine_session.h"
 
 #include <cstring>
-#include <limits>
 #include <stdexcept>
 #include <utility>
 
-#include "deploy/int_engine.h"
-#include "quant/uniform.h"
 #include "tensor/ops.h"
 
 namespace cq::serve {
 
 /// One concurrent execution lane: the slot arena (every tensor of the
 /// plan, laid out by the compile-time buffer planner and scaled by the
-/// batch size) plus the reused activation-code and im2col scratch. The
-/// arena grows to the largest batch seen, then serving is
-/// allocation-free per request.
+/// batch size) plus the backend scratch (reused activation-code and
+/// im2col buffers). The arena grows to the largest batch seen, then
+/// serving is allocation-free per request.
 struct EngineSession::Context {
   std::vector<float> arena;
-  deploy::ActCodes codes;
-  std::vector<std::int32_t> int_cols;
-  std::vector<float> float_cols;
+  deploy::BackendScratch scratch;
 };
 
 namespace {
@@ -37,30 +32,37 @@ int required_contexts(int contexts) {
 }  // namespace
 
 EngineSession::EngineSession(const deploy::QuantizedArtifact& artifact, int contexts,
-                             util::ExecContext exec)
+                             util::ExecContext exec,
+                             std::unique_ptr<deploy::Backend> backend)
     : EngineSession((required_contexts(contexts),
                      std::make_shared<const deploy::ExecutionPlan>(
                          deploy::compile_plan(artifact))),
-                    contexts, exec) {}
+                    contexts, exec, std::move(backend)) {}
 
 EngineSession::EngineSession(deploy::ExecutionPlan plan, int contexts,
-                             util::ExecContext exec)
+                             util::ExecContext exec,
+                             std::unique_ptr<deploy::Backend> backend)
     : EngineSession(std::make_shared<const deploy::ExecutionPlan>(std::move(plan)),
-                    contexts, exec) {}
+                    contexts, exec, std::move(backend)) {}
 
 EngineSession::EngineSession(std::shared_ptr<const deploy::ExecutionPlan> plan,
-                             int contexts, util::ExecContext exec)
-    : exec_(exec), plan_(std::move(plan)) {
+                             int contexts, util::ExecContext exec,
+                             std::unique_ptr<deploy::Backend> backend)
+    : exec_(exec), plan_(std::move(plan)), backend_(std::move(backend)) {
   if (plan_ == nullptr) {
     throw std::invalid_argument("EngineSession: plan must not be null");
   }
   required_contexts(contexts);
+  if (backend_ == nullptr) backend_ = deploy::make_backend(deploy::BackendKind::Scalar);
+  // The one-time hook: backends build packed/retiled weight layouts
+  // here, before any context can run an op.
+  backend_->prepare(*plan_);
   for (int i = 0; i < contexts; ++i) {
     auto ctx = std::make_unique<Context>();
     // im2col scratch is per image, so its compile-time maximum is
     // batch-independent; sizing it here keeps the hot path clean.
-    ctx->float_cols.resize(plan_->max_float_cols());
-    ctx->int_cols.reserve(plan_->max_int_cols());
+    ctx->scratch.float_cols.resize(plan_->max_float_cols());
+    ctx->scratch.int_cols.reserve(plan_->max_int_cols());
     contexts_.push_back(std::move(ctx));
     free_contexts_.push_back(contexts_.back().get());
   }
@@ -91,14 +93,25 @@ float* EngineSession::slot_data(Context& ctx, int slot, int batch) {
 
 tensor::Tensor EngineSession::run(const tensor::Tensor& batch) {
   const tensor::Shape& sample = plan_->sample_shape();
-  if (batch.rank() != sample.size() + 1 || batch.dim(0) < 1) {
-    throw std::invalid_argument("EngineSession::run: batch must be [N, " +
-                                tensor::shape_to_string(sample).substr(1));
+  const auto want = [&sample] {
+    return tensor::shape_to_string(sample) + " (" +
+           std::to_string(tensor::shape_numel(sample)) + " floats/sample)";
+  };
+  if (batch.rank() != sample.size() + 1) {
+    throw std::invalid_argument(
+        "EngineSession::run: input must be [N, ...] with per-sample shape " + want() +
+        "; got " + tensor::shape_to_string(batch.shape()));
+  }
+  if (batch.dim(0) < 1) {
+    throw std::invalid_argument(
+        "EngineSession::run: batch must be >= 1 sample of shape " + want() + "; got " +
+        tensor::shape_to_string(batch.shape()));
   }
   for (std::size_t d = 0; d < sample.size(); ++d) {
     if (batch.dim(d + 1) != sample[d]) {
-      throw std::invalid_argument("EngineSession::run: sample shape mismatch, want " +
-                                  tensor::shape_to_string(sample));
+      throw std::invalid_argument(
+          "EngineSession::run: per-sample shape mismatch; want " + want() + ", got " +
+          tensor::shape_to_string(batch.shape()));
     }
   }
   const int n = batch.dim(0);
@@ -112,7 +125,8 @@ tensor::Tensor EngineSession::run(const tensor::Tensor& batch) {
 
   const std::size_t arena_floats = plan_->arena_floats() * static_cast<std::size_t>(n);
   if (ctx.arena.size() < arena_floats) ctx.arena.resize(arena_floats);
-  ctx.codes.codes.reserve(plan_->max_encode_floats() * static_cast<std::size_t>(n));
+  ctx.scratch.codes.codes.reserve(plan_->max_encode_floats() *
+                                  static_cast<std::size_t>(n));
 
   std::memcpy(slot_data(ctx, plan_->input_slot(), n), batch.data(),
               batch.numel() * sizeof(float));
@@ -125,156 +139,12 @@ tensor::Tensor EngineSession::run(const tensor::Tensor& batch) {
 }
 
 void EngineSession::execute(Context& ctx, const deploy::PlanOp& op, int batch) {
-  const std::vector<deploy::PlanSlot>& slots = plan_->slots();
-  const std::size_t out_numel =
-      slots[static_cast<std::size_t>(op.out)].numel * static_cast<std::size_t>(batch);
-  const float* in0 = slot_data(ctx, op.in0, batch);
-  float* out = slot_data(ctx, op.out, batch);
-
-  // Every case reproduces the float arithmetic of the module it was
-  // lowered from, expression for expression — the plan-vs-module
-  // byte-identity property test pins this down.
-  switch (op.kind) {
-    case deploy::OpKind::EncodeAct: {
-      const quant::UniformRange range{0.0f, op.act_hi};
-      quant::quantize_span({in0, out_numel}, {out, out_numel}, range, op.act_bits);
-      return;
-    }
-    case deploy::OpKind::Relu: {
-      for (std::size_t i = 0; i < out_numel; ++i) {
-        out[i] = in0[i] > 0.0f ? in0[i] : 0.0f;
-      }
-      return;
-    }
-    case deploy::OpKind::Flatten: {
-      // Pure reshape; free when the planner aliased the slots.
-      if (out != in0) std::memcpy(out, in0, out_numel * sizeof(float));
-      return;
-    }
-    case deploy::OpKind::Add: {
-      const float* in1 = slot_data(ctx, op.in1, batch);
-      for (std::size_t i = 0; i < out_numel; ++i) out[i] = in0[i] + in1[i];
-      return;
-    }
-    case deploy::OpKind::BatchNorm: {
-      const int spatial = op.in_h * op.in_w;
-      for (int c = 0; c < op.in_c; ++c) {
-        const auto ci = static_cast<std::size_t>(c);
-        const float mean = op.bn_mean[ci];
-        const float inv_std = op.bn_inv_std[ci];
-        const float g = op.bn_gamma[ci];
-        const float b = op.bn_beta[ci];
-        for (int n = 0; n < batch; ++n) {
-          const std::size_t off =
-              (static_cast<std::size_t>(n) * op.in_c + ci) * spatial;
-          const float* src = in0 + off;
-          float* dst = out + off;
-          for (int s = 0; s < spatial; ++s) {
-            const float xh = (src[s] - mean) * inv_std;
-            dst[s] = g * xh + b;
-          }
-        }
-      }
-      return;
-    }
-    case deploy::OpKind::MaxPool: {
-      std::size_t oidx = 0;
-      for (int n = 0; n < batch; ++n) {
-        for (int c = 0; c < op.in_c; ++c) {
-          const float* plane =
-              in0 + (static_cast<std::size_t>(n) * op.in_c + c) * op.in_h * op.in_w;
-          for (int y = 0; y < op.out_h; ++y) {
-            for (int x = 0; x < op.out_w; ++x, ++oidx) {
-              float best = -std::numeric_limits<float>::infinity();
-              for (int ky = 0; ky < op.kernel; ++ky) {
-                const int iy = y * op.stride + ky;
-                for (int kx = 0; kx < op.kernel; ++kx) {
-                  const int ix = x * op.stride + kx;
-                  const float v = plane[iy * op.in_w + ix];
-                  if (v > best) best = v;
-                }
-              }
-              out[oidx] = best;
-            }
-          }
-        }
-      }
-      return;
-    }
-    case deploy::OpKind::AvgPool: {
-      const int spatial = op.in_h * op.in_w;
-      const float inv = 1.0f / static_cast<float>(spatial);
-      for (int n = 0; n < batch; ++n) {
-        for (int c = 0; c < op.in_c; ++c) {
-          const float* plane =
-              in0 + (static_cast<std::size_t>(n) * op.in_c + c) * spatial;
-          double acc = 0.0;
-          for (int s = 0; s < spatial; ++s) acc += plane[s];
-          out[static_cast<std::size_t>(n) * op.in_c + c] =
-              static_cast<float>(acc) * inv;
-        }
-      }
-      return;
-    }
-    case deploy::OpKind::FloatConv: {
-      tensor::ConvGeometry g;
-      g.in_c = op.in_c;
-      g.in_h = op.in_h;
-      g.in_w = op.in_w;
-      g.kernel = op.kernel;
-      g.stride = op.stride;
-      g.pad = op.pad;
-      const int spatial = op.out_h * op.out_w;
-      const std::size_t in_stride =
-          static_cast<std::size_t>(op.in_c) * op.in_h * op.in_w;
-      const std::size_t out_stride = static_cast<std::size_t>(op.out_c) * spatial;
-      for (int n = 0; n < batch; ++n) {
-        tensor::im2col(in0 + static_cast<std::size_t>(n) * in_stride, g,
-                       ctx.float_cols.data(), exec_);
-        float* out_n = out + static_cast<std::size_t>(n) * out_stride;
-        tensor::gemm(op.weight.data(), ctx.float_cols.data(), out_n, op.out_c,
-                     g.patch_size(), spatial, /*accumulate=*/false, exec_);
-        for (int c = 0; c < op.out_c; ++c) {
-          const float b = op.bias[static_cast<std::size_t>(c)];
-          if (b == 0.0f) continue;
-          float* plane = out_n + static_cast<std::size_t>(c) * spatial;
-          for (int s = 0; s < spatial; ++s) plane[s] += b;
-        }
-      }
-      return;
-    }
-    case deploy::OpKind::FloatLinear: {
-      tensor::gemm_a_bt(in0, op.weight.data(), out, batch, op.in_features,
-                        op.out_features, /*accumulate=*/false, exec_);
-      for (int n = 0; n < batch; ++n) {
-        float* row = out + static_cast<std::size_t>(n) * op.out_features;
-        for (int k = 0; k < op.out_features; ++k) {
-          row[k] += op.bias[static_cast<std::size_t>(k)];
-        }
-      }
-      return;
-    }
-    case deploy::OpKind::IntConv: {
-      deploy::encode_activations_into(
-          in0, slots[static_cast<std::size_t>(op.in0)].numel *
-                   static_cast<std::size_t>(batch),
-          op.act_hi, op.act_bits, ctx.codes, exec_);
-      deploy::integer_conv_forward_into(
-          plan_->integer_layers()[static_cast<std::size_t>(op.layer)], ctx.codes,
-          batch, op.in_c, op.in_h, op.in_w, op.kernel, op.stride, op.pad, out,
-          ctx.int_cols, exec_);
-      return;
-    }
-    case deploy::OpKind::IntLinear: {
-      deploy::encode_activations_into(
-          in0, static_cast<std::size_t>(op.in_features) * static_cast<std::size_t>(batch),
-          op.act_hi, op.act_bits, ctx.codes, exec_);
-      deploy::integer_linear_forward_into(
-          plan_->integer_layers()[static_cast<std::size_t>(op.layer)], ctx.codes,
-          batch, op.in_features, out, exec_);
-      return;
-    }
-  }
+  deploy::BackendIo io;
+  io.in0 = slot_data(ctx, op.in0, batch);
+  io.in1 = op.in1 >= 0 ? slot_data(ctx, op.in1, batch) : nullptr;
+  io.out = slot_data(ctx, op.out, batch);
+  io.batch = batch;
+  backend_->run(op, *plan_, io, ctx.scratch, exec_);
 }
 
 }  // namespace cq::serve

@@ -7,6 +7,7 @@
 #include <vector>
 
 #include "deploy/artifact.h"
+#include "deploy/backend.h"
 #include "deploy/plan.h"
 #include "tensor/tensor.h"
 #include "util/exec_context.h"
@@ -18,10 +19,13 @@ namespace cq::serve {
 /// An EngineSession is the servable unit of the deployment story. The
 /// artifact constructor compiles the architecture to a flat op program
 /// once (deploy::compile_plan); run(batch) is then a loop over typed
-/// op records — integer-code kernels for quantized layers, float
-/// im2col+GEMM for the stem/head, with residual routing and the
-/// float-vs-integer path choice fixed at compile time. No nn::Module
-/// is instantiated or walked at serving time.
+/// op records with residual routing and the float-vs-integer path
+/// choice fixed at compile time. No nn::Module is instantiated or
+/// walked at serving time — and no kernel is called directly either:
+/// every op is dispatched through a deploy::Backend (scalar reference
+/// by default), so *how* an op executes is swappable per session while
+/// the plan fixes *what* it computes. The backend's prepare() hook
+/// runs once at construction, against the compiled plan.
 ///
 /// Reentrancy: run() may be called from any number of threads
 /// concurrently. Each call borrows one of `contexts` pre-built
@@ -45,29 +49,36 @@ namespace cq::serve {
 class EngineSession {
  public:
   /// Compiles the artifact internally and builds the session with
-  /// `contexts` concurrent execution contexts (>= 1) and an intra-op
-  /// execution context (default: serial kernels). Throws
-  /// deploy::ArtifactError on malformed artifacts.
+  /// `contexts` concurrent execution contexts (>= 1), an intra-op
+  /// execution context (default: serial kernels), and a kernel backend
+  /// (default: the scalar reference). Throws deploy::ArtifactError on
+  /// malformed artifacts.
   explicit EngineSession(const deploy::QuantizedArtifact& artifact, int contexts = 1,
-                         util::ExecContext exec = {});
+                         util::ExecContext exec = {},
+                         std::unique_ptr<deploy::Backend> backend = nullptr);
 
   /// Interprets a pre-compiled plan (compile once, build sessions
   /// cheaply — e.g. one per shard of a fleet).
   explicit EngineSession(deploy::ExecutionPlan plan, int contexts = 1,
-                         util::ExecContext exec = {});
+                         util::ExecContext exec = {},
+                         std::unique_ptr<deploy::Backend> backend = nullptr);
 
   /// Shares one immutable compiled plan across any number of sessions
   /// without copying its weights/code matrices. Throws
   /// std::invalid_argument on a null plan.
   explicit EngineSession(std::shared_ptr<const deploy::ExecutionPlan> plan,
-                         int contexts = 1, util::ExecContext exec = {});
+                         int contexts = 1, util::ExecContext exec = {},
+                         std::unique_ptr<deploy::Backend> backend = nullptr);
   ~EngineSession();
 
   EngineSession(const EngineSession&) = delete;
   EngineSession& operator=(const EngineSession&) = delete;
 
   /// Runs a [N, ...sample_shape()] batch through the plan and returns
-  /// [N, num_classes()] logits. Thread-safe.
+  /// [N, num_classes()] logits. Thread-safe. The batch is validated up
+  /// front — N >= 1, rank, and every per-sample dimension — and any
+  /// mismatch throws std::invalid_argument naming the expected
+  /// per-sample shape (rather than surfacing as a deep kernel assert).
   tensor::Tensor run(const tensor::Tensor& batch);
 
   /// The compiled program this session interprets.
@@ -78,6 +89,9 @@ class EngineSession {
   const tensor::Shape& sample_shape() const { return plan_->sample_shape(); }
   int num_classes() const { return plan_->num_classes(); }
   int contexts() const { return static_cast<int>(contexts_.size()); }
+  /// Kernel backend every op is dispatched through (already prepared
+  /// against plan()).
+  const deploy::Backend& backend() const { return *backend_; }
   /// Intra-op context the kernels run under (serial by default).
   const util::ExecContext& exec_context() const { return exec_; }
   /// Number of quantized layers executing on the integer path.
@@ -89,14 +103,15 @@ class EngineSession {
   Context& acquire_context();
   void release_context(Context& ctx);
 
-  /// Executes one op record against a context's arena for a batch of
-  /// `batch` samples.
+  /// Resolves one op record's slot pointers and dispatches it to the
+  /// backend against a context's arena for a batch of `batch` samples.
   void execute(Context& ctx, const deploy::PlanOp& op, int batch);
 
   float* slot_data(Context& ctx, int slot, int batch);
 
   util::ExecContext exec_;  ///< intra-op context for all kernels
   std::shared_ptr<const deploy::ExecutionPlan> plan_;  ///< shared, read-only
+  std::unique_ptr<deploy::Backend> backend_;  ///< kernel dispatch, prepared once
   std::vector<std::unique_ptr<Context>> contexts_;
   std::vector<Context*> free_contexts_;
   std::mutex mutex_;

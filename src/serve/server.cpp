@@ -33,7 +33,8 @@ Server::Server(const deploy::QuantizedArtifact& artifact, ServerConfig config)
                       ? std::make_unique<util::ThreadPool>(config_.intra_threads - 1)
                       : nullptr),
       session_(artifact, config_.workers,
-               util::ExecContext{intra_pool_.get(), config_.intra_threads}),
+               util::ExecContext{intra_pool_.get(), config_.intra_threads},
+               deploy::make_backend(config_.backend)),
       scheduler_(scheduler_config(config_)),
       pool_(config_.workers),
       started_(std::chrono::steady_clock::now()) {

@@ -8,6 +8,7 @@
 #include <vector>
 
 #include "deploy/artifact.h"
+#include "deploy/backend.h"
 #include "serve/batch_scheduler.h"
 #include "serve/engine_session.h"
 #include "util/thread_pool.h"
@@ -23,6 +24,11 @@ struct ServerConfig {
   /// the core count (inter-op scales with concurrent load, intra-op
   /// cuts single-request latency).
   int intra_threads = 1;
+  /// Kernel backend the engine dispatches every plan op through
+  /// (deploy::make_backend): the scalar reference or the
+  /// blocked/packed integer backend. Both are byte-identical, so this
+  /// only trades execution speed.
+  deploy::BackendKind backend = deploy::BackendKind::Scalar;
   int max_batch = 16;           ///< micro-batch flush size
   long max_wait_us = 200;       ///< micro-batch flush age
   std::size_t queue_capacity = 1024;  ///< bounded request queue depth

@@ -1,0 +1,337 @@
+// The backend seam's contract tests.
+//
+// BackendIdentity pins the load-bearing invariant of deploy::Backend:
+// every backend produces byte-identical outputs to the scalar
+// reference — at the kernel level over randomized shapes (pruned
+// 0-bit filter rows, filter counts off the panel-tile boundary, batch
+// and thread sweeps) and at the plan level over the model zoo through
+// serve::EngineSession. Runs in the TSan and ASan/UBSan CI lanes.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstring>
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include "deploy/backend.h"
+#include "deploy/int_engine.h"
+#include "deploy/plan.h"
+#include "serve/engine_session.h"
+#include "serve_fixtures.h"
+#include "tensor/tensor.h"
+#include "util/exec_context.h"
+#include "util/rng.h"
+#include "util/thread_pool.h"
+
+namespace cq::deploy {
+namespace {
+
+using tensor::Tensor;
+
+/// Random IntegerLayer with a mixed bit pattern including pruned
+/// (0-bit) rows — the filter arrangement real CQ artifacts have.
+IntegerLayer random_integer_layer(int num_filters, std::int64_t per_filter,
+                                  util::Rng& rng) {
+  IntegerLayer layer;
+  layer.num_filters = num_filters;
+  layer.weights_per_filter = per_filter;
+  layer.range_hi = 0.8f;
+  const int pattern[7] = {2, 3, 0, 1, 4, 2, 0};
+  layer.filter_bits.resize(static_cast<std::size_t>(num_filters));
+  layer.codes.assign(static_cast<std::size_t>(num_filters) * per_filter, 0);
+  layer.bias.resize(static_cast<std::size_t>(num_filters));
+  for (int k = 0; k < num_filters; ++k) {
+    const int b = pattern[k % 7];
+    layer.filter_bits[static_cast<std::size_t>(k)] = static_cast<std::uint8_t>(b);
+    layer.bias[static_cast<std::size_t>(k)] =
+        static_cast<float>(rng.uniform(-0.5, 0.5));
+    if (b == 0) continue;
+    const int levels = 1 << b;
+    std::int32_t* row = layer.codes.data() + static_cast<std::size_t>(k) * per_filter;
+    for (std::int64_t j = 0; j < per_filter; ++j) {
+      row[j] = static_cast<std::int32_t>(rng.uniform_int(0, levels - 1));
+    }
+  }
+  return layer;
+}
+
+ActCodes random_act_codes(std::size_t count, int bits, util::Rng& rng) {
+  ActCodes acts;
+  acts.bits = bits;
+  const int levels = 1 << bits;
+  acts.scale = 0.9f / static_cast<float>(levels - 1);
+  acts.codes.resize(count);
+  for (std::int32_t& c : acts.codes) {
+    c = static_cast<std::int32_t>(rng.uniform_int(0, levels - 1));
+  }
+  return acts;
+}
+
+/// ExecContext with `threads` participants (pool of threads - 1).
+struct ThreadedExec {
+  explicit ThreadedExec(int threads)
+      : pool(threads > 1 ? std::make_unique<util::ThreadPool>(threads - 1) : nullptr),
+        exec{pool.get(), threads} {}
+  std::unique_ptr<util::ThreadPool> pool;
+  util::ExecContext exec;
+};
+
+void expect_bytes_equal(const float* a, const float* b, std::size_t n,
+                        const std::string& what) {
+  ASSERT_EQ(0, std::memcmp(a, b, n * sizeof(float))) << what;
+}
+
+// Filter counts straddling the kFilterTile = 8 panel boundary (odd,
+// exact multiple, one past) so tail tiles and full tiles both run.
+TEST(BackendIdentity, BlockedConvMatchesScalarOverShapes) {
+  struct Shape {
+    int in_c, hw, filters, kernel, stride, pad;
+  };
+  const Shape shapes[] = {
+      {3, 9, 5, 3, 1, 1},    // tiny, tail tile only
+      {8, 12, 16, 3, 1, 1},  // exact tile multiple
+      {6, 10, 17, 3, 2, 0},  // one past a tile boundary, strided, no pad
+      {4, 7, 13, 5, 1, 2},   // odd everything, large kernel
+  };
+  util::Rng rng(101);
+  for (const Shape& s : shapes) {
+    const std::int64_t per_filter =
+        static_cast<std::int64_t>(s.in_c) * s.kernel * s.kernel;
+    const IntegerLayer layer = random_integer_layer(s.filters, per_filter, rng);
+    const blocked::PackedCodes packed = blocked::pack_codes(layer);
+    ASSERT_TRUE(packed.usable);
+    for (const int batch : {1, 3, 8}) {
+      const ActCodes acts = random_act_codes(
+          static_cast<std::size_t>(batch) * s.in_c * s.hw * s.hw, 3, rng);
+      const Tensor reference = integer_conv_forward(
+          layer, acts, batch, s.in_c, s.hw, s.hw, s.kernel, s.stride, s.pad);
+      for (const int threads : {1, 2, 8}) {
+        ThreadedExec te(threads);
+        std::vector<float> out(reference.numel());
+        std::vector<std::int32_t> cols;
+        blocked::conv_forward_into(packed, acts, batch, s.in_c, s.hw, s.hw, s.kernel,
+                                   s.stride, s.pad, out.data(), cols, te.exec);
+        expect_bytes_equal(out.data(), reference.data(), reference.numel(),
+                           "conv filters=" + std::to_string(s.filters) +
+                               " batch=" + std::to_string(batch) +
+                               " threads=" + std::to_string(threads));
+      }
+    }
+  }
+}
+
+TEST(BackendIdentity, BlockedLinearMatchesScalarOverShapes) {
+  util::Rng rng(202);
+  for (const int filters : {1, 8, 13, 24, 33}) {
+    const int in_features = 50 + filters;
+    const IntegerLayer layer = random_integer_layer(filters, in_features, rng);
+    const blocked::PackedCodes packed = blocked::pack_codes(layer);
+    ASSERT_TRUE(packed.usable);
+    for (const int batch : {1, 3, 8}) {
+      const ActCodes acts = random_act_codes(
+          static_cast<std::size_t>(batch) * in_features, 4, rng);
+      const Tensor reference =
+          integer_linear_forward(layer, acts, batch, in_features);
+      for (const int threads : {1, 2, 8}) {
+        ThreadedExec te(threads);
+        std::vector<float> out(reference.numel());
+        blocked::linear_forward_into(packed, acts, batch, in_features, out.data(),
+                                     te.exec);
+        expect_bytes_equal(out.data(), reference.data(), reference.numel(),
+                           "linear filters=" + std::to_string(filters) +
+                               " batch=" + std::to_string(batch) +
+                               " threads=" + std::to_string(threads));
+      }
+    }
+  }
+}
+
+TEST(BackendIdentity, PrunedRowsAreHardZero) {
+  util::Rng rng(303);
+  IntegerLayer layer = random_integer_layer(9, 18, rng);
+  // Force every filter pruned: outputs must be exactly 0.0f (not
+  // bias), matching the fake-quant semantics of 0-bit filters.
+  std::fill(layer.filter_bits.begin(), layer.filter_bits.end(), std::uint8_t{0});
+  std::fill(layer.codes.begin(), layer.codes.end(), 0);
+  const blocked::PackedCodes packed = blocked::pack_codes(layer);
+  const ActCodes acts = random_act_codes(3 * 18, 4, rng);
+  std::vector<float> out(3 * 9, -1.0f);
+  blocked::linear_forward_into(packed, acts, 3, 18, out.data());
+  for (const float v : out) {
+    EXPECT_EQ(0.0f, v);
+    EXPECT_FALSE(std::signbit(v));  // hard +0.0f, byte-identical to std::fill(0.0f)
+  }
+}
+
+TEST(BackendIdentity, HighBitLayersFallBackToScalar) {
+  util::Rng rng(404);
+  IntegerLayer layer = random_integer_layer(4, 10, rng);
+  layer.filter_bits[2] = 16;  // centered codes would overflow int16
+  const blocked::PackedCodes packed = blocked::pack_codes(layer);
+  EXPECT_FALSE(packed.usable);
+  const ActCodes acts = random_act_codes(10, 4, rng);
+  std::vector<float> out(4);
+  EXPECT_THROW(blocked::linear_forward_into(packed, acts, 1, 10, out.data()),
+               std::logic_error);
+}
+
+/// The acceptance gate: scalar and blocked sessions over the three zoo
+/// artifacts produce byte-identical logits at every batch size and
+/// thread count.
+TEST(BackendIdentity, ZooPlansByteIdenticalAcrossBackends) {
+  const deploy::QuantizedArtifact artifacts[] = {serve::tiny_vgg_artifact(),
+                                                 serve::tiny_mlp_artifact(),
+                                                 serve::tiny_resnet_artifact()};
+  for (const deploy::QuantizedArtifact& artifact : artifacts) {
+    const auto plan =
+        std::make_shared<const ExecutionPlan>(compile_plan(artifact));
+    for (const int threads : {1, 2, 8}) {
+      ThreadedExec te(threads);
+      serve::EngineSession scalar(plan, 2, te.exec,
+                                  make_backend(BackendKind::Scalar));
+      serve::EngineSession blocked_session(plan, 2, te.exec,
+                                           make_backend(BackendKind::Blocked));
+      for (const int batch : {1, 3, 8}) {
+        const Tensor input = serve::random_batch(
+            plan->sample_shape(), batch,
+            1000 + static_cast<std::uint64_t>(batch) * 7 + threads);
+        const Tensor a = scalar.run(input);
+        const Tensor b = blocked_session.run(input);
+        ASSERT_EQ(a.shape(), b.shape());
+        expect_bytes_equal(a.data(), b.data(), a.numel(),
+                           artifact.arch.kind + " batch=" + std::to_string(batch) +
+                               " threads=" + std::to_string(threads));
+      }
+    }
+  }
+}
+
+/// Backend::run's contract is concurrent safety: the prepare()-built
+/// packed panels are shared read-only state, and this is the test that
+/// actually reads them from many threads at once (the TSan CI lane
+/// would otherwise never see concurrent BlockedBackend execution).
+TEST(BackendIdentity, ConcurrentBlockedRunsMatchScalar) {
+  const deploy::QuantizedArtifact artifact = serve::tiny_resnet_artifact();
+  const auto plan = std::make_shared<const ExecutionPlan>(compile_plan(artifact));
+  serve::EngineSession scalar(plan, 1);
+  serve::EngineSession blocked_session(plan, 3, {},
+                                       make_backend(BackendKind::Blocked));
+  constexpr int kSubmitters = 6;
+  constexpr int kRounds = 4;
+  std::vector<Tensor> inputs, expected;
+  for (int i = 0; i < kSubmitters; ++i) {
+    inputs.push_back(serve::random_batch(plan->sample_shape(), 3,
+                                         500 + static_cast<std::uint64_t>(i)));
+    expected.push_back(scalar.run(inputs.back()));
+  }
+  std::vector<int> mismatches(kSubmitters, 0);
+  {
+    std::vector<std::jthread> threads;
+    for (int i = 0; i < kSubmitters; ++i) {
+      threads.emplace_back([&, i] {
+        for (int r = 0; r < kRounds; ++r) {
+          const Tensor out = blocked_session.run(inputs[static_cast<std::size_t>(i)]);
+          if (std::memcmp(out.data(), expected[static_cast<std::size_t>(i)].data(),
+                          out.numel() * sizeof(float)) != 0) {
+            ++mismatches[static_cast<std::size_t>(i)];
+          }
+        }
+      });
+    }
+  }
+  for (int i = 0; i < kSubmitters; ++i) {
+    EXPECT_EQ(0, mismatches[static_cast<std::size_t>(i)]) << "submitter " << i;
+  }
+}
+
+TEST(BackendFactory, NamesParseAndConstruct) {
+  for (const BackendKind kind : all_backend_kinds()) {
+    EXPECT_EQ(kind, parse_backend_kind(backend_kind_name(kind)));
+    const auto backend = make_backend(kind);
+    EXPECT_STREQ(backend_kind_name(kind), backend->name());
+  }
+  EXPECT_THROW(parse_backend_kind("simd"), std::invalid_argument);
+  try {
+    parse_backend_kind("simd");
+  } catch (const std::invalid_argument& e) {
+    EXPECT_NE(std::string(e.what()).find("scalar"), std::string::npos);
+    EXPECT_NE(std::string(e.what()).find("blocked"), std::string::npos);
+  }
+}
+
+TEST(BackendFactory, DispatchNamesPerOp) {
+  const ExecutionPlan plan = compile_plan(serve::tiny_vgg_artifact());
+  const auto scalar = make_backend(BackendKind::Scalar);
+  const auto blocked_backend = make_backend(BackendKind::Blocked);
+  scalar->prepare(plan);
+  blocked_backend->prepare(plan);
+  bool saw_integer = false, saw_other = false;
+  for (const PlanOp& op : plan.ops()) {
+    EXPECT_STREQ("scalar", scalar->dispatch(op));
+    if (op.kind == OpKind::IntConv || op.kind == OpKind::IntLinear) {
+      saw_integer = true;
+      EXPECT_STREQ("blocked", blocked_backend->dispatch(op));
+    } else {
+      saw_other = true;
+      EXPECT_STREQ("scalar", blocked_backend->dispatch(op));
+    }
+  }
+  EXPECT_TRUE(saw_integer);
+  EXPECT_TRUE(saw_other);
+}
+
+TEST(BackendFactory, RunWithoutPrepareThrows) {
+  const ExecutionPlan plan = compile_plan(serve::tiny_mlp_artifact());
+  BlockedBackend backend;  // prepare() never called
+  for (const PlanOp& op : plan.ops()) {
+    if (op.kind != OpKind::IntLinear) continue;
+    BackendIo io;
+    std::vector<float> in(plan.slots()[static_cast<std::size_t>(op.in0)].numel);
+    std::vector<float> out(plan.slots()[static_cast<std::size_t>(op.out)].numel);
+    io.in0 = in.data();
+    io.out = out.data();
+    BackendScratch scratch;
+    EXPECT_THROW(backend.run(op, plan, io, scratch, {}), std::logic_error);
+    return;
+  }
+  FAIL() << "MLP plan has no IntLinear op";
+}
+
+TEST(EngineSessionValidation, RejectsBadBatchesUpFront) {
+  serve::EngineSession session(serve::tiny_mlp_artifact());  // sample shape [12]
+  util::Rng rng(1);
+  // Wrong rank: a bare sample without the batch dimension.
+  try {
+    session.run(Tensor::rand_uniform({12}, rng, 0.0f, 1.0f));
+    FAIL() << "rank mismatch accepted";
+  } catch (const std::invalid_argument& e) {
+    EXPECT_NE(std::string(e.what()).find("[12]"), std::string::npos) << e.what();
+    EXPECT_NE(std::string(e.what()).find("12 floats/sample"), std::string::npos)
+        << e.what();
+  }
+  // Empty batch.
+  try {
+    session.run(Tensor({0, 12}));
+    FAIL() << "empty batch accepted";
+  } catch (const std::invalid_argument& e) {
+    EXPECT_NE(std::string(e.what()).find(">= 1"), std::string::npos) << e.what();
+    EXPECT_NE(std::string(e.what()).find("[12]"), std::string::npos) << e.what();
+  }
+  // Right rank, wrong per-sample size (total size not divisible into
+  // samples of the plan's shape).
+  try {
+    session.run(Tensor::rand_uniform({2, 13}, rng, 0.0f, 1.0f));
+    FAIL() << "per-sample size mismatch accepted";
+  } catch (const std::invalid_argument& e) {
+    EXPECT_NE(std::string(e.what()).find("[12]"), std::string::npos) << e.what();
+    EXPECT_NE(std::string(e.what()).find("[2, 13]"), std::string::npos) << e.what();
+  }
+  // A valid batch still runs after the failures.
+  const Tensor out = session.run(Tensor::rand_uniform({3, 12}, rng, 0.0f, 1.0f));
+  EXPECT_EQ(out.dim(0), 3);
+}
+
+}  // namespace
+}  // namespace cq::deploy

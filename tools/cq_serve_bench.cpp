@@ -11,6 +11,7 @@
 //   --requests=N     total requests across all submitters (default 512)
 //   --threads=N      closed-loop submitter threads (default 8)
 //   --workers=N      server batch workers / engine contexts (default 4)
+//   --backend=NAME   kernel backend: scalar | blocked (default scalar)
 //   --max_batch=N    micro-batch flush size (default 16)
 //   --max_wait_us=N  micro-batch flush age in microseconds (default 200)
 //   --queue=N        bounded request queue depth (default 1024)
@@ -34,8 +35,8 @@ int main(int argc, char** argv) {
   if (argc < 2 || argv[1][0] == '-') {
     std::fprintf(stderr,
                  "usage: cq_serve_bench <model.cqar> [--requests=512] [--threads=8] "
-                 "[--workers=4] [--max_batch=16] [--max_wait_us=200] [--queue=1024] "
-                 "[--warmup=64] [--seed=1]\n");
+                 "[--workers=4] [--backend=scalar|blocked] [--max_batch=16] "
+                 "[--max_wait_us=200] [--queue=1024] [--warmup=64] [--seed=1]\n");
     return 2;
   }
   const std::string path = argv[1];
@@ -50,6 +51,12 @@ int main(int argc, char** argv) {
 
   serve::ServerConfig config;
   config.workers = static_cast<int>(cli.get_int("workers", 4));
+  try {
+    config.backend = deploy::parse_backend_kind(cli.get("backend", "scalar"));
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "cq_serve_bench: %s\n", e.what());
+    return 2;
+  }
   config.max_batch = static_cast<int>(cli.get_int("max_batch", 16));
   config.max_wait_us = cli.get_int("max_wait_us", 200);
   config.queue_capacity = static_cast<std::size_t>(cli.get_int("queue", 1024));
@@ -70,10 +77,10 @@ int main(int argc, char** argv) {
                 tensor::shape_to_string(sample_shape).c_str(),
                 server.session().num_classes(),
                 server.session().integer_layer_count());
-    std::printf("workers %d, max_batch %d, max_wait %ld us, queue %zu, "
+    std::printf("workers %d, backend %s, max_batch %d, max_wait %ld us, queue %zu, "
                 "%ld closed-loop submitters, %ld requests, %u hw threads\n",
-                config.workers, config.max_batch, config.max_wait_us,
-                config.queue_capacity, threads, requests,
+                config.workers, server.session().backend().name(), config.max_batch,
+                config.max_wait_us, config.queue_capacity, threads, requests,
                 std::thread::hardware_concurrency());
 
     // Deterministic per-thread request streams.

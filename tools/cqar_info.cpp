@@ -3,11 +3,14 @@
 // calibration, size breakdown and integrity status. The
 // deployment-side counterpart of examples/export_and_deploy.
 //
-// Usage: cqar_info <model.cqar> [--verify] [--plan]
+// Usage: cqar_info <model.cqar> [--verify] [--plan] [--backend=NAME]
 //   --verify   additionally instantiate the model (full structural check)
 //   --plan     compile the deployment ExecutionPlan and print its op
-//              listing (kind, shapes, bits, slots, arena offsets) plus
-//              the planned arena size
+//              listing (kind, shapes, bits, slots, arena offsets, and
+//              which kernel implementation the selected backend
+//              dispatches each op to) plus the planned arena size
+//   --backend  backend the --plan listing's dispatch column reflects:
+//              scalar | blocked (default scalar)
 //
 // Exit status: 0 on success, 1 for any unreadable/truncated/corrupted
 // artifact (with a one-line diagnostic on stderr), 2 for usage errors.
@@ -17,6 +20,7 @@
 #include <vector>
 
 #include "deploy/artifact.h"
+#include "deploy/backend.h"
 #include "deploy/plan.h"
 #include "nn/models/model.h"
 #include "util/cli.h"
@@ -58,7 +62,9 @@ std::vector<int> act_quant_of_packed_layer(const cq::deploy::QuantizedArtifact& 
 int main(int argc, char** argv) {
   using namespace cq;
   if (argc < 2 || argv[1][0] == '-') {
-    std::fprintf(stderr, "usage: cqar_info <model.cqar> [--verify] [--plan]\n");
+    std::fprintf(stderr,
+                 "usage: cqar_info <model.cqar> [--verify] [--plan] "
+                 "[--backend=scalar|blocked]\n");
     return 2;
   }
   const std::string path = argv[1];
@@ -117,10 +123,19 @@ int main(int argc, char** argv) {
               size.total_bytes(), size.compression_ratio());
 
   if (cli.get_bool("plan", false)) {
+    deploy::BackendKind backend_kind;
+    try {
+      backend_kind = deploy::parse_backend_kind(cli.get("backend", "scalar"));
+    } catch (const std::exception& e) {
+      std::fprintf(stderr, "cqar_info: %s\n", e.what());
+      return 2;  // usage error, not a corrupted artifact
+    }
     try {
       const deploy::ExecutionPlan plan = deploy::compile_plan(artifact);
+      const auto backend = deploy::make_backend(backend_kind);
+      backend->prepare(plan);
       util::Table ops({"#", "op", "layer", "slots", "out shape", "bits",
-                       "arena off"});
+                       "arena off", "backend"});
       for (std::size_t i = 0; i < plan.ops().size(); ++i) {
         const deploy::PlanOp& op = plan.ops()[i];
         const deploy::PlanSlot& out = plan.slots()[static_cast<std::size_t>(op.out)];
@@ -134,9 +149,10 @@ int main(int argc, char** argv) {
                      op.label.empty() ? "-" : op.label, slots,
                      cq::tensor::shape_to_string(out.shape),
                      has_bits ? std::to_string(op.act_bits) : "-",
-                     std::to_string(out.offset)});
+                     std::to_string(out.offset), backend->dispatch(op)});
       }
-      std::printf("\nexecution plan\n%s\n", ops.render().c_str());
+      std::printf("\nexecution plan (backend %s)\n%s\n", backend->name(),
+                  ops.render().c_str());
       std::printf("plan         : %zu ops, %d slots, %zu integer layers, "
                   "arena %zu B/sample\n",
                   plan.ops().size(), plan.slot_count(), plan.integer_layers().size(),
