@@ -1,10 +1,12 @@
-// plan_compile — measures deploy::compile_plan cost and the compiled
-// plan's footprint for the three zoo models, so plan-compile
-// regressions (time or arena bytes) are visible in the perf-smoke CI
-// lane's JSON artifact alongside kernel_scaling.
+// plan_compile — measures deploy::compile_plan cost, deploy::verify_plan
+// cost, and the compiled plan's footprint for the three zoo models, so
+// plan-compile regressions (time or arena bytes) and verifier slowdowns
+// are visible in the perf-smoke CI lane's JSON artifact alongside
+// kernel_scaling. Any verifier finding on a zoo plan fails the bench.
 //
 // Usage: plan_compile [--repeat=N] [--json=path]
-//   --repeat   timed compiles per model, best-of reported (default 5)
+//   --repeat   timed compiles/verifies per model, best-of reported
+//              (default 5)
 //   --json     machine-readable output for the CI artifact
 
 #include <cstdio>
@@ -14,6 +16,7 @@
 
 #include "deploy/artifact.h"
 #include "deploy/plan.h"
+#include "deploy/verify.h"
 #include "nn/models/mlp.h"
 #include "nn/models/resnet20.h"
 #include "nn/models/vgg_small.h"
@@ -29,6 +32,8 @@ using namespace cq;
 struct Result {
   std::string name;
   double best_ms = 0.0;
+  double verify_ms = 0.0;  ///< best-of verify_plan over the compiled plan
+  bool verify_clean = false;
   std::size_t ops = 0;
   int slots = 0;
   std::size_t arena_bytes = 0;
@@ -47,6 +52,13 @@ Result measure(const std::string& name, const deploy::QuantizedArtifact& artifac
     const double ms = timer.millis();
     (void)timed;
     if (i == 0 || ms < r.best_ms) r.best_ms = ms;
+  }
+  for (int i = 0; i < repeat; ++i) {
+    util::Timer timer;
+    const deploy::VerifyReport report = deploy::verify_plan(plan);
+    const double ms = timer.millis();
+    if (i == 0 || ms < r.verify_ms) r.verify_ms = ms;
+    r.verify_clean = report.clean();
   }
   r.ops = plan.ops().size();
   r.slots = plan.slot_count();
@@ -95,16 +107,23 @@ int main(int argc, char** argv) {
         repeat));
   }
 
-  util::Table table({"model", "compile ms", "ops", "slots", "arena B/sample",
-                     "no-reuse B", "int layers"});
+  util::Table table({"model", "compile ms", "verify ms", "verify", "ops", "slots",
+                     "arena B/sample", "no-reuse B", "int layers"});
+  bool all_clean = true;
   for (const Result& r : results) {
-    table.add_row({r.name, util::Table::num(r.best_ms, 3), std::to_string(r.ops),
-                   std::to_string(r.slots), std::to_string(r.arena_bytes),
-                   std::to_string(r.no_reuse_bytes),
+    table.add_row({r.name, util::Table::num(r.best_ms, 3),
+                   util::Table::num(r.verify_ms, 3), r.verify_clean ? "clean" : "FAIL",
+                   std::to_string(r.ops), std::to_string(r.slots),
+                   std::to_string(r.arena_bytes), std::to_string(r.no_reuse_bytes),
                    std::to_string(r.integer_layers)});
+    all_clean = all_clean && r.verify_clean;
   }
-  std::printf("compile_plan cost and plan footprint (best of %d)\n%s\n", repeat,
-              table.render().c_str());
+  std::printf("compile_plan/verify_plan cost and plan footprint (best of %d)\n%s\n",
+              repeat, table.render().c_str());
+  if (!all_clean) {
+    std::fprintf(stderr, "plan_compile: a zoo plan failed static verification\n");
+    return 1;
+  }
 
   if (!json_path.empty()) {
     std::FILE* f = std::fopen(json_path.c_str(), "w");
@@ -116,11 +135,12 @@ int main(int argc, char** argv) {
     for (std::size_t i = 0; i < results.size(); ++i) {
       const Result& r = results[i];
       std::fprintf(f,
-                   "    {\"name\": \"%s\", \"compile_ms\": %.4f, \"ops\": %zu, "
+                   "    {\"name\": \"%s\", \"compile_ms\": %.4f, "
+                   "\"verify_ms\": %.4f, \"ops\": %zu, "
                    "\"slots\": %d, \"arena_bytes\": %zu, "
                    "\"no_reuse_bytes\": %zu, \"integer_layers\": %zu}%s\n",
-                   r.name.c_str(), r.best_ms, r.ops, r.slots, r.arena_bytes,
-                   r.no_reuse_bytes, r.integer_layers,
+                   r.name.c_str(), r.best_ms, r.verify_ms, r.ops, r.slots,
+                   r.arena_bytes, r.no_reuse_bytes, r.integer_layers,
                    i + 1 == results.size() ? "" : ",");
     }
     std::fprintf(f, "  ]\n}\n");

@@ -17,10 +17,10 @@
 
 #include <algorithm>
 #include <cstring>
-#include <limits>
 #include <stdexcept>
 
 #include "deploy/backend.h"
+#include "deploy/overflow.h"
 #include "quant/uniform.h"
 #include "tensor/ops.h"
 
@@ -38,6 +38,10 @@ PackedCodes pack_codes(const IntegerLayer& layer) {
     if (b > 15) return packed;
   }
   packed.usable = true;
+  // The shared overflow-bound helper (deploy/overflow.h) scans the
+  // same codes the packing loop below narrows, so the int32 fast-path
+  // decision here and verify_plan's certification cannot diverge.
+  packed.max_abs_weight = max_abs_centered_code(layer);
 
   const std::size_t filters = static_cast<std::size_t>(layer.num_filters);
   const std::size_t patch = static_cast<std::size_t>(layer.weights_per_filter);
@@ -61,8 +65,6 @@ PackedCodes pack_codes(const IntegerLayer& layer) {
     for (std::size_t j = 0; j < patch; ++j) {
       const std::int32_t centered = 2 * row[j] - offset;
       panel[j * kFilterTile + lane] = static_cast<std::int16_t>(centered);
-      packed.max_abs_weight =
-          std::max(packed.max_abs_weight, centered < 0 ? -centered : centered);
     }
   }
   return packed;
@@ -78,17 +80,15 @@ void check_packed(const PackedCodes& packed, const char* kernel) {
 }
 
 /// True when every possible reduction over `terms` products of packed
-/// weights and `acts` codes provably fits in int32. Integer sums below
-/// the overflow bound are exact in any width, so the narrow
-/// accumulator changes nothing but speed: int32 multiply-accumulate
-/// vectorizes (8 lanes on AVX2) where int64 runs scalar.
+/// weights and `acts` codes provably fits in int32 — the shared bound
+/// from deploy/overflow.h, which verify_plan certifies with the same
+/// call. Integer sums below the overflow bound are exact in any width,
+/// so the narrow accumulator changes nothing but speed: int32
+/// multiply-accumulate vectorizes (8 lanes on AVX2) where int64 runs
+/// scalar.
 bool fits_int32(const PackedCodes& packed, const ActCodes& acts, std::size_t terms) {
-  if (acts.bits < 1 || acts.bits > 16) return false;
-  const std::int64_t act_max = quant::levels_for_bits(acts.bits) - 1;
-  const std::int64_t bound =
-      static_cast<std::int64_t>(packed.max_abs_weight) * act_max *
-      static_cast<std::int64_t>(terms);
-  return bound <= std::numeric_limits<std::int32_t>::max();
+  return int_reduction_fits_int32(packed.max_abs_weight, acts.bits,
+                                  static_cast<std::int64_t>(terms));
 }
 
 /// The conv MAC stage over one image's im2col matrix, chunked over

@@ -1,10 +1,14 @@
 #include "deploy/plan.h"
 
 #include <algorithm>
+#include <cassert>
 #include <cmath>
+#include <cstdio>
 #include <memory>
 #include <unordered_map>
 #include <utility>
+
+#include "deploy/verify.h"
 
 #include "nn/act_quant.h"
 #include "nn/activations.h"
@@ -517,7 +521,21 @@ class PlanCompiler {
 };
 
 ExecutionPlan compile_plan(const QuantizedArtifact& artifact) {
-  return PlanCompiler(artifact).compile();
+  ExecutionPlan plan = PlanCompiler(artifact).compile();
+#ifndef NDEBUG
+  // Debug builds prove every compile instead of arguing it: a compiler
+  // (or future optimizer-pass) bug that breaks a plan invariant fails
+  // here, at the IR boundary, not as wrong bytes in a kernel later.
+  const VerifyReport report = verify_plan(plan);
+  if (!report.clean()) {
+    std::fputs(("compile_plan: plan fails verification:\n" +
+                format_diagnostics(report))
+                   .c_str(),
+               stderr);
+  }
+  assert(report.clean() && "compile_plan produced a plan that fails verify_plan");
+#endif
+  return plan;
 }
 
 }  // namespace cq::deploy

@@ -122,6 +122,7 @@ class ExecutionPlan {
 
  private:
   friend class PlanCompiler;  ///< the compile_plan implementation
+  friend class PlanRewriter;  ///< the sanctioned mutation seam below
 
   std::vector<PlanOp> ops_;
   std::vector<PlanSlot> slots_;
@@ -134,6 +135,29 @@ class ExecutionPlan {
   std::size_t max_float_cols_ = 0;
   std::size_t max_int_cols_ = 0;
   std::size_t max_encode_floats_ = 0;
+};
+
+/// Mutable access to a compiled plan's internals — the one sanctioned
+/// seam for IR *producers*: optimizer passes rewriting op programs,
+/// and the verifier's mutation tests, which corrupt plans to prove
+/// every deploy/verify.h rule fires. Anything rewritten through this
+/// class must re-verify clean (verify_plan) before it is executed;
+/// the interpreter and backends assume verified invariants.
+class PlanRewriter {
+ public:
+  explicit PlanRewriter(ExecutionPlan& plan) : plan_(plan) {}
+
+  std::vector<PlanOp>& ops() { return plan_.ops_; }
+  std::vector<PlanSlot>& slots() { return plan_.slots_; }
+  std::vector<IntegerLayer>& integer_layers() { return plan_.integer_layers_; }
+  std::size_t& arena_floats() { return plan_.arena_floats_; }
+  int& input_slot() { return plan_.input_slot_; }
+  int& output_slot() { return plan_.output_slot_; }
+  tensor::Shape& sample_shape() { return plan_.sample_shape_; }
+  int& num_classes() { return plan_.num_classes_; }
+
+ private:
+  ExecutionPlan& plan_;
 };
 
 /// Compiles an artifact into an ExecutionPlan. This is the only place

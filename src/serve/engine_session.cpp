@@ -4,6 +4,7 @@
 #include <stdexcept>
 #include <utility>
 
+#include "deploy/verify.h"
 #include "tensor/ops.h"
 
 namespace cq::serve {
@@ -33,26 +34,39 @@ int required_contexts(int contexts) {
 
 EngineSession::EngineSession(const deploy::QuantizedArtifact& artifact, int contexts,
                              util::ExecContext exec,
-                             std::unique_ptr<deploy::Backend> backend)
+                             std::unique_ptr<deploy::Backend> backend,
+                             PlanCheck check)
     : EngineSession((required_contexts(contexts),
                      std::make_shared<const deploy::ExecutionPlan>(
                          deploy::compile_plan(artifact))),
-                    contexts, exec, std::move(backend)) {}
+                    contexts, exec, std::move(backend), check) {}
 
 EngineSession::EngineSession(deploy::ExecutionPlan plan, int contexts,
                              util::ExecContext exec,
-                             std::unique_ptr<deploy::Backend> backend)
+                             std::unique_ptr<deploy::Backend> backend,
+                             PlanCheck check)
     : EngineSession(std::make_shared<const deploy::ExecutionPlan>(std::move(plan)),
-                    contexts, exec, std::move(backend)) {}
+                    contexts, exec, std::move(backend), check) {}
 
 EngineSession::EngineSession(std::shared_ptr<const deploy::ExecutionPlan> plan,
                              int contexts, util::ExecContext exec,
-                             std::unique_ptr<deploy::Backend> backend)
+                             std::unique_ptr<deploy::Backend> backend,
+                             PlanCheck check)
     : exec_(exec), plan_(std::move(plan)), backend_(std::move(backend)) {
   if (plan_ == nullptr) {
     throw std::invalid_argument("EngineSession: plan must not be null");
   }
   required_contexts(contexts);
+  if (check == PlanCheck::kStrict) {
+    // The interpreter and backends below assume every IR invariant the
+    // verifier proves (slot lifetimes, aliasing legality, overflow
+    // bounds); strict sessions refuse to serve a plan that breaks one.
+    const deploy::VerifyReport report = deploy::verify_plan(*plan_);
+    if (!report.clean()) {
+      throw deploy::ArtifactError("EngineSession: plan fails verification:\n" +
+                                  deploy::format_diagnostics(report));
+    }
+  }
   if (backend_ == nullptr) backend_ = deploy::make_backend(deploy::BackendKind::Scalar);
   // The one-time hook: backends build packed/retiled weight layouts
   // here, before any context can run an op.

@@ -14,6 +14,15 @@
 
 namespace cq::serve {
 
+/// Opt-in static verification of the plan a session is built over.
+/// kStrict runs deploy::verify_plan at construction and refuses —
+/// deploy::ArtifactError listing every finding — to serve a plan that
+/// breaks an IR invariant. The artifact constructor compiles its own
+/// plan (already debug-verified inside compile_plan); strict mode is
+/// the production-build guard for plans that arrive pre-compiled or
+/// pass through rewriting stages.
+enum class PlanCheck { kNone, kStrict };
+
 /// Inference session interpreting a compiled deploy::ExecutionPlan.
 ///
 /// An EngineSession is the servable unit of the deployment story. The
@@ -55,20 +64,25 @@ class EngineSession {
   /// malformed artifacts.
   explicit EngineSession(const deploy::QuantizedArtifact& artifact, int contexts = 1,
                          util::ExecContext exec = {},
-                         std::unique_ptr<deploy::Backend> backend = nullptr);
+                         std::unique_ptr<deploy::Backend> backend = nullptr,
+                         PlanCheck check = PlanCheck::kNone);
 
   /// Interprets a pre-compiled plan (compile once, build sessions
-  /// cheaply — e.g. one per shard of a fleet).
+  /// cheaply — e.g. one per shard of a fleet). PlanCheck::kStrict
+  /// re-verifies the handed-over plan before serving it.
   explicit EngineSession(deploy::ExecutionPlan plan, int contexts = 1,
                          util::ExecContext exec = {},
-                         std::unique_ptr<deploy::Backend> backend = nullptr);
+                         std::unique_ptr<deploy::Backend> backend = nullptr,
+                         PlanCheck check = PlanCheck::kNone);
 
   /// Shares one immutable compiled plan across any number of sessions
   /// without copying its weights/code matrices. Throws
-  /// std::invalid_argument on a null plan.
+  /// std::invalid_argument on a null plan, deploy::ArtifactError when
+  /// PlanCheck::kStrict finds invariant violations.
   explicit EngineSession(std::shared_ptr<const deploy::ExecutionPlan> plan,
                          int contexts = 1, util::ExecContext exec = {},
-                         std::unique_ptr<deploy::Backend> backend = nullptr);
+                         std::unique_ptr<deploy::Backend> backend = nullptr,
+                         PlanCheck check = PlanCheck::kNone);
   ~EngineSession();
 
   EngineSession(const EngineSession&) = delete;

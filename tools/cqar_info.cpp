@@ -4,7 +4,10 @@
 // deployment-side counterpart of examples/export_and_deploy.
 //
 // Usage: cqar_info <model.cqar> [--verify] [--plan] [--backend=NAME]
-//   --verify   additionally instantiate the model (full structural check)
+//   --verify   additionally instantiate the model (full structural
+//              check), compile the ExecutionPlan, and run the static
+//              plan verifier (deploy/verify.h) — any invariant finding
+//              prints as a diagnostic table and fails the run
 //   --plan     compile the deployment ExecutionPlan and print its op
 //              listing (kind, shapes, bits, slots, arena offsets, and
 //              which kernel implementation the selected backend
@@ -22,6 +25,7 @@
 #include "deploy/artifact.h"
 #include "deploy/backend.h"
 #include "deploy/plan.h"
+#include "deploy/verify.h"
 #include "nn/models/model.h"
 #include "util/cli.h"
 #include "util/table.h"
@@ -170,6 +174,34 @@ int main(int argc, char** argv) {
                   model->name().c_str());
     } catch (const std::exception& e) {
       std::printf("verify       : FAILED — %s\n", e.what());
+      return 1;
+    }
+    // Static plan verification: compile the IR and prove the invariant
+    // catalog (dataflow, shapes, arena lifetimes, overflow bounds).
+    try {
+      const deploy::ExecutionPlan plan = deploy::compile_plan(artifact);
+      const deploy::VerifyReport report = deploy::verify_plan(plan);
+      if (!report.clean()) {
+        util::Table findings({"op", "rule", "slot", "message"});
+        for (const deploy::PlanDiagnostic& d : report.diagnostics) {
+          findings.add_row({d.op >= 0 ? std::to_string(d.op) : "-",
+                            deploy::verify_rule_name(d.rule),
+                            d.slot >= 0 ? std::to_string(d.slot) : "-", d.message});
+        }
+        std::printf("plan verify  : FAILED — %zu finding(s)\n%s\n",
+                    report.diagnostics.size(), findings.render().c_str());
+        return 1;
+      }
+      int narrow = 0;
+      for (const deploy::IntOpCertificate& cert : report.certificates) {
+        narrow += cert.int32_fast_path ? 1 : 0;
+      }
+      std::printf("plan verify  : OK — %zu rules checked, %zu integer ops "
+                  "certified (int32 fast path on %d)\n",
+                  deploy::all_verify_rules().size(), report.certificates.size(),
+                  narrow);
+    } catch (const std::exception& e) {
+      std::fprintf(stderr, "cqar_info: plan verification failed — %s\n", e.what());
       return 1;
     }
   }
