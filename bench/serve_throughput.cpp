@@ -20,7 +20,11 @@
 //                         [--backend=scalar|blocked]  (kernel backend, all sections)
 //                         [--json=sweep.json]   (section 3, machine-readable;
 //                          records the backend so artifacts from different
-//                          backends stay distinguishable in the trajectory)
+//                          backends stay distinguishable in the trajectory.
+//                          Each sweep row carries the queue-wait vs execute
+//                          breakdown, and the file embeds a "profile" object —
+//                          the obs::PlanProfiler per-op report for this model
+//                          on the selected backend)
 
 #include <atomic>
 #include <cstdio>
@@ -31,6 +35,7 @@
 #include "deploy/artifact.h"
 #include "harness.h"
 #include "nn/models/model.h"
+#include "obs/profiler.h"
 #include "serve/server.h"
 #include "util/rng.h"
 #include "util/table.h"
@@ -138,7 +143,7 @@ int main(int argc, char** argv) {
 
   // --- Section 2: full server, closed-loop load ----------------------
   util::Table table({"workers", "req/s", "speedup", "p50 us", "p95 us", "p99 us",
-                     "mean batch"});
+                     "p50 queue", "p50 exec", "mean batch"});
   double base_rps = 0.0;
   for (const int workers : {1, 2, 4}) {
     serve::ServerConfig config;
@@ -157,6 +162,8 @@ int main(int argc, char** argv) {
                    util::Table::num(r.stats.p50_us, 0),
                    util::Table::num(r.stats.p95_us, 0),
                    util::Table::num(r.stats.p99_us, 0),
+                   util::Table::num(r.stats.p50_queue_us, 0),
+                   util::Table::num(r.stats.p50_exec_us, 0),
                    util::Table::num(r.stats.mean_batch, 2)});
   }
   std::printf("Server throughput, %ld closed-loop submitters, %ld requests, "
@@ -206,6 +213,19 @@ int main(int argc, char** argv) {
 
   const std::string json_path = cli.get("json", "");
   if (!json_path.empty()) {
+    // Per-op profile for the artifact on this backend (single context,
+    // steady batch) — rides along in the artifact so a kernel-level
+    // regression is attributable to an op kind, not just a p95 shift.
+    serve::EngineSession session(artifact, 1, {}, deploy::make_backend(backend));
+    const tensor::Tensor input =
+        tensor::Tensor::rand_uniform({8, 3, 16, 16}, rng, 0.0f, 1.0f);
+    session.run(input);  // warm
+    obs::PlanProfiler profiler(session.plan(), &session.backend());
+    session.set_trace_sink(&profiler);
+    for (int r = 0; r < (fast ? 4 : 16); ++r) session.run(input);
+    session.set_trace_sink(nullptr);
+    const obs::ProfileReport profile = profiler.report();
+
     std::FILE* f = std::fopen(json_path.c_str(), "w");
     if (f == nullptr) {
       std::fprintf(stderr, "serve_throughput: cannot write %s\n", json_path.c_str());
@@ -221,12 +241,16 @@ int main(int argc, char** argv) {
       std::fprintf(f,
                    "    {\"workers\": %d, \"intra_threads\": %d, \"rps\": %.1f, "
                    "\"p50_us\": %.0f, \"p95_us\": %.0f, \"p99_us\": %.0f, "
-                   "\"mean_batch\": %.2f}%s\n",
+                   "\"mean_batch\": %.2f, \"p50_queue_us\": %.0f, "
+                   "\"p95_queue_us\": %.0f, \"p50_exec_us\": %.0f, "
+                   "\"p95_exec_us\": %.0f}%s\n",
                    row.combo.workers, row.combo.intra, row.r.rps, row.r.stats.p50_us,
                    row.r.stats.p95_us, row.r.stats.p99_us, row.r.stats.mean_batch,
+                   row.r.stats.p50_queue_us, row.r.stats.p95_queue_us,
+                   row.r.stats.p50_exec_us, row.r.stats.p95_exec_us,
                    i + 1 == sweep_rows.size() ? "" : ",");
     }
-    std::fprintf(f, "  ]\n}\n");
+    std::fprintf(f, "  ],\n  \"profile\": %s\n}\n", profile.to_json().c_str());
     std::fclose(f);
     std::printf("wrote %s\n", json_path.c_str());
   }

@@ -8,6 +8,14 @@ void Backend::prepare(const ExecutionPlan&) {}
 
 const char* Backend::dispatch(const PlanOp&) const { return name(); }
 
+std::size_t op_arena_bytes(const PlanOp& op, const ExecutionPlan& plan) {
+  const auto slot_bytes = [&plan](int slot) -> std::size_t {
+    if (slot < 0 || slot >= plan.slot_count()) return 0;
+    return plan.slots()[static_cast<std::size_t>(slot)].numel * sizeof(float);
+  };
+  return slot_bytes(op.in0) + slot_bytes(op.in1) + slot_bytes(op.out);
+}
+
 const char* backend_kind_name(BackendKind kind) {
   switch (kind) {
     case BackendKind::Scalar:

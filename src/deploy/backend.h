@@ -79,7 +79,19 @@ class Backend {
   /// Which implementation actually runs `op` ("scalar" for delegated
   /// ops) — introspection for cqar_info's plan listing. Default: name().
   virtual const char* dispatch(const PlanOp& op) const;
+
+  /// Bytes of backend-owned prepared state (packed panels, retiled
+  /// weights) built by prepare() — memory-footprint introspection for
+  /// the observability layer. Default: 0 (stateless backends).
+  virtual std::size_t prepared_bytes() const { return 0; }
 };
+
+/// Arena bytes one execution of `op` touches *per sample*: the slot
+/// intervals it reads (in0, and in1 for Add) plus the one it writes.
+/// The obs::PlanProfiler multiplies by the samples actually served to
+/// report per-op memory traffic next to per-op time; scratch buffers
+/// (im2col, activation codes) are backend-internal and excluded.
+std::size_t op_arena_bytes(const PlanOp& op, const ExecutionPlan& plan);
 
 /// The registered backend implementations.
 enum class BackendKind { Scalar, Blocked };
@@ -176,6 +188,8 @@ class BlockedBackend : public ScalarBackend {
   void run(const PlanOp& op, const ExecutionPlan& plan, const BackendIo& io,
            BackendScratch& scratch, const util::ExecContext& exec) const override;
   const char* dispatch(const PlanOp& op) const override;
+  /// Bytes held by the packed int16 panels + rescale vectors.
+  std::size_t prepared_bytes() const override;
 
  private:
   std::vector<blocked::PackedCodes> packed_;  ///< by PlanOp::layer

@@ -308,6 +308,16 @@ void BlockedBackend::run(const PlanOp& op, const ExecutionPlan& plan,
   ScalarBackend::run(op, plan, io, scratch, exec);
 }
 
+std::size_t BlockedBackend::prepared_bytes() const {
+  std::size_t bytes = 0;
+  for (const blocked::PackedCodes& packed : packed_) {
+    bytes += packed.panels.size() * sizeof(std::int16_t) +
+             packed.weight_scales.size() * sizeof(float) +
+             packed.out_bias.size() * sizeof(float);
+  }
+  return bytes;
+}
+
 const char* BlockedBackend::dispatch(const PlanOp& op) const {
   if (op.kind != OpKind::IntConv && op.kind != OpKind::IntLinear) return "scalar";
   const auto layer = static_cast<std::size_t>(op.layer);

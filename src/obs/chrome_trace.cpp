@@ -1,0 +1,80 @@
+#include "obs/chrome_trace.h"
+
+#include <cstdio>
+#include <utility>
+
+#include "util/logging.h"
+
+namespace cq::obs {
+
+ChromeTraceWriter::ChromeTraceWriter() : origin_(std::chrono::steady_clock::now()) {}
+
+double ChromeTraceWriter::to_us(std::chrono::steady_clock::time_point tp) const {
+  return std::chrono::duration<double, std::micro>(tp - origin_).count();
+}
+
+void ChromeTraceWriter::add(ChromeTraceEvent event) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  events_.push_back(std::move(event));
+}
+
+void ChromeTraceWriter::on_span(const RequestSpan& span) {
+  ChromeTraceEvent queue;
+  queue.name = "queue";
+  queue.category = "serve";
+  queue.ts_us = to_us(span.submit);
+  queue.dur_us = std::chrono::duration<double, std::micro>(span.popped - span.submit)
+                     .count();
+  queue.pid = 1;
+  queue.tid = static_cast<std::int64_t>(span.id);
+
+  ChromeTraceEvent execute;
+  execute.name = "execute";
+  execute.category = "serve";
+  execute.ts_us = to_us(span.exec_begin);
+  execute.dur_us =
+      std::chrono::duration<double, std::micro>(span.exec_end - span.exec_begin).count();
+  execute.pid = 1;
+  execute.tid = static_cast<std::int64_t>(span.id);
+  execute.args_json = "{\"batch\": " + std::to_string(span.batch) +
+                      ", \"worker\": " + std::to_string(span.worker) + "}";
+
+  std::lock_guard<std::mutex> lock(mutex_);
+  events_.push_back(std::move(queue));
+  events_.push_back(std::move(execute));
+}
+
+std::size_t ChromeTraceWriter::size() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return events_.size();
+}
+
+bool ChromeTraceWriter::write(const std::string& path) const {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    util::log_error() << "obs: cannot write chrome trace to " << path;
+    return false;
+  }
+  std::fprintf(f, "{\"traceEvents\": [\n");
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    for (std::size_t i = 0; i < events_.size(); ++i) {
+      const ChromeTraceEvent& e = events_[i];
+      std::fprintf(f,
+                   "  {\"name\": \"%s\", \"cat\": \"%s\", \"ph\": \"X\", "
+                   "\"ts\": %.3f, \"dur\": %.3f, \"pid\": %d, \"tid\": %lld",
+                   e.name.c_str(), e.category.c_str(), e.ts_us, e.dur_us, e.pid,
+                   static_cast<long long>(e.tid));
+      if (!e.args_json.empty()) {
+        std::fprintf(f, ", \"args\": %s", e.args_json.c_str());
+      }
+      std::fprintf(f, "}%s\n", i + 1 == events_.size() ? "" : ",");
+    }
+  }
+  std::fprintf(f, "]}\n");
+  std::fclose(f);
+  util::log_debug() << "obs: wrote chrome trace (" << size() << " events) to " << path;
+  return true;
+}
+
+}  // namespace cq::obs

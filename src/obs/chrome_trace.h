@@ -1,0 +1,58 @@
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "obs/trace.h"
+
+namespace cq::obs {
+
+/// One Chrome trace event (the `chrome://tracing` / Perfetto JSON
+/// format): a complete "X" span with microsecond timestamps relative
+/// to the writer's origin.
+struct ChromeTraceEvent {
+  std::string name;
+  std::string category;
+  double ts_us = 0.0;   ///< span start, us since writer origin
+  double dur_us = 0.0;  ///< span duration, us
+  int pid = 0;
+  std::int64_t tid = 0;
+  std::string args_json;  ///< raw JSON object for "args" ("" for none)
+};
+
+/// Collects spans and dumps them as a Chrome-trace JSON file that
+/// loads directly in chrome://tracing or ui.perfetto.dev.
+///
+/// As a SpanSink it renders each served request as two spans on the
+/// request's own timeline row (pid 1 "requests", tid = request id):
+/// "queue" (submit -> popped) and "execute" (exec_begin -> exec_end,
+/// with batch size and worker in args), making queue-wait vs execute
+/// visually obvious per request. add() accepts arbitrary extra events.
+/// Thread-safe; recording appends under a mutex (tracing is a
+/// debugging mode, not the steady-state hot path).
+class ChromeTraceWriter : public SpanSink {
+ public:
+  ChromeTraceWriter();
+
+  void add(ChromeTraceEvent event);
+  void on_span(const RequestSpan& span) override;
+
+  /// Microseconds of `tp` relative to the writer's construction.
+  double to_us(std::chrono::steady_clock::time_point tp) const;
+
+  std::size_t size() const;
+
+  /// Writes {"traceEvents": [...]} to `path`; false (with an error log
+  /// line) when the file cannot be written.
+  bool write(const std::string& path) const;
+
+ private:
+  std::chrono::steady_clock::time_point origin_;
+  mutable std::mutex mutex_;
+  std::vector<ChromeTraceEvent> events_;
+};
+
+}  // namespace cq::obs

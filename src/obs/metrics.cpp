@@ -1,0 +1,237 @@
+#include "obs/metrics.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <limits>
+#include <sstream>
+
+namespace cq::obs {
+
+namespace {
+
+/// Round-robin shard assignment: each thread keeps the shard it drew
+/// first, so a steady worker set spreads across all shards without
+/// hashing thread ids on every increment.
+std::size_t this_thread_shard() {
+  static std::atomic<std::size_t> next{0};
+  thread_local const std::size_t shard = next.fetch_add(1, std::memory_order_relaxed);
+  return shard;
+}
+
+std::string format_double(double v) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.6g", v);
+  return buf;
+}
+
+}  // namespace
+
+void Counter::inc(std::uint64_t n) {
+  shards_[this_thread_shard() % kShards].value.fetch_add(n, std::memory_order_relaxed);
+}
+
+std::uint64_t Counter::value() const {
+  std::uint64_t total = 0;
+  for (const Shard& shard : shards_) {
+    total += shard.value.load(std::memory_order_relaxed);
+  }
+  return total;
+}
+
+void Counter::reset() {
+  for (Shard& shard : shards_) {
+    shard.value.store(0, std::memory_order_relaxed);
+  }
+}
+
+double HistogramSnapshot::percentile(double q) const {
+  if (count == 0) return 0.0;
+  const double clamped = std::clamp(q, 0.0, 100.0);
+  // The rank convention matches util::percentile over order statistics,
+  // so snapshot percentiles converge to the exact ones as buckets
+  // narrow (the obs_test agreement property pins this).
+  const double rank = clamped / 100.0 * static_cast<double>(count - 1);
+  std::uint64_t before = 0;
+  for (std::size_t b = 0; b < buckets.size(); ++b) {
+    const std::uint64_t n = buckets[b];
+    if (n == 0) continue;
+    if (rank < static_cast<double>(before + n)) {
+      const double lo = b == 0 ? 0.0 : LatencyHistogram::bucket_upper(b - 1);
+      const double hi = LatencyHistogram::bucket_upper(b);
+      const double frac =
+          (rank - static_cast<double>(before) + 0.5) / static_cast<double>(n);
+      return std::clamp(lo + (hi - lo) * frac, min, max);
+    }
+    before += n;
+  }
+  return max;
+}
+
+LatencyHistogram::LatencyHistogram() : buckets_(kBuckets) { reset(); }
+
+std::size_t LatencyHistogram::bucket_index(double value) {
+  if (!(value >= 1.0)) return 0;  // negatives and NaN clamp to bucket 0
+  int exp = 0;
+  const double mantissa = std::frexp(value, &exp);  // value = mantissa * 2^exp
+  // value >= 1 so exp >= 1; octave o covers [2^o, 2^(o+1)).
+  std::size_t octave = static_cast<std::size_t>(exp - 1);
+  if (octave >= kOctaves) return kBuckets - 1;  // off-scale values pool at the top
+  // mantissa in [0.5, 1): position within the octave is 2*mantissa - 1.
+  const double within = 2.0 * mantissa - 1.0;
+  const auto sub = std::min<std::size_t>(
+      static_cast<std::size_t>(within * static_cast<double>(kSubBuckets)),
+      kSubBuckets - 1);
+  return 1 + octave * kSubBuckets + sub;
+}
+
+double LatencyHistogram::bucket_upper(std::size_t index) {
+  if (index == 0) return 1.0;
+  const std::size_t octave = (index - 1) / kSubBuckets;
+  const std::size_t sub = (index - 1) % kSubBuckets;
+  return std::ldexp(1.0 + static_cast<double>(sub + 1) / static_cast<double>(kSubBuckets),
+                    static_cast<int>(octave));
+}
+
+void LatencyHistogram::record(double value) {
+  const double v = value < 0.0 ? 0.0 : value;
+  buckets_[bucket_index(v)].fetch_add(1, std::memory_order_relaxed);
+  count_.fetch_add(1, std::memory_order_relaxed);
+  double sum = sum_.load(std::memory_order_relaxed);
+  while (!sum_.compare_exchange_weak(sum, sum + v, std::memory_order_relaxed)) {
+  }
+  double lo = min_.load(std::memory_order_relaxed);
+  while (v < lo && !min_.compare_exchange_weak(lo, v, std::memory_order_relaxed)) {
+  }
+  double hi = max_.load(std::memory_order_relaxed);
+  while (v > hi && !max_.compare_exchange_weak(hi, v, std::memory_order_relaxed)) {
+  }
+}
+
+HistogramSnapshot LatencyHistogram::snapshot() const {
+  HistogramSnapshot s;
+  s.buckets.resize(kBuckets);
+  for (std::size_t b = 0; b < kBuckets; ++b) {
+    s.buckets[b] = buckets_[b].load(std::memory_order_relaxed);
+    s.count += s.buckets[b];
+  }
+  s.sum = sum_.load(std::memory_order_relaxed);
+  if (s.count > 0) {
+    s.min = min_.load(std::memory_order_relaxed);
+    s.max = max_.load(std::memory_order_relaxed);
+  }
+  return s;
+}
+
+void LatencyHistogram::reset() {
+  for (auto& bucket : buckets_) bucket.store(0, std::memory_order_relaxed);
+  count_.store(0, std::memory_order_relaxed);
+  sum_.store(0.0, std::memory_order_relaxed);
+  min_.store(std::numeric_limits<double>::infinity(), std::memory_order_relaxed);
+  max_.store(0.0, std::memory_order_relaxed);
+}
+
+Counter& Registry::counter(const std::string& name, const std::string& help) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto& entry = counters_[name];
+  if (entry.second == nullptr) {
+    entry.first = help;
+    entry.second = std::make_unique<Counter>();
+  }
+  return *entry.second;
+}
+
+Gauge& Registry::gauge(const std::string& name, const std::string& help) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto& entry = gauges_[name];
+  if (entry.second == nullptr) {
+    entry.first = help;
+    entry.second = std::make_unique<Gauge>();
+  }
+  return *entry.second;
+}
+
+LatencyHistogram& Registry::histogram(const std::string& name, const std::string& help) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto& entry = histograms_[name];
+  if (entry.second == nullptr) {
+    entry.first = help;
+    entry.second = std::make_unique<LatencyHistogram>();
+  }
+  return *entry.second;
+}
+
+std::string Registry::to_json() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::ostringstream os;
+  os << "{\"counters\": {";
+  bool first = true;
+  for (const auto& [name, entry] : counters_) {
+    os << (first ? "" : ", ") << "\"" << name << "\": " << entry.second->value();
+    first = false;
+  }
+  os << "}, \"gauges\": {";
+  first = true;
+  for (const auto& [name, entry] : gauges_) {
+    os << (first ? "" : ", ") << "\"" << name
+       << "\": " << format_double(entry.second->value());
+    first = false;
+  }
+  os << "}, \"histograms\": {";
+  first = true;
+  for (const auto& [name, entry] : histograms_) {
+    const HistogramSnapshot s = entry.second->snapshot();
+    os << (first ? "" : ", ") << "\"" << name << "\": {\"count\": " << s.count
+       << ", \"sum\": " << format_double(s.sum) << ", \"min\": " << format_double(s.min)
+       << ", \"max\": " << format_double(s.max)
+       << ", \"mean\": " << format_double(s.mean())
+       << ", \"p50\": " << format_double(s.percentile(50.0))
+       << ", \"p95\": " << format_double(s.percentile(95.0))
+       << ", \"p99\": " << format_double(s.percentile(99.0)) << "}";
+    first = false;
+  }
+  os << "}}";
+  return os.str();
+}
+
+std::string Registry::to_prometheus() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::ostringstream os;
+  for (const auto& [name, entry] : counters_) {
+    if (!entry.first.empty()) os << "# HELP " << name << " " << entry.first << "\n";
+    os << "# TYPE " << name << " counter\n";
+    // Prometheus naming convention: counter samples carry _total.
+    os << name << "_total " << entry.second->value() << "\n";
+  }
+  for (const auto& [name, entry] : gauges_) {
+    if (!entry.first.empty()) os << "# HELP " << name << " " << entry.first << "\n";
+    os << "# TYPE " << name << " gauge\n";
+    os << name << " " << format_double(entry.second->value()) << "\n";
+  }
+  for (const auto& [name, entry] : histograms_) {
+    if (!entry.first.empty()) os << "# HELP " << name << " " << entry.first << "\n";
+    os << "# TYPE " << name << " histogram\n";
+    const HistogramSnapshot s = entry.second->snapshot();
+    std::uint64_t cumulative = 0;
+    for (std::size_t b = 0; b < s.buckets.size(); ++b) {
+      if (s.buckets[b] == 0) continue;  // elide empty buckets: pages stay small
+      cumulative += s.buckets[b];
+      os << name << "_bucket{le=\""
+         << format_double(LatencyHistogram::bucket_upper(b)) << "\"} " << cumulative
+         << "\n";
+    }
+    os << name << "_bucket{le=\"+Inf\"} " << s.count << "\n";
+    os << name << "_sum " << format_double(s.sum) << "\n";
+    os << name << "_count " << s.count << "\n";
+  }
+  return os.str();
+}
+
+void Registry::reset() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  for (auto& [name, entry] : counters_) entry.second->reset();
+  for (auto& [name, entry] : gauges_) entry.second->reset();
+  for (auto& [name, entry] : histograms_) entry.second->reset();
+}
+
+}  // namespace cq::obs

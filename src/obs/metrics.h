@@ -1,0 +1,139 @@
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace cq::obs {
+
+/// Monotone event counter, sharded over cache lines so concurrent
+/// writers from many serving threads do not bounce one line. inc() is
+/// a relaxed atomic add on the caller's shard; value() sums the shards
+/// (reads are rare — exports and stats snapshots).
+class Counter {
+ public:
+  void inc(std::uint64_t n = 1);
+  std::uint64_t value() const;
+  /// Zeroes every shard. Not linearizable against concurrent inc():
+  /// an increment racing the reset lands in either the old or the new
+  /// window, never both and never negative. Callers that need a crisp
+  /// window boundary (serve::Server) serialize reset against recording.
+  void reset();
+
+ private:
+  static constexpr std::size_t kShards = 8;
+  struct alignas(64) Shard {
+    std::atomic<std::uint64_t> value{0};
+  };
+  std::array<Shard, kShards> shards_;
+};
+
+/// Last-write-wins instantaneous value (queue depth, bytes resident).
+class Gauge {
+ public:
+  void set(double value) { value_.store(value, std::memory_order_relaxed); }
+  double value() const { return value_.load(std::memory_order_relaxed); }
+  void reset() { set(0.0); }
+
+ private:
+  std::atomic<double> value_{0.0};
+};
+
+/// One consistent read of a histogram: total count/sum plus the exact
+/// min/max seen and the per-bucket counts. Percentiles interpolate
+/// inside the hit bucket and are clamped into [min, max], so a
+/// single-element sample reports that element exactly and the relative
+/// error is bounded by the bucket width (kSubBuckets linear
+/// subdivisions per octave: <= 1/kSubBuckets ~ 3.1%).
+struct HistogramSnapshot {
+  std::uint64_t count = 0;
+  double sum = 0.0;
+  double min = 0.0;
+  double max = 0.0;
+  std::vector<std::uint64_t> buckets;  ///< LatencyHistogram bucket counts
+
+  double mean() const { return count == 0 ? 0.0 : sum / static_cast<double>(count); }
+  /// q in [0, 100]; 0 for an empty snapshot.
+  double percentile(double q) const;
+};
+
+/// Log-bucketed latency histogram: fixed memory, lock-free recording,
+/// percentiles over *all* recorded values since the last reset —
+/// replacing sliding-window percentile math that silently forgets
+/// old samples under sustained traffic.
+///
+/// Bucketing: values below 1.0 share bucket 0; above, each power-of-two
+/// octave is split into kSubBuckets equal-width buckets, so the bucket
+/// that holds a value is at most ~3.1% wide relative to the value.
+/// Units are the caller's (the serving stack records microseconds).
+class LatencyHistogram {
+ public:
+  LatencyHistogram();
+
+  /// Records one value (negatives clamp to 0). Lock-free: one relaxed
+  /// bucket increment, a relaxed add to the sum, and min/max CAS loops
+  /// that almost always exit on the first load.
+  void record(double value);
+
+  HistogramSnapshot snapshot() const;
+  std::uint64_t count() const { return count_.load(std::memory_order_relaxed); }
+
+  /// See Counter::reset on window semantics under concurrency.
+  void reset();
+
+  /// Inclusive upper edge of bucket `index` (the value a cumulative
+  /// Prometheus `le` label reports).
+  static double bucket_upper(std::size_t index);
+  static std::size_t bucket_index(double value);
+
+  static constexpr std::size_t kSubBuckets = 32;  ///< buckets per octave
+  static constexpr std::size_t kOctaves = 40;     ///< ~1.1e12 max distinct value
+  static constexpr std::size_t kBuckets = 1 + kOctaves * kSubBuckets;
+
+ private:
+  std::vector<std::atomic<std::uint64_t>> buckets_;
+  std::atomic<std::uint64_t> count_{0};
+  std::atomic<double> sum_{0.0};
+  std::atomic<double> min_{0.0};
+  std::atomic<double> max_{0.0};
+};
+
+/// Named home of a process/server's metrics, exportable as one JSON
+/// object or a Prometheus text page. Registration returns stable
+/// references (instruments never move once created); it takes a lock
+/// and is meant for setup time, while the returned instruments are the
+/// lock-free hot-path handles.
+class Registry {
+ public:
+  Counter& counter(const std::string& name, const std::string& help = "");
+  Gauge& gauge(const std::string& name, const std::string& help = "");
+  LatencyHistogram& histogram(const std::string& name, const std::string& help = "");
+
+  /// {"counters": {...}, "gauges": {...}, "histograms": {name:
+  /// {count, sum, min, max, mean, p50, p95, p99}}} — one flat object
+  /// per export so bench JSON can embed it verbatim.
+  std::string to_json() const;
+
+  /// Prometheus text exposition: counters as `name_total`, gauges
+  /// bare, histograms as cumulative `name_bucket{le="..."}` (empty
+  /// buckets elided) plus `_sum`/`_count`.
+  std::string to_prometheus() const;
+
+  /// Resets every registered instrument (see Counter::reset).
+  void reset();
+
+ private:
+  mutable std::mutex mutex_;  ///< guards the maps, not the instruments
+  std::map<std::string, std::pair<std::string, std::unique_ptr<Counter>>> counters_;
+  std::map<std::string, std::pair<std::string, std::unique_ptr<Gauge>>> gauges_;
+  std::map<std::string, std::pair<std::string, std::unique_ptr<LatencyHistogram>>>
+      histograms_;
+};
+
+}  // namespace cq::obs

@@ -1,0 +1,53 @@
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+
+namespace cq::obs {
+
+/// One interpreted plan op, as timed by serve::EngineSession's
+/// dispatch loop. Deliberately minimal — an op index, the batch it ran
+/// over, and wall time — so the hot path pays two clock reads and one
+/// virtual call per op when tracing is on and *nothing* when it is off;
+/// sinks that want op metadata (kind, label, bytes, backend dispatch)
+/// bind the ExecutionPlan themselves (see PlanProfiler).
+struct OpEvent {
+  int op = 0;       ///< index into ExecutionPlan::ops()
+  int batch = 1;    ///< samples this execution covered
+  double ns = 0.0;  ///< wall time of the op, nanoseconds
+};
+
+/// Receiver of per-op interpreter events. Implementations must be
+/// thread-safe: a session serves any number of concurrent contexts and
+/// they all report into the same sink.
+class TraceSink {
+ public:
+  virtual ~TraceSink() = default;
+  virtual void on_op(const OpEvent& event) = 0;
+};
+
+/// Lifecycle timeline of one served request: submit -> queue ->
+/// batch-form -> execute -> complete, plus which worker ran it and how
+/// big the coalesced batch was. All timestamps come from one
+/// steady_clock, so differences are exact durations:
+///   queue-wait = popped - submit, execute = exec_end - exec_begin.
+struct RequestSpan {
+  std::uint64_t id = 0;  ///< submit order, unique per server
+  std::chrono::steady_clock::time_point submit;      ///< Server::submit entry
+  std::chrono::steady_clock::time_point popped;      ///< left the scheduler queue
+  std::chrono::steady_clock::time_point exec_begin;  ///< batch coalesced, engine entered
+  std::chrono::steady_clock::time_point exec_end;    ///< engine returned
+  std::chrono::steady_clock::time_point done;        ///< promise fulfilled
+  int batch = 1;   ///< size of the micro-batch this request rode in
+  int worker = 0;  ///< server worker that executed the batch
+};
+
+/// Receiver of completed request spans (one call per request, after
+/// its promise is fulfilled). Must be thread-safe across workers.
+class SpanSink {
+ public:
+  virtual ~SpanSink() = default;
+  virtual void on_span(const RequestSpan& span) = 0;
+};
+
+}  // namespace cq::obs

@@ -65,7 +65,9 @@ bool BatchScheduler::pop_batch(std::vector<Request>& batch) {
       std::min(std::max<std::size_t>(share, 1),
                static_cast<std::size_t>(config_.max_batch));
   batch.reserve(take);
+  const auto popped = std::chrono::steady_clock::now();
   for (std::size_t i = 0; i < take; ++i) {
+    queue_.front().popped = popped;  // queue-wait ends here
     batch.push_back(std::move(queue_.front()));
     queue_.pop_front();
   }

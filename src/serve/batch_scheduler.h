@@ -3,6 +3,7 @@
 #include <chrono>
 #include <condition_variable>
 #include <cstddef>
+#include <cstdint>
 #include <deque>
 #include <future>
 #include <mutex>
@@ -13,12 +14,17 @@
 namespace cq::serve {
 
 /// One in-flight inference request: a single input sample, the promise
-/// its submitter is waiting on, and the submit timestamp for latency
-/// accounting.
+/// its submitter is waiting on, and the span timestamps the
+/// observability layer threads through the pipeline. `submitted` is
+/// stamped by Server::submit; `popped` by BatchScheduler::pop_batch
+/// when the request leaves the queue, so queue-wait (popped -
+/// submitted) is measured where it ends, not inferred later.
 struct Request {
   tensor::Tensor sample;
   std::promise<tensor::Tensor> result;
   std::chrono::steady_clock::time_point submitted;
+  std::chrono::steady_clock::time_point popped;
+  std::uint64_t id = 0;  ///< submit order, for request-span tracing
 };
 
 struct BatchSchedulerConfig {

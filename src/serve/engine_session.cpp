@@ -1,5 +1,6 @@
 #include "serve/engine_session.h"
 
+#include <chrono>
 #include <cstring>
 #include <stdexcept>
 #include <utility>
@@ -144,7 +145,24 @@ tensor::Tensor EngineSession::run(const tensor::Tensor& batch) {
 
   std::memcpy(slot_data(ctx, plan_->input_slot(), n), batch.data(),
               batch.numel() * sizeof(float));
-  for (const deploy::PlanOp& op : plan_->ops()) execute(ctx, op, n);
+  obs::TraceSink* const sink = trace_sink_.load(std::memory_order_acquire);
+  if (sink == nullptr) {
+    // The default path stays exactly the untraced interpreter loop —
+    // profiling must be zero-cost when off.
+    for (const deploy::PlanOp& op : plan_->ops()) execute(ctx, op, n);
+  } else {
+    const std::vector<deploy::PlanOp>& ops = plan_->ops();
+    for (std::size_t i = 0; i < ops.size(); ++i) {
+      const auto begin = std::chrono::steady_clock::now();
+      execute(ctx, ops[i], n);
+      const auto end = std::chrono::steady_clock::now();
+      obs::OpEvent event;
+      event.op = static_cast<int>(i);
+      event.batch = n;
+      event.ns = std::chrono::duration<double, std::nano>(end - begin).count();
+      sink->on_op(event);
+    }
+  }
 
   tensor::Tensor out({n, plan_->num_classes()});
   std::memcpy(out.data(), slot_data(ctx, plan_->output_slot(), n),

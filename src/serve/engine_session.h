@@ -1,5 +1,6 @@
 #pragma once
 
+#include <atomic>
 #include <condition_variable>
 #include <cstddef>
 #include <memory>
@@ -9,6 +10,7 @@
 #include "deploy/artifact.h"
 #include "deploy/backend.h"
 #include "deploy/plan.h"
+#include "obs/trace.h"
 #include "tensor/tensor.h"
 #include "util/exec_context.h"
 
@@ -111,6 +113,20 @@ class EngineSession {
   /// Number of quantized layers executing on the integer path.
   std::size_t integer_layer_count() const { return plan_->integer_layers().size(); }
 
+  /// Opt-in per-op tracing: when a sink is set, the interpreter loop
+  /// times every PlanOp dispatch and reports it (see obs::OpEvent);
+  /// with the default null sink the loop is exactly the untraced one —
+  /// no clock reads, no virtual calls, no atomics. The sink is
+  /// non-owning and must outlive the session (or be cleared first); it
+  /// must be thread-safe, since every concurrent context reports into
+  /// it (obs::PlanProfiler is). May be set or cleared while serving.
+  void set_trace_sink(obs::TraceSink* sink) {
+    trace_sink_.store(sink, std::memory_order_release);
+  }
+  obs::TraceSink* trace_sink() const {
+    return trace_sink_.load(std::memory_order_acquire);
+  }
+
  private:
   struct Context;
 
@@ -126,6 +142,7 @@ class EngineSession {
   util::ExecContext exec_;  ///< intra-op context for all kernels
   std::shared_ptr<const deploy::ExecutionPlan> plan_;  ///< shared, read-only
   std::unique_ptr<deploy::Backend> backend_;  ///< kernel dispatch, prepared once
+  std::atomic<obs::TraceSink*> trace_sink_{nullptr};  ///< per-op profiling hook
   std::vector<std::unique_ptr<Context>> contexts_;
   std::vector<Context*> free_contexts_;
   std::mutex mutex_;

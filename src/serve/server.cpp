@@ -5,8 +5,6 @@
 #include <stdexcept>
 #include <utility>
 
-#include "util/stats.h"
-
 namespace cq::serve {
 
 namespace {
@@ -37,9 +35,24 @@ Server::Server(const deploy::QuantizedArtifact& artifact, ServerConfig config)
                deploy::make_backend(config_.backend)),
       scheduler_(scheduler_config(config_)),
       pool_(config_.workers),
+      submitted_(metrics_.counter("requests_submitted", "requests accepted by submit()")),
+      failed_(metrics_.counter("requests_failed",
+                               "requests answered with an exception")),
+      latency_us_(metrics_.histogram("latency_us",
+                                     "submit to promise fulfillment, microseconds")),
+      queue_wait_us_(metrics_.histogram(
+          "queue_wait_us", "submit to leaving the scheduler queue, microseconds")),
+      execute_us_(metrics_.histogram("execute_us",
+                                     "EngineSession::run wall time per batch, "
+                                     "microseconds")),
+      batch_size_(metrics_.histogram("batch_size", "coalesced micro-batch sizes")),
+      queue_depth_(metrics_.gauge("queue_depth", "requests waiting in the scheduler")),
       started_(std::chrono::steady_clock::now()) {
+  metrics_.gauge("backend_prepared_bytes",
+                 "bytes of backend-owned packed state built by prepare()")
+      .set(static_cast<double>(session_.backend().prepared_bytes()));
   for (int i = 0; i < pool_.size(); ++i) {
-    pool_.submit([this] { worker_loop(); });
+    pool_.submit([this, i] { worker_loop(i); });
   }
 }
 
@@ -49,8 +62,11 @@ std::future<tensor::Tensor> Server::submit(tensor::Tensor sample) {
   Request request;
   request.sample = std::move(sample);
   request.submitted = std::chrono::steady_clock::now();
+  request.id = next_request_id_.fetch_add(1, std::memory_order_relaxed);
   std::future<tensor::Tensor> future = request.result.get_future();
+  submitted_.inc();
   if (!scheduler_.push(request)) {
+    failed_.inc();
     request.result.set_exception(std::make_exception_ptr(
         std::runtime_error("serve::Server: submit after shutdown")));
   }
@@ -67,7 +83,7 @@ void Server::shutdown() {
   pool_.wait_idle();  // workers exit once the queue is drained
 }
 
-void Server::worker_loop() {
+void Server::worker_loop(int worker) {
   const tensor::Shape& sample_shape = session_.sample_shape();
   const std::size_t sample_numel = tensor::shape_numel(sample_shape);
   std::vector<Request> batch;
@@ -84,6 +100,7 @@ void Server::worker_loop() {
       if (request.sample.shape() == sample_shape) {
         valid.push_back(&request);
       } else {
+        failed_.inc();
         request.result.set_exception(std::make_exception_ptr(std::invalid_argument(
             "serve::Server: sample shape does not match the artifact input " +
             tensor::shape_to_string(sample_shape))));
@@ -103,70 +120,94 @@ void Server::worker_loop() {
                   sample_numel * sizeof(float));
     }
 
+    const auto exec_begin = std::chrono::steady_clock::now();
     tensor::Tensor out;
     try {
       out = session_.run(coalesced);
     } catch (...) {
       const std::exception_ptr error = std::current_exception();
+      failed_.inc(static_cast<std::uint64_t>(n));
       for (Request* request : valid) request->result.set_exception(error);
       continue;
     }
+    const auto exec_end = std::chrono::steady_clock::now();
 
-    // Fan the logits rows back out and record latency at fulfillment.
-    const auto now = std::chrono::steady_clock::now();
-    const int classes = session_.num_classes();
+    // Record the batch before fanning out, under the stats mutex that
+    // also serializes reset_stats()/stats() — windows never mix.
     {
       std::lock_guard<std::mutex> lock(stats_mutex_);
-      ++batches_;
-      max_batch_seen_ = std::max(max_batch_seen_, static_cast<std::size_t>(n));
+      batch_size_.record(static_cast<double>(n));
+      execute_us_.record(
+          std::chrono::duration<double, std::micro>(exec_end - exec_begin).count());
       for (const Request* request : valid) {
-        const double us =
-            std::chrono::duration<double, std::micro>(now - request->submitted)
-                .count();
-        ++completed_;
-        latency_sum_us_ += us;
-        latency_max_us_ = std::max(latency_max_us_, us);
-        if (latency_window_.size() < kLatencyWindow) {
-          latency_window_.push_back(us);
-        } else {
-          latency_window_[latency_next_] = us;
-          latency_next_ = (latency_next_ + 1) % kLatencyWindow;
-        }
+        latency_us_.record(std::chrono::duration<double, std::micro>(
+                               exec_end - request->submitted)
+                               .count());
+        queue_wait_us_.record(std::chrono::duration<double, std::micro>(
+                                  request->popped - request->submitted)
+                                  .count());
       }
     }
+
+    const int classes = session_.num_classes();
     for (int i = 0; i < n; ++i) {
       tensor::Tensor row({classes});
       std::memcpy(row.data(), out.data() + static_cast<std::size_t>(i) * classes,
                   static_cast<std::size_t>(classes) * sizeof(float));
       valid[static_cast<std::size_t>(i)]->result.set_value(std::move(row));
     }
+
+    obs::SpanSink* const sink = span_sink_.load(std::memory_order_acquire);
+    if (sink != nullptr) {
+      const auto done = std::chrono::steady_clock::now();
+      for (const Request* request : valid) {
+        obs::RequestSpan span;
+        span.id = request->id;
+        span.submit = request->submitted;
+        span.popped = request->popped;
+        span.exec_begin = exec_begin;
+        span.exec_end = exec_end;
+        span.done = done;
+        span.batch = n;
+        span.worker = worker;
+        sink->on_span(span);
+      }
+    }
   }
 }
 
 ServerStats Server::stats() const {
+  queue_depth_.set(static_cast<double>(scheduler_.depth()));
   ServerStats s;
-  std::vector<double> window;
+  obs::HistogramSnapshot latency;
+  obs::HistogramSnapshot queue;
+  obs::HistogramSnapshot execute;
+  obs::HistogramSnapshot batches;
   std::chrono::steady_clock::time_point started;
   {
     std::lock_guard<std::mutex> lock(stats_mutex_);
-    window = latency_window_;
-    s.completed = completed_;
-    s.batches = batches_;
-    s.max_batch = max_batch_seen_;
-    s.mean_us = completed_ == 0 ? 0.0
-                                : latency_sum_us_ / static_cast<double>(completed_);
-    s.max_us = latency_max_us_;
+    latency = latency_us_.snapshot();
+    queue = queue_wait_us_.snapshot();
+    execute = execute_us_.snapshot();
+    batches = batch_size_.snapshot();
     started = started_;  // reset_stats() writes it under the same lock
   }
-  s.mean_batch = s.batches == 0
-                     ? 0.0
-                     : static_cast<double>(s.completed) / static_cast<double>(s.batches);
-  if (!window.empty()) {
-    std::sort(window.begin(), window.end());
-    s.p50_us = util::percentile_sorted(window, 50.0);
-    s.p95_us = util::percentile_sorted(window, 95.0);
-    s.p99_us = util::percentile_sorted(window, 99.0);
-  }
+  s.completed = latency.count;
+  s.failed = failed_.value();
+  s.batches = batches.count;
+  s.mean_batch = batches.mean();
+  s.max_batch = static_cast<std::size_t>(batches.max);
+  s.p50_us = latency.percentile(50.0);
+  s.p95_us = latency.percentile(95.0);
+  s.p99_us = latency.percentile(99.0);
+  s.mean_us = latency.mean();
+  s.max_us = latency.max;
+  s.mean_queue_us = queue.mean();
+  s.p50_queue_us = queue.percentile(50.0);
+  s.p95_queue_us = queue.percentile(95.0);
+  s.mean_exec_us = execute.mean();
+  s.p50_exec_us = execute.percentile(50.0);
+  s.p95_exec_us = execute.percentile(95.0);
   s.elapsed_s =
       std::chrono::duration<double>(std::chrono::steady_clock::now() - started).count();
   s.throughput_rps =
@@ -176,14 +217,16 @@ ServerStats Server::stats() const {
 
 void Server::reset_stats() {
   std::lock_guard<std::mutex> lock(stats_mutex_);
-  latency_window_.clear();
-  latency_next_ = 0;
-  completed_ = 0;
-  latency_sum_us_ = 0.0;
-  latency_max_us_ = 0.0;
-  batches_ = 0;
-  max_batch_seen_ = 0;
+  metrics_.reset();
+  // Static facts survive the window reset.
+  metrics_.gauge("backend_prepared_bytes")
+      .set(static_cast<double>(session_.backend().prepared_bytes()));
   started_ = std::chrono::steady_clock::now();
+}
+
+const obs::Registry& Server::metrics() const {
+  queue_depth_.set(static_cast<double>(scheduler_.depth()));
+  return metrics_;
 }
 
 }  // namespace cq::serve

@@ -1,7 +1,9 @@
 #pragma once
 
+#include <atomic>
 #include <chrono>
 #include <cstddef>
+#include <cstdint>
 #include <future>
 #include <memory>
 #include <mutex>
@@ -9,6 +11,8 @@
 
 #include "deploy/artifact.h"
 #include "deploy/backend.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "serve/batch_scheduler.h"
 #include "serve/engine_session.h"
 #include "util/thread_pool.h"
@@ -36,19 +40,34 @@ struct ServerConfig {
 
 /// Aggregate serving statistics since the server started (or the last
 /// reset_stats()). Latencies cover submit() to promise fulfillment, in
-/// microseconds; counts/mean/max span every completed request, while
-/// the percentiles are computed over a sliding window of the most
-/// recent requests so memory stays bounded under sustained traffic.
+/// microseconds. All distributions — end-to-end latency, queue-wait,
+/// and per-batch execute time — come from log-bucketed
+/// obs::LatencyHistogram instruments covering *every* request in the
+/// window (percentile error is bounded by the ~3% bucket width, and
+/// nothing is forgotten under sustained traffic the way the old
+/// sliding-window percentiles were).
 struct ServerStats {
   std::size_t completed = 0;      ///< requests answered
+  std::size_t failed = 0;         ///< requests answered with an exception
   std::size_t batches = 0;        ///< micro-batches executed
   double mean_batch = 0.0;        ///< average coalesced batch size
   std::size_t max_batch = 0;      ///< largest coalesced batch seen
-  double p50_us = 0.0;            ///< percentiles: recent-window
+  double p50_us = 0.0;            ///< end-to-end latency percentiles
   double p95_us = 0.0;
   double p99_us = 0.0;
-  double mean_us = 0.0;           ///< mean/max: all completed requests
+  double mean_us = 0.0;
   double max_us = 0.0;
+  /// Queue-wait vs execute breakdown: queue-wait is submit() to
+  /// leaving the scheduler queue (per request); execute is the
+  /// EngineSession::run wall time of the batch the request rode in
+  /// (per batch). Together they show whether latency is queueing or
+  /// compute.
+  double mean_queue_us = 0.0;
+  double p50_queue_us = 0.0;
+  double p95_queue_us = 0.0;
+  double mean_exec_us = 0.0;
+  double p50_exec_us = 0.0;
+  double p95_exec_us = 0.0;
   double elapsed_s = 0.0;         ///< wall time since start/reset
   double throughput_rps = 0.0;    ///< completed / elapsed_s
 };
@@ -62,6 +81,14 @@ struct ServerStats {
 /// EngineSession::run is bit-exact under any coalescing, the same
 /// inputs produce byte-identical outputs whatever batches the
 /// scheduler happens to form.
+///
+/// Observability: metrics() exposes the obs::Registry behind stats()
+/// (JSON / Prometheus export); set_span_sink() streams a
+/// submit->queue->batch-form->execute->complete obs::RequestSpan per
+/// request (e.g. into an obs::ChromeTraceWriter for a
+/// chrome://tracing timeline); set_op_trace() forwards a per-op
+/// TraceSink to the engine interpreter (obs::PlanProfiler). All three
+/// are inert until opted into.
 class Server {
  public:
   explicit Server(const deploy::QuantizedArtifact& artifact, ServerConfig config = {});
@@ -86,14 +113,35 @@ class Server {
   ServerStats stats() const;
 
   /// Zeroes all counters and restarts the stats clock — call after a
-  /// warmup phase so it does not pollute the reported numbers.
+  /// warmup phase so it does not pollute the reported numbers. Safe
+  /// while workers are in flight: recording, reset and snapshot are
+  /// serialized, so a snapshot never mixes windows (a request that
+  /// completes after the reset counts — fully — in the new window).
   void reset_stats();
+
+  /// The registry behind stats(): counters (requests_submitted,
+  /// requests_failed), gauges (queue_depth, backend_prepared_bytes)
+  /// and latency/queue/execute/batch-size histograms, exportable via
+  /// obs::Registry::to_json / to_prometheus.
+  const obs::Registry& metrics() const;
+
+  /// Streams one obs::RequestSpan per completed request into `sink`
+  /// (non-owning; must outlive the server or be cleared with nullptr;
+  /// must be thread-safe). Null (the default) costs nothing.
+  void set_span_sink(obs::SpanSink* sink) {
+    span_sink_.store(sink, std::memory_order_release);
+  }
+
+  /// Forwards a per-op trace sink to the engine interpreter — see
+  /// EngineSession::set_trace_sink for the contract. Build the sink
+  /// against session().plan() / session().backend().
+  void set_op_trace(obs::TraceSink* sink) { session_.set_trace_sink(sink); }
 
   const EngineSession& session() const { return session_; }
   const ServerConfig& config() const { return config_; }
 
  private:
-  void worker_loop();
+  void worker_loop(int worker);
 
   ServerConfig config_;
   /// Shared intra-op helper pool (workers participate in their own
@@ -106,18 +154,25 @@ class Server {
   bool shut_down_ = false;
   std::mutex shutdown_mutex_;
 
-  /// Percentiles come from a fixed-size ring of recent latencies, so a
-  /// long-lived server's stats memory stays constant.
-  static constexpr std::size_t kLatencyWindow = 16384;
+  std::atomic<obs::SpanSink*> span_sink_{nullptr};
+  std::atomic<std::uint64_t> next_request_id_{0};
+
+  /// All serving metrics live in the registry; the references below
+  /// are the hot-path handles. Recording happens once per batch /
+  /// request under stats_mutex_ (same locking cost the pre-registry
+  /// stats paid), which is also what makes reset_stats() a crisp
+  /// window boundary: recording, reset and snapshot all serialize on
+  /// this mutex, so no snapshot can observe a half-reset window.
+  obs::Registry metrics_;
+  obs::Counter& submitted_;
+  obs::Counter& failed_;
+  obs::LatencyHistogram& latency_us_;
+  obs::LatencyHistogram& queue_wait_us_;
+  obs::LatencyHistogram& execute_us_;
+  obs::LatencyHistogram& batch_size_;
+  obs::Gauge& queue_depth_;
 
   mutable std::mutex stats_mutex_;
-  std::vector<double> latency_window_;  ///< ring buffer, kLatencyWindow cap
-  std::size_t latency_next_ = 0;        ///< ring write cursor
-  std::size_t completed_ = 0;
-  double latency_sum_us_ = 0.0;
-  double latency_max_us_ = 0.0;
-  std::size_t batches_ = 0;
-  std::size_t max_batch_seen_ = 0;
   std::chrono::steady_clock::time_point started_;
 };
 

@@ -1,13 +1,13 @@
 #include "util/logging.h"
 
 #include <atomic>
+#include <cctype>
 #include <cstdio>
+#include <cstdlib>
 
 namespace cq::util {
 
 namespace {
-
-std::atomic<LogLevel> g_level{LogLevel::kInfo};
 
 const char* level_tag(LogLevel level) {
   switch (level) {
@@ -23,14 +23,63 @@ const char* level_tag(LogLevel level) {
   return "?";
 }
 
+LogLevel initial_level() {
+  LogLevel level = LogLevel::kInfo;
+  const char* env = std::getenv("CQ_LOG_LEVEL");
+  if (env != nullptr && !parse_log_level(env, level)) {
+    std::fprintf(stderr, "[WARN] CQ_LOG_LEVEL='%s' not one of debug|info|warn|error\n",
+                 env);
+  }
+  return level;
+}
+
+/// Meyers singleton so the threshold is usable (and env-initialized)
+/// from any static initializer, regardless of TU order.
+std::atomic<LogLevel>& level_ref() {
+  static std::atomic<LogLevel> level{initial_level()};
+  return level;
+}
+
 }  // namespace
 
-void set_log_level(LogLevel level) { g_level.store(level); }
+void set_log_level(LogLevel level) { level_ref().store(level); }
 
-LogLevel log_level() { return g_level.load(); }
+LogLevel log_level() { return level_ref().load(); }
+
+bool parse_log_level(const std::string& text, LogLevel& out) {
+  std::string lower;
+  lower.reserve(text.size());
+  for (const char c : text) {
+    lower.push_back(static_cast<char>(std::tolower(static_cast<unsigned char>(c))));
+  }
+  if (lower == "debug") {
+    out = LogLevel::kDebug;
+  } else if (lower == "info") {
+    out = LogLevel::kInfo;
+  } else if (lower == "warn" || lower == "warning") {
+    out = LogLevel::kWarn;
+  } else if (lower == "error") {
+    out = LogLevel::kError;
+  } else {
+    return false;
+  }
+  return true;
+}
+
+void refresh_log_level_from_env() {
+  const char* env = std::getenv("CQ_LOG_LEVEL");
+  if (env == nullptr) return;
+  LogLevel level = log_level();
+  if (parse_log_level(env, level)) {
+    set_log_level(level);
+  } else {
+    std::fprintf(stderr, "[WARN] CQ_LOG_LEVEL='%s' not one of debug|info|warn|error\n",
+                 env);
+  }
+}
 
 void log_line(LogLevel level, const std::string& message) {
-  if (static_cast<int>(level) < static_cast<int>(g_level.load())) return;
+  if (static_cast<int>(level) < static_cast<int>(log_level())) return;
   std::fprintf(stderr, "[%s] %s\n", level_tag(level), message.c_str());
 }
 

@@ -11,8 +11,21 @@ enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3 };
 /// Sets the global threshold; messages below it are dropped.
 void set_log_level(LogLevel level);
 
-/// Current global threshold.
+/// Current global threshold. Defaults to kInfo; the CQ_LOG_LEVEL
+/// environment variable ("debug" | "info" | "warn" | "error",
+/// case-insensitive) overrides the default on first use — so e.g.
+/// CQ_LOG_LEVEL=debug ships profiler/trace debug lines without
+/// recompiling, while default runs stay quiet.
 LogLevel log_level();
+
+/// Parses a level name ("debug" | "info" | "warn" | "error", any
+/// case). Returns false — leaving `out` untouched — on anything else.
+bool parse_log_level(const std::string& text, LogLevel& out);
+
+/// Re-reads CQ_LOG_LEVEL and applies it (no-op when unset or
+/// unparsable, with a one-line warning for the latter). Startup does
+/// this automatically; exposed for tests and long-lived embedders.
+void refresh_log_level_from_env();
 
 /// Emits one formatted line (`[LEVEL] message`) to stderr if `level`
 /// passes the threshold.

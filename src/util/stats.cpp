@@ -84,6 +84,13 @@ double percentile(std::span<const double> values, double q) {
   return percentile_sorted(sorted, q);
 }
 
+double percentile(std::span<const float> values, double q) {
+  if (values.empty()) return 0.0;
+  std::vector<double> sorted(values.begin(), values.end());
+  std::sort(sorted.begin(), sorted.end());
+  return percentile_sorted(sorted, q);
+}
+
 double percentile_sorted(std::span<const double> sorted, double q) {
   if (sorted.empty()) return 0.0;
   const double clamped = std::clamp(q, 0.0, 100.0);

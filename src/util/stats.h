@@ -50,8 +50,10 @@ class Histogram {
 
 /// q-th percentile (q in [0, 100]) of `values` with linear
 /// interpolation between order statistics. Returns 0 for an empty
-/// sample. Used by the serving stats (p50/p95/p99 latency).
+/// sample. The exact reference the obs::LatencyHistogram snapshot
+/// percentiles are tested against (same rank convention).
 double percentile(std::span<const double> values, double q);
+double percentile(std::span<const float> values, double q);
 
 /// Same, over an already ascending-sorted sample — callers extracting
 /// several percentiles sort once and use this to avoid re-sorting.

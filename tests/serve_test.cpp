@@ -1,12 +1,16 @@
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <atomic>
 #include <chrono>
 #include <future>
+#include <mutex>
+#include <string>
 #include <thread>
 #include <vector>
 
 #include "deploy/artifact.h"
+#include "obs/profiler.h"
 #include "serve/batch_scheduler.h"
 #include "serve/engine_session.h"
 #include "serve/server.h"
@@ -297,6 +301,200 @@ TEST(Server, ResetStatsZeroesCountersAfterWarmup) {
   const ServerStats after = server.stats();
   EXPECT_EQ(after.completed, 1u);
   EXPECT_GT(after.p50_us, 0.0);
+}
+
+/// The reset/snapshot window contract: resetting while submitters and
+/// workers are in full flight must never surface an inconsistent
+/// snapshot — no negative throughput, no percentile below min or above
+/// max, no completed count the latency histogram did not see.
+TEST(Server, ResetStatsWhileInFlightNeverMixesWindows) {
+  ServerConfig config;
+  config.workers = 2;
+  config.max_batch = 4;
+  config.max_wait_us = 100;
+  Server server(tiny_mlp_artifact(), config);
+
+  constexpr int kThreads = 4;
+  constexpr int kPerThread = 60;
+  std::atomic<bool> stop{false};
+  std::vector<std::thread> submitters;
+  for (int t = 0; t < kThreads; ++t) {
+    submitters.emplace_back([&server, t] {
+      util::Rng rng(700 + static_cast<std::uint64_t>(t));
+      for (int i = 0; i < kPerThread; ++i) {
+        server.submit(Tensor::rand_uniform({12}, rng, 0.0f, 1.0f)).get();
+      }
+    });
+  }
+  std::thread resetter([&server, &stop] {
+    while (!stop.load()) {
+      server.reset_stats();
+      const ServerStats s = server.stats();
+      EXPECT_GE(s.throughput_rps, 0.0);
+      EXPECT_GE(s.elapsed_s, 0.0);
+      EXPECT_LE(s.p50_us, s.p95_us);
+      EXPECT_LE(s.p95_us, s.p99_us);
+      EXPECT_LE(s.p99_us, s.max_us);
+      EXPECT_LE(s.p50_queue_us, s.p95_queue_us);
+      EXPECT_LE(s.p50_exec_us, s.p95_exec_us);
+      if (s.completed > 0) {
+        EXPECT_GT(s.p50_us, 0.0);
+        EXPECT_GT(s.mean_us, 0.0);
+      } else {
+        EXPECT_EQ(s.p99_us, 0.0);
+        EXPECT_EQ(s.batches, 0u);
+      }
+      std::this_thread::sleep_for(std::chrono::microseconds(200));
+    }
+  });
+  for (std::thread& submitter : submitters) submitter.join();
+  stop.store(true);
+  resetter.join();
+
+  // A quiet window after the storm must still account crisply.
+  server.reset_stats();
+  util::Rng rng(31);
+  for (int i = 0; i < 3; ++i) {
+    server.submit(Tensor::rand_uniform({12}, rng, 0.0f, 1.0f)).get();
+  }
+  const ServerStats s = server.stats();
+  EXPECT_EQ(s.completed, 3u);
+  EXPECT_GE(s.batches, 1u);
+}
+
+TEST(Server, StatsBreakDownLatencyIntoQueueWaitAndExecute) {
+  ServerConfig config;
+  config.workers = 1;
+  config.max_batch = 4;
+  Server server(tiny_mlp_artifact(), config);
+  util::Rng rng(13);
+  std::vector<std::future<Tensor>> inflight;
+  for (int i = 0; i < 16; ++i) {
+    inflight.push_back(server.submit(Tensor::rand_uniform({12}, rng, 0.0f, 1.0f)));
+  }
+  for (auto& f : inflight) f.get();
+  const ServerStats s = server.stats();
+  EXPECT_EQ(s.completed, 16u);
+  // Every request waited in the queue and rode an executed batch, so
+  // both component distributions are populated and each component is
+  // bounded by the end-to-end latency it is part of.
+  EXPECT_GT(s.mean_exec_us, 0.0);
+  EXPECT_GE(s.mean_queue_us, 0.0);
+  EXPECT_LE(s.p50_queue_us, s.max_us);
+  EXPECT_LE(s.p50_exec_us, s.max_us);
+}
+
+TEST(Server, MetricsRegistryExportsTheServingInstruments) {
+  Server server(tiny_mlp_artifact(), {});
+  util::Rng rng(17);
+  server.submit(Tensor::rand_uniform({12}, rng, 0.0f, 1.0f)).get();
+  auto bad = server.submit(Tensor({5}));
+  EXPECT_THROW(bad.get(), std::invalid_argument);
+
+  const std::string json = server.metrics().to_json();
+  EXPECT_NE(json.find("\"requests_submitted\": 2"), std::string::npos) << json;
+  EXPECT_NE(json.find("\"requests_failed\": 1"), std::string::npos) << json;
+  EXPECT_NE(json.find("\"latency_us\""), std::string::npos);
+  EXPECT_NE(json.find("\"queue_wait_us\""), std::string::npos);
+  EXPECT_NE(json.find("\"execute_us\""), std::string::npos);
+  EXPECT_NE(json.find("\"backend_prepared_bytes\""), std::string::npos);
+  const std::string prom = server.metrics().to_prometheus();
+  EXPECT_NE(prom.find("requests_submitted_total 2"), std::string::npos) << prom;
+  EXPECT_NE(prom.find("latency_us_count 1"), std::string::npos) << prom;
+}
+
+/// A span sink must see every request with causally ordered timestamps:
+/// submit <= popped <= exec_begin <= exec_end <= done, and batch/worker
+/// fields that make sense for the serving configuration.
+TEST(Server, SpanSinkSeesOrderedTimestampsForEveryRequest) {
+  class CollectingSink : public obs::SpanSink {
+   public:
+    void on_span(const obs::RequestSpan& span) override {
+      std::lock_guard<std::mutex> lock(mutex_);
+      spans_.push_back(span);
+    }
+    std::vector<obs::RequestSpan> take() {
+      std::lock_guard<std::mutex> lock(mutex_);
+      return spans_;
+    }
+
+   private:
+    std::mutex mutex_;
+    std::vector<obs::RequestSpan> spans_;
+  };
+
+  ServerConfig config;
+  config.workers = 2;
+  config.max_batch = 4;
+  CollectingSink sink;
+  Server server(tiny_mlp_artifact(), config);
+  server.set_span_sink(&sink);
+
+  constexpr int kThreads = 4;
+  constexpr int kPerThread = 8;
+  std::vector<std::thread> submitters;
+  for (int t = 0; t < kThreads; ++t) {
+    submitters.emplace_back([&server, t] {
+      util::Rng rng(900 + static_cast<std::uint64_t>(t));
+      for (int i = 0; i < kPerThread; ++i) {
+        server.submit(Tensor::rand_uniform({12}, rng, 0.0f, 1.0f)).get();
+      }
+    });
+  }
+  for (std::thread& submitter : submitters) submitter.join();
+  server.shutdown();  // workers are done: every span has been emitted
+  server.set_span_sink(nullptr);
+
+  const std::vector<obs::RequestSpan> spans = sink.take();
+  ASSERT_EQ(spans.size(), static_cast<std::size_t>(kThreads * kPerThread));
+  std::vector<std::uint64_t> ids;
+  for (const obs::RequestSpan& span : spans) {
+    EXPECT_LE(span.submit, span.popped);
+    EXPECT_LE(span.popped, span.exec_begin);
+    EXPECT_LE(span.exec_begin, span.exec_end);
+    EXPECT_LE(span.exec_end, span.done);
+    EXPECT_GE(span.batch, 1);
+    EXPECT_LE(span.batch, config.max_batch);
+    EXPECT_GE(span.worker, 0);
+    EXPECT_LT(span.worker, config.workers);
+    ids.push_back(span.id);
+  }
+  std::sort(ids.begin(), ids.end());
+  EXPECT_EQ(std::unique(ids.begin(), ids.end()), ids.end());  // ids are distinct
+}
+
+/// Per-op tracing through the full server: the profiler must attribute
+/// every op of every executed batch, while outputs stay byte-identical
+/// to the untraced engine (tracing is observation, not interference).
+TEST(Server, OpTraceProfilesServedBatchesWithoutChangingOutputs) {
+  const deploy::QuantizedArtifact artifact = tiny_mlp_artifact();
+  EngineSession reference(artifact, 1);
+  ServerConfig config;
+  config.workers = 2;
+  Server server(artifact, config);
+  obs::PlanProfiler profiler(server.session().plan(), &server.session().backend());
+  server.set_op_trace(&profiler);
+
+  util::Rng rng(47);
+  for (int i = 0; i < 10; ++i) {
+    const Tensor sample = Tensor::rand_uniform({12}, rng, 0.0f, 1.0f);
+    Tensor one({1, 12});
+    for (std::size_t j = 0; j < sample.numel(); ++j) one[j] = sample[j];
+    const Tensor expected = reference.run(one);
+    const Tensor out = server.submit(sample).get();
+    ASSERT_EQ(out.numel(), expected.numel());
+    for (std::size_t j = 0; j < out.numel(); ++j) EXPECT_EQ(out[j], expected[j]);
+  }
+  server.shutdown();
+  server.set_op_trace(nullptr);
+
+  const obs::ProfileReport report = profiler.report();
+  ASSERT_EQ(report.ops.size(), server.session().plan().ops().size());
+  for (const obs::OpProfileRow& row : report.ops) {
+    EXPECT_GE(row.calls, 1u);
+    EXPECT_EQ(row.samples, 10u);  // every sample flowed through every op
+  }
+  EXPECT_GT(report.total_ms, 0.0);
 }
 
 TEST(Server, SubmitAfterShutdownFailsTheFuture) {

@@ -1,5 +1,6 @@
 #include <gtest/gtest.h>
 
+#include <span>
 #include <thread>
 
 #include "nn/activations.h"
@@ -124,7 +125,9 @@ TEST(ConvGeometry, OutputDimsFormula) {
 }
 
 TEST(Percentile, InterpolatesAndHandlesEdges) {
-  EXPECT_EQ(util::percentile({}, 50.0), 0.0);
+  // Explicit element type: {} alone is ambiguous now that a float
+  // overload exists.
+  EXPECT_EQ(util::percentile(std::span<const double>{}, 50.0), 0.0);
   const std::vector<double> one = {7.0};
   EXPECT_EQ(util::percentile(one, 0.0), 7.0);
   EXPECT_EQ(util::percentile(one, 100.0), 7.0);

@@ -3,31 +3,47 @@
 // Spins up a serve::Server over the artifact and drives it with
 // `threads` synchronous submitters (each waits for its response before
 // sending the next request), then reports throughput, latency
-// percentiles and micro-batch shape. The serving-side counterpart of
-// cqar_info: where cqar_info inspects the deployed bytes, this measures
-// the deployed behaviour under concurrent traffic.
+// percentiles, the queue-wait vs execute breakdown and micro-batch
+// shape. The serving-side counterpart of cqar_info: where cqar_info
+// inspects the deployed bytes, this measures the deployed behaviour
+// under concurrent traffic.
 //
 // Usage: cq_serve_bench <model.cqar> [options]
-//   --requests=N     total requests across all submitters (default 512)
-//   --threads=N      closed-loop submitter threads (default 8)
-//   --workers=N      server batch workers / engine contexts (default 4)
-//   --backend=NAME   kernel backend: scalar | blocked (default scalar)
-//   --max_batch=N    micro-batch flush size (default 16)
-//   --max_wait_us=N  micro-batch flush age in microseconds (default 200)
-//   --queue=N        bounded request queue depth (default 1024)
-//   --warmup=N       untimed warmup requests (default 64)
-//   --seed=N         input generator seed (default 1)
+//   --requests=N      total requests across all submitters (default 512)
+//   --threads=N       closed-loop submitter threads (default 8)
+//   --workers=N       server batch workers / engine contexts (default 4)
+//   --intra_threads=N threads one forward pass may occupy (default 1)
+//   --backend=NAME    kernel backend: scalar | blocked (default scalar)
+//   --max_batch=N     micro-batch flush size (default 16)
+//   --max_wait_us=N   micro-batch flush age in microseconds (default 200)
+//   --queue=N         bounded request queue depth (default 1024)
+//   --warmup=N        untimed warmup requests (default 64)
+//   --seed=N          input generator seed (default 1)
+//   --json=PATH       machine-readable result, same schema as
+//                     bench/serve_throughput --json (one sweep row), so
+//                     trajectory tooling ingests both
+//   --profile         attach obs::PlanProfiler to the engine: prints the
+//                     per-op-kind breakdown and embeds the full per-op
+//                     report in --json output
+//   --trace=PATH      stream one span pair per request into a
+//                     Chrome-trace JSON (load in chrome://tracing)
+//   --metrics         dump the server's metrics registry in Prometheus
+//                     text format after the run
 
 #include <atomic>
 #include <cstdio>
 #include <future>
+#include <memory>
 #include <thread>
 #include <vector>
 
 #include "deploy/artifact.h"
+#include "obs/chrome_trace.h"
+#include "obs/profiler.h"
 #include "serve/server.h"
 #include "util/cli.h"
 #include "util/rng.h"
+#include "util/table.h"
 #include "util/timer.h"
 
 int main(int argc, char** argv) {
@@ -35,8 +51,9 @@ int main(int argc, char** argv) {
   if (argc < 2 || argv[1][0] == '-') {
     std::fprintf(stderr,
                  "usage: cq_serve_bench <model.cqar> [--requests=512] [--threads=8] "
-                 "[--workers=4] [--backend=scalar|blocked] [--max_batch=16] "
-                 "[--max_wait_us=200] [--queue=1024] [--warmup=64] [--seed=1]\n");
+                 "[--workers=4] [--intra_threads=1] [--backend=scalar|blocked] "
+                 "[--max_batch=16] [--max_wait_us=200] [--queue=1024] [--warmup=64] "
+                 "[--seed=1] [--json=PATH] [--profile] [--trace=PATH] [--metrics]\n");
     return 2;
   }
   const std::string path = argv[1];
@@ -51,6 +68,7 @@ int main(int argc, char** argv) {
 
   serve::ServerConfig config;
   config.workers = static_cast<int>(cli.get_int("workers", 4));
+  config.intra_threads = static_cast<int>(cli.get_int("intra_threads", 1));
   try {
     config.backend = deploy::parse_backend_kind(cli.get("backend", "scalar"));
   } catch (const std::exception& e) {
@@ -60,6 +78,10 @@ int main(int argc, char** argv) {
   config.max_batch = static_cast<int>(cli.get_int("max_batch", 16));
   config.max_wait_us = cli.get_int("max_wait_us", 200);
   config.queue_capacity = static_cast<std::size_t>(cli.get_int("queue", 1024));
+  const std::string json_path = cli.get("json", "");
+  const std::string trace_path = cli.get("trace", "");
+  const bool profile = cli.get_bool("profile", false);
+  const bool metrics = cli.get_bool("metrics", false);
 
   deploy::QuantizedArtifact artifact;
   try {
@@ -77,9 +99,10 @@ int main(int argc, char** argv) {
                 tensor::shape_to_string(sample_shape).c_str(),
                 server.session().num_classes(),
                 server.session().integer_layer_count());
-    std::printf("workers %d, backend %s, max_batch %d, max_wait %ld us, queue %zu, "
-                "%ld closed-loop submitters, %ld requests, %u hw threads\n",
-                config.workers, server.session().backend().name(), config.max_batch,
+    std::printf("workers %d, intra %d, backend %s, max_batch %d, max_wait %ld us, "
+                "queue %zu, %ld closed-loop submitters, %ld requests, %u hw threads\n",
+                config.workers, config.intra_threads,
+                server.session().backend().name(), config.max_batch,
                 config.max_wait_us, config.queue_capacity, threads, requests,
                 std::thread::hardware_concurrency());
 
@@ -96,6 +119,20 @@ int main(int argc, char** argv) {
       for (auto& f : inflight) f.get();
     }
     server.reset_stats();  // the open-loop warmup must not skew the report
+
+    // Observability hooks attach after warmup so they cover exactly the
+    // measured window.
+    std::unique_ptr<obs::PlanProfiler> profiler;
+    if (profile) {
+      profiler = std::make_unique<obs::PlanProfiler>(server.session().plan(),
+                                                     &server.session().backend());
+      server.set_op_trace(profiler.get());
+    }
+    std::unique_ptr<obs::ChromeTraceWriter> tracer;
+    if (!trace_path.empty()) {
+      tracer = std::make_unique<obs::ChromeTraceWriter>();
+      server.set_span_sink(tracer.get());
+    }
     util::Timer timer;
 
     std::vector<std::thread> submitters;
@@ -127,13 +164,74 @@ int main(int argc, char** argv) {
     }
 
     const serve::ServerStats stats = server.stats();
+    server.set_op_trace(nullptr);
+    server.set_span_sink(nullptr);
     std::printf("\n%zu requests in %.3f s  ->  %.1f req/s\n", stats.completed, elapsed,
                 static_cast<double>(stats.completed) / elapsed);
     std::printf("latency  p50 %.0f us   p95 %.0f us   p99 %.0f us   mean %.0f us   "
                 "max %.0f us\n",
                 stats.p50_us, stats.p95_us, stats.p99_us, stats.mean_us, stats.max_us);
+    std::printf("queue    p50 %.0f us   p95 %.0f us   mean %.0f us   |   execute "
+                "p50 %.0f us   p95 %.0f us   mean %.0f us\n",
+                stats.p50_queue_us, stats.p95_queue_us, stats.mean_queue_us,
+                stats.p50_exec_us, stats.p95_exec_us, stats.mean_exec_us);
     std::printf("batching %zu batches, %.2f mean size, %zu max size\n", stats.batches,
                 stats.mean_batch, stats.max_batch);
+
+    obs::ProfileReport report;
+    if (profiler != nullptr) {
+      report = profiler->report();
+      util::Table kinds({"op kind", "calls", "total ms", "share"});
+      for (const obs::ProfileAggregate& agg : report.by_kind) {
+        kinds.add_row({agg.key, std::to_string(agg.calls),
+                       util::Table::num(agg.total_ms, 3),
+                       util::Table::num(100.0 * agg.share, 1) + "%"});
+      }
+      std::printf("\nper-op-kind profile (%.3f ms attributed)\n%s\n", report.total_ms,
+                  kinds.render().c_str());
+    }
+
+    if (tracer != nullptr) {
+      if (!tracer->write(trace_path)) return 1;
+      std::printf("wrote %s (%zu trace events — load in chrome://tracing)\n",
+                  trace_path.c_str(), tracer->size());
+    }
+
+    if (metrics) {
+      std::printf("\n%s", server.metrics().to_prometheus().c_str());
+    }
+
+    if (!json_path.empty()) {
+      std::FILE* f = std::fopen(json_path.c_str(), "w");
+      if (f == nullptr) {
+        std::fprintf(stderr, "cq_serve_bench: cannot write %s\n", json_path.c_str());
+        return 1;
+      }
+      // Same shape as bench/serve_throughput --json: one sweep row for
+      // the single configuration this run measured.
+      std::fprintf(f,
+                   "{\n  \"hardware_threads\": %u,\n  \"requests\": %ld,\n"
+                   "  \"submitters\": %ld,\n  \"backend\": \"%s\",\n  \"sweep\": [\n",
+                   std::thread::hardware_concurrency(), requests, threads,
+                   deploy::backend_kind_name(config.backend));
+      std::fprintf(f,
+                   "    {\"workers\": %d, \"intra_threads\": %d, \"rps\": %.1f, "
+                   "\"p50_us\": %.0f, \"p95_us\": %.0f, \"p99_us\": %.0f, "
+                   "\"mean_batch\": %.2f, \"p50_queue_us\": %.0f, "
+                   "\"p95_queue_us\": %.0f, \"p50_exec_us\": %.0f, "
+                   "\"p95_exec_us\": %.0f}\n",
+                   config.workers, config.intra_threads,
+                   static_cast<double>(stats.completed) / elapsed, stats.p50_us,
+                   stats.p95_us, stats.p99_us, stats.mean_batch, stats.p50_queue_us,
+                   stats.p95_queue_us, stats.p50_exec_us, stats.p95_exec_us);
+      std::fprintf(f, "  ]");
+      if (profiler != nullptr) {
+        std::fprintf(f, ",\n  \"profile\": %s", report.to_json().c_str());
+      }
+      std::fprintf(f, "\n}\n");
+      std::fclose(f);
+      std::printf("wrote %s\n", json_path.c_str());
+    }
     server.shutdown();
   } catch (const std::exception& e) {
     std::fprintf(stderr, "cq_serve_bench: %s\n", e.what());

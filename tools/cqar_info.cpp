@@ -3,7 +3,8 @@
 // calibration, size breakdown and integrity status. The
 // deployment-side counterpart of examples/export_and_deploy.
 //
-// Usage: cqar_info <model.cqar> [--verify] [--plan] [--backend=NAME]
+// Usage: cqar_info <model.cqar> [--verify] [--plan] [--profile]
+//                               [--backend=NAME] [--runs=N] [--batch=N]
 //   --verify   additionally instantiate the model (full structural
 //              check), compile the ExecutionPlan, and run the static
 //              plan verifier (deploy/verify.h) — any invariant finding
@@ -12,8 +13,15 @@
 //              listing (kind, shapes, bits, slots, arena offsets, and
 //              which kernel implementation the selected backend
 //              dispatches each op to) plus the planned arena size
-//   --backend  backend the --plan listing's dispatch column reflects:
-//              scalar | blocked (default scalar)
+//   --profile  compile the plan, run `runs` random batches of `batch`
+//              samples through a profiled serving session
+//              (obs::PlanProfiler) and print where the wall time goes:
+//              per op, per op kind, per layer, plus the fraction of
+//              end-to-end time the profiler attributes to ops
+//   --backend  backend --plan's dispatch column reflects and --profile
+//              executes on: scalar | blocked (default scalar)
+//   --runs     profiled runs for --profile (default 16)
+//   --batch    samples per profiled run (default 8)
 //
 // Exit status: 0 on success, 1 for any unreadable/truncated/corrupted
 // artifact (with a one-line diagnostic on stderr), 2 for usage errors.
@@ -27,8 +35,12 @@
 #include "deploy/plan.h"
 #include "deploy/verify.h"
 #include "nn/models/model.h"
+#include "obs/profiler.h"
+#include "serve/engine_session.h"
 #include "util/cli.h"
+#include "util/rng.h"
 #include "util/table.h"
+#include "util/timer.h"
 
 namespace {
 
@@ -67,8 +79,8 @@ int main(int argc, char** argv) {
   using namespace cq;
   if (argc < 2 || argv[1][0] == '-') {
     std::fprintf(stderr,
-                 "usage: cqar_info <model.cqar> [--verify] [--plan] "
-                 "[--backend=scalar|blocked]\n");
+                 "usage: cqar_info <model.cqar> [--verify] [--plan] [--profile] "
+                 "[--backend=scalar|blocked] [--runs=16] [--batch=8]\n");
     return 2;
   }
   const std::string path = argv[1];
@@ -126,14 +138,15 @@ int main(int argc, char** argv) {
               size.packed_code_bytes, size.packed_meta_bytes, size.dense_bytes,
               size.total_bytes(), size.compression_ratio());
 
+  deploy::BackendKind backend_kind;
+  try {
+    backend_kind = deploy::parse_backend_kind(cli.get("backend", "scalar"));
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "cqar_info: %s\n", e.what());
+    return 2;  // usage error, not a corrupted artifact
+  }
+
   if (cli.get_bool("plan", false)) {
-    deploy::BackendKind backend_kind;
-    try {
-      backend_kind = deploy::parse_backend_kind(cli.get("backend", "scalar"));
-    } catch (const std::exception& e) {
-      std::fprintf(stderr, "cqar_info: %s\n", e.what());
-      return 2;  // usage error, not a corrupted artifact
-    }
     try {
       const deploy::ExecutionPlan plan = deploy::compile_plan(artifact);
       const auto backend = deploy::make_backend(backend_kind);
@@ -163,6 +176,75 @@ int main(int argc, char** argv) {
                   plan.arena_bytes());
     } catch (const std::exception& e) {
       std::fprintf(stderr, "cqar_info: plan compilation failed — %s\n", e.what());
+      return 1;
+    }
+  }
+
+  if (cli.get_bool("profile", false)) {
+    const int runs = static_cast<int>(cli.get_int("runs", 16));
+    const int batch = static_cast<int>(cli.get_int("batch", 8));
+    if (runs < 1 || batch < 1) {
+      std::fprintf(stderr, "cqar_info: --runs/--batch must be >= 1\n");
+      return 2;
+    }
+    try {
+      serve::EngineSession session(artifact, 1, {},
+                                   deploy::make_backend(backend_kind));
+      const tensor::Shape& sample = session.sample_shape();
+      tensor::Shape batch_shape;
+      batch_shape.push_back(batch);
+      batch_shape.insert(batch_shape.end(), sample.begin(), sample.end());
+      util::Rng rng(1);
+      const tensor::Tensor input =
+          tensor::Tensor::rand_uniform(batch_shape, rng, 0.0f, 1.0f);
+      session.run(input);  // warm: arena growth stays out of the window
+
+      obs::PlanProfiler profiler(session.plan(), &session.backend());
+      session.set_trace_sink(&profiler);
+      util::Timer timer;
+      for (int r = 0; r < runs; ++r) session.run(input);
+      const double wall_ms = timer.millis();
+      session.set_trace_sink(nullptr);
+      const obs::ProfileReport report = profiler.report();
+
+      util::Table ops({"#", "op", "layer", "dispatch", "calls", "total ms",
+                       "mean us", "KB/call", "share"});
+      for (const obs::OpProfileRow& row : report.ops) {
+        const double kb_per_call =
+            row.calls > 0 ? static_cast<double>(row.bytes) / 1024.0 /
+                                static_cast<double>(row.calls)
+                          : 0.0;
+        ops.add_row({std::to_string(row.op), row.kind, row.label, row.dispatch,
+                     std::to_string(row.calls), util::Table::num(row.total_ms, 3),
+                     util::Table::num(row.mean_us, 1),
+                     util::Table::num(kb_per_call, 1),
+                     util::Table::num(100.0 * row.share, 1) + "%"});
+      }
+      std::printf("\nper-op profile (backend %s, %d runs x batch %d)\n%s\n",
+                  session.backend().name(), runs, batch, ops.render().c_str());
+
+      util::Table kinds({"op kind", "calls", "total ms", "share"});
+      for (const obs::ProfileAggregate& agg : report.by_kind) {
+        kinds.add_row({agg.key, std::to_string(agg.calls),
+                       util::Table::num(agg.total_ms, 3),
+                       util::Table::num(100.0 * agg.share, 1) + "%"});
+      }
+      std::printf("by op kind\n%s\n", kinds.render().c_str());
+
+      util::Table layers({"layer", "calls", "total ms", "share"});
+      for (const obs::ProfileAggregate& agg : report.by_layer) {
+        layers.add_row({agg.key, std::to_string(agg.calls),
+                        util::Table::num(agg.total_ms, 3),
+                        util::Table::num(100.0 * agg.share, 1) + "%"});
+      }
+      std::printf("by layer\n%s\n", layers.render().c_str());
+
+      std::printf("profile      : %.3f ms attributed of %.3f ms wall "
+                  "(%.1f%% coverage)\n",
+                  report.total_ms, wall_ms,
+                  wall_ms > 0.0 ? 100.0 * report.total_ms / wall_ms : 0.0);
+    } catch (const std::exception& e) {
+      std::fprintf(stderr, "cqar_info: profiling failed — %s\n", e.what());
       return 1;
     }
   }
