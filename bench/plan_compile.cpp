@@ -1,12 +1,15 @@
 // plan_compile — measures deploy::compile_plan cost, deploy::verify_plan
-// cost, and the compiled plan's footprint for the three zoo models, so
-// plan-compile regressions (time or arena bytes) and verifier slowdowns
+// cost, deploy::optimize_plan cost, and the plan footprint at both opt
+// settings (as compiled and after the optimizer pass pipeline) for the
+// three zoo models, so plan-compile regressions (time or arena bytes),
+// verifier slowdowns, and optimizer coverage losses (op-count deltas)
 // are visible in the perf-smoke CI lane's JSON artifact alongside
-// kernel_scaling. Any verifier finding on a zoo plan fails the bench.
+// kernel_scaling. Any verifier finding on a zoo plan — at either opt
+// setting — fails the bench.
 //
 // Usage: plan_compile [--repeat=N] [--json=path]
-//   --repeat   timed compiles/verifies per model, best-of reported
-//              (default 5)
+//   --repeat   timed compiles/verifies/optimizes per model, best-of
+//              reported (default 5)
 //   --json     machine-readable output for the CI artifact
 
 #include <cstdio>
@@ -15,6 +18,7 @@
 #include <vector>
 
 #include "deploy/artifact.h"
+#include "deploy/passes/passes.h"
 #include "deploy/plan.h"
 #include "deploy/verify.h"
 #include "nn/models/mlp.h"
@@ -39,6 +43,13 @@ struct Result {
   std::size_t arena_bytes = 0;
   std::size_t no_reuse_bytes = 0;  ///< one fresh buffer per op output
   std::size_t integer_layers = 0;
+  /// Optimizer pass pipeline: best-of optimize_plan cost over a fresh
+  /// compile each iteration, and the optimized plan's footprint.
+  double optimize_ms = 0.0;
+  bool opt_verify_clean = false;
+  std::size_t opt_ops = 0;
+  int opt_slots = 0;
+  std::size_t opt_arena_bytes = 0;
 };
 
 Result measure(const std::string& name, const deploy::QuantizedArtifact& artifact,
@@ -67,6 +78,21 @@ Result measure(const std::string& name, const deploy::QuantizedArtifact& artifac
   for (const deploy::PlanOp& op : plan.ops()) {
     r.no_reuse_bytes +=
         plan.slots()[static_cast<std::size_t>(op.out)].numel * sizeof(float);
+  }
+  // optimize_plan mutates its input, so every timed iteration starts
+  // from a fresh compile (done outside the timer).
+  for (int i = 0; i < repeat; ++i) {
+    deploy::ExecutionPlan fresh = deploy::compile_plan(artifact);
+    util::Timer timer;
+    deploy::optimize_plan(fresh);
+    const double ms = timer.millis();
+    if (i == 0 || ms < r.optimize_ms) r.optimize_ms = ms;
+    if (i == 0) {
+      r.opt_verify_clean = deploy::verify_plan(fresh).clean();
+      r.opt_ops = fresh.ops().size();
+      r.opt_slots = fresh.slot_count();
+      r.opt_arena_bytes = fresh.arena_bytes();
+    }
   }
   return r;
 }
@@ -120,6 +146,25 @@ int main(int argc, char** argv) {
   }
   std::printf("compile_plan/verify_plan cost and plan footprint (best of %d)\n%s\n",
               repeat, table.render().c_str());
+
+  util::Table opt({"model", "optimize ms", "ops", "ops removed", "arena B/sample",
+                   "verify"});
+  for (const Result& r : results) {
+    const double removed_pct =
+        r.ops > 0 ? 100.0 * static_cast<double>(r.ops - r.opt_ops) /
+                        static_cast<double>(r.ops)
+                  : 0.0;
+    opt.add_row({r.name, util::Table::num(r.optimize_ms, 3),
+                 std::to_string(r.ops) + " -> " + std::to_string(r.opt_ops),
+                 std::to_string(r.ops - r.opt_ops) + " (" +
+                     util::Table::num(removed_pct, 1) + "%)",
+                 std::to_string(r.arena_bytes) + " -> " +
+                     std::to_string(r.opt_arena_bytes),
+                 r.opt_verify_clean ? "clean" : "FAIL"});
+    all_clean = all_clean && r.opt_verify_clean;
+  }
+  std::printf("optimize_plan cost and op-count/arena deltas (best of %d)\n%s\n",
+              repeat, opt.render().c_str());
   if (!all_clean) {
     std::fprintf(stderr, "plan_compile: a zoo plan failed static verification\n");
     return 1;
@@ -138,9 +183,12 @@ int main(int argc, char** argv) {
                    "    {\"name\": \"%s\", \"compile_ms\": %.4f, "
                    "\"verify_ms\": %.4f, \"ops\": %zu, "
                    "\"slots\": %d, \"arena_bytes\": %zu, "
-                   "\"no_reuse_bytes\": %zu, \"integer_layers\": %zu}%s\n",
+                   "\"no_reuse_bytes\": %zu, \"integer_layers\": %zu, "
+                   "\"optimize_ms\": %.4f, \"opt_ops\": %zu, "
+                   "\"opt_slots\": %d, \"opt_arena_bytes\": %zu}%s\n",
                    r.name.c_str(), r.best_ms, r.verify_ms, r.ops, r.slots,
-                   r.arena_bytes, r.no_reuse_bytes, r.integer_layers,
+                   r.arena_bytes, r.no_reuse_bytes, r.integer_layers, r.optimize_ms,
+                   r.opt_ops, r.opt_slots, r.opt_arena_bytes,
                    i + 1 == results.size() ? "" : ",");
     }
     std::fprintf(f, "  ]\n}\n");

@@ -1,0 +1,116 @@
+#include "deploy/arena.h"
+
+#include <algorithm>
+
+namespace cq::deploy {
+
+bool arena_alias_legal(OpKind kind) {
+  return kind == OpKind::Relu || kind == OpKind::EncodeAct ||
+         kind == OpKind::BatchNorm || kind == OpKind::Add ||
+         kind == OpKind::Flatten;
+}
+
+namespace {
+
+/// First-fit allocator over per-sample float intervals with a sorted,
+/// coalescing free list and a retreating frontier. The high-water mark
+/// only ever grows, so every offset handed out stays inside the arena.
+class FirstFit {
+ public:
+  std::size_t alloc(std::size_t size) {
+    for (std::size_t i = 0; i < free_.size(); ++i) {
+      if (free_[i].size < size) continue;
+      const std::size_t offset = free_[i].offset;
+      free_[i].offset += size;
+      free_[i].size -= size;
+      if (free_[i].size == 0) {
+        free_.erase(free_.begin() + static_cast<std::ptrdiff_t>(i));
+      }
+      return offset;
+    }
+    const std::size_t offset = end_;
+    end_ += size;
+    high_water_ = std::max(high_water_, end_);
+    return offset;
+  }
+
+  void release(std::size_t offset, std::size_t size) {
+    if (size == 0) return;
+    auto it = std::lower_bound(free_.begin(), free_.end(), offset,
+                               [](const Interval& iv, std::size_t off) {
+                                 return iv.offset < off;
+                               });
+    it = free_.insert(it, Interval{offset, size});
+    // Coalesce with the next and previous neighbours.
+    if (it + 1 != free_.end() && it->offset + it->size == (it + 1)->offset) {
+      it->size += (it + 1)->size;
+      free_.erase(it + 1);
+    }
+    if (it != free_.begin() && (it - 1)->offset + (it - 1)->size == it->offset) {
+      (it - 1)->size += it->size;
+      it = free_.erase(it) - 1;
+    }
+    // A free block touching the frontier retreats it (the space can be
+    // handed out again); the high-water mark is unaffected.
+    if (it->offset + it->size == end_) {
+      end_ = it->offset;
+      free_.erase(it);
+    }
+  }
+
+  std::size_t high_water() const { return high_water_; }
+
+ private:
+  struct Interval {
+    std::size_t offset = 0;
+    std::size_t size = 0;
+  };
+
+  std::vector<Interval> free_;  ///< sorted, coalesced free intervals
+  std::size_t end_ = 0;         ///< allocation frontier (may retreat)
+  std::size_t high_water_ = 0;
+};
+
+}  // namespace
+
+std::size_t plan_arena(const std::vector<PlanOp>& ops,
+                       std::vector<PlanSlot>& slots, int input_slot,
+                       int output_slot) {
+  const int num_ops = static_cast<int>(ops.size());
+  std::vector<int> last_use(slots.size(), -1);
+  for (int i = 0; i < num_ops; ++i) {
+    const PlanOp& op = ops[static_cast<std::size_t>(i)];
+    if (op.in0 >= 0) last_use[static_cast<std::size_t>(op.in0)] = i;
+    if (op.in1 >= 0) last_use[static_cast<std::size_t>(op.in1)] = i;
+  }
+  // The program output stays live past the last op.
+  last_use[static_cast<std::size_t>(output_slot)] = num_ops;
+
+  FirstFit arena;
+  slots[static_cast<std::size_t>(input_slot)].offset =
+      arena.alloc(slots[static_cast<std::size_t>(input_slot)].numel);
+
+  for (int i = 0; i < num_ops; ++i) {
+    const PlanOp& op = ops[static_cast<std::size_t>(i)];
+    const bool in0_dies =
+        op.in0 >= 0 && last_use[static_cast<std::size_t>(op.in0)] == i;
+    PlanSlot& out = slots[static_cast<std::size_t>(op.out)];
+    bool aliased = false;
+    if (arena_alias_legal(op.kind) && in0_dies) {
+      // Same element count by construction for every elementwise op.
+      out.offset = slots[static_cast<std::size_t>(op.in0)].offset;
+      aliased = true;
+    } else {
+      out.offset = arena.alloc(out.numel);
+    }
+    for (const int in : {op.in0, op.in1}) {
+      if (in < 0 || last_use[static_cast<std::size_t>(in)] != i) continue;
+      if (aliased && in == op.in0) continue;  // interval lives on as `out`
+      const PlanSlot& dead = slots[static_cast<std::size_t>(in)];
+      arena.release(dead.offset, dead.numel);
+    }
+  }
+  return arena.high_water();
+}
+
+}  // namespace cq::deploy

@@ -1,0 +1,31 @@
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "deploy/plan.h"
+
+namespace cq::deploy {
+
+/// True when `kind` may legally execute in place — its output interval
+/// may alias in0 when in0 dies at the op. Elementwise per-element maps
+/// (Relu, EncodeAct, BatchNorm, Add) plus Flatten (a pure reshape).
+/// One definition shared by the compiler's arena planner, the optimizer
+/// passes' re-planner, and the verifier's alias rule, so they cannot
+/// disagree about what aliasing is sound.
+bool arena_alias_legal(OpKind kind);
+
+/// Lifetime-based first-fit arena planner over a finished op program:
+/// assigns every slot's `offset` (slot `numel`s must already be set)
+/// by linear scan with a coalescing free list, releasing intervals at
+/// their last use and aliasing alias-legal ops in place. The program
+/// output stays live past the last op. Returns the high-water arena
+/// size in floats per sample; offsets scale linearly with batch N, so
+/// per-sample disjointness holds for every batch size. Used by
+/// compile_plan's datalayout stage and re-run by optimizer passes
+/// after op deletion so the fused plan's arena shrinks accordingly.
+std::size_t plan_arena(const std::vector<PlanOp>& ops,
+                       std::vector<PlanSlot>& slots, int input_slot,
+                       int output_slot);
+
+}  // namespace cq::deploy

@@ -93,6 +93,20 @@ class Backend {
 /// (im2col, activation codes) are backend-internal and excluded.
 std::size_t op_arena_bytes(const PlanOp& op, const ExecutionPlan& plan);
 
+/// Executes a compute op's fused epilogue stages in place on io.out
+/// (batch x out_numel_per_sample elements): BatchNorm -> residual Add
+/// (io.in1) -> Relu -> grid encode, as one elementwise pass applying
+/// the standalone ops' expressions in the standalone op order to each
+/// element in registers. Every stage maps element i from element i
+/// alone, so the single-pass folding — and chunking over `exec` —
+/// keeps the result byte-identical to running each deleted op
+/// separately. One shared implementation for every backend, so fused
+/// and unfused plans — and the backends among themselves — stay
+/// byte-identical. No-op when the op carries no epilogue flags.
+void apply_epilogue(const PlanOp& op, const BackendIo& io,
+                    std::size_t out_numel_per_sample,
+                    const util::ExecContext& exec = {});
+
 /// The registered backend implementations.
 enum class BackendKind { Scalar, Blocked };
 

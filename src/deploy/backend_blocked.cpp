@@ -286,22 +286,32 @@ void BlockedBackend::run(const PlanOp& op, const ExecutionPlan& plan,
     }
     const blocked::PackedCodes& packed = packed_[static_cast<std::size_t>(op.layer)];
     if (packed.usable) {
+      const std::size_t in_count =
+          op.kind == OpKind::IntConv
+              ? plan.slots()[static_cast<std::size_t>(op.in0)].numel *
+                    static_cast<std::size_t>(io.batch)
+              : static_cast<std::size_t>(op.in_features) *
+                    static_cast<std::size_t>(io.batch);
+      // Same input adoption as the scalar reference: cast pre-encoded
+      // grid codes, encode raw activations.
+      if (op.in_codes) {
+        cast_codes_into(io.in0, in_count, op.act_hi, op.act_bits, scratch.codes,
+                        exec);
+      } else {
+        encode_activations_into(io.in0, in_count, op.act_hi, op.act_bits,
+                                scratch.codes, exec);
+      }
       if (op.kind == OpKind::IntConv) {
-        encode_activations_into(io.in0,
-                                plan.slots()[static_cast<std::size_t>(op.in0)].numel *
-                                    static_cast<std::size_t>(io.batch),
-                                op.act_hi, op.act_bits, scratch.codes, exec);
         blocked::conv_forward_into(packed, scratch.codes, io.batch, op.in_c, op.in_h,
                                    op.in_w, op.kernel, op.stride, op.pad, io.out,
                                    scratch.int_cols, exec);
       } else {
-        encode_activations_into(io.in0,
-                                static_cast<std::size_t>(op.in_features) *
-                                    static_cast<std::size_t>(io.batch),
-                                op.act_hi, op.act_bits, scratch.codes, exec);
         blocked::linear_forward_into(packed, scratch.codes, io.batch, op.in_features,
                                      io.out, exec);
       }
+      // The shared epilogue keeps fused tails byte-identical to the
+      // scalar reference (and to the unfused plan).
+      apply_epilogue(op, io, plan.slots()[static_cast<std::size_t>(op.out)].numel, exec);
       return;
     }
   }

@@ -108,6 +108,7 @@ void ScalarBackend::run(const PlanOp& op, const ExecutionPlan& plan,
       return;
     }
     case OpKind::FloatConv: {
+      const std::size_t out_per_sample = slots[static_cast<std::size_t>(op.out)].numel;
       tensor::ConvGeometry g;
       g.in_c = op.in_c;
       g.in_h = op.in_h;
@@ -132,6 +133,7 @@ void ScalarBackend::run(const PlanOp& op, const ExecutionPlan& plan,
           for (int s = 0; s < spatial; ++s) plane[s] += b;
         }
       }
+      apply_epilogue(op, io, out_per_sample, exec);
       return;
     }
     case OpKind::FloatLinear: {
@@ -143,27 +145,40 @@ void ScalarBackend::run(const PlanOp& op, const ExecutionPlan& plan,
           row[k] += op.bias[static_cast<std::size_t>(k)];
         }
       }
+      apply_epilogue(op, io, slots[static_cast<std::size_t>(op.out)].numel, exec);
       return;
     }
     case OpKind::IntConv: {
-      encode_activations_into(in0,
-                              slots[static_cast<std::size_t>(op.in0)].numel *
-                                  static_cast<std::size_t>(batch),
-                              op.act_hi, op.act_bits, scratch.codes, exec);
+      const std::size_t in_count = slots[static_cast<std::size_t>(op.in0)].numel *
+                                   static_cast<std::size_t>(batch);
+      // in_codes inputs already hold grid codes (an ep_encode producer
+      // wrote them); adopting them is a cast, not a re-encode.
+      if (op.in_codes) {
+        cast_codes_into(in0, in_count, op.act_hi, op.act_bits, scratch.codes, exec);
+      } else {
+        encode_activations_into(in0, in_count, op.act_hi, op.act_bits, scratch.codes,
+                                exec);
+      }
       integer_conv_forward_into(
           plan.integer_layers()[static_cast<std::size_t>(op.layer)], scratch.codes,
           batch, op.in_c, op.in_h, op.in_w, op.kernel, op.stride, op.pad, out,
           scratch.int_cols, exec);
+      apply_epilogue(op, io, slots[static_cast<std::size_t>(op.out)].numel, exec);
       return;
     }
     case OpKind::IntLinear: {
-      encode_activations_into(in0,
-                              static_cast<std::size_t>(op.in_features) *
-                                  static_cast<std::size_t>(batch),
-                              op.act_hi, op.act_bits, scratch.codes, exec);
+      const std::size_t in_count = static_cast<std::size_t>(op.in_features) *
+                                   static_cast<std::size_t>(batch);
+      if (op.in_codes) {
+        cast_codes_into(in0, in_count, op.act_hi, op.act_bits, scratch.codes, exec);
+      } else {
+        encode_activations_into(in0, in_count, op.act_hi, op.act_bits, scratch.codes,
+                                exec);
+      }
       integer_linear_forward_into(
           plan.integer_layers()[static_cast<std::size_t>(op.layer)], scratch.codes,
           batch, op.in_features, out, exec);
+      apply_epilogue(op, io, slots[static_cast<std::size_t>(op.out)].numel, exec);
       return;
     }
   }

@@ -89,6 +89,27 @@ void encode_activations_into(const float* activations, std::size_t count, float 
   });
 }
 
+void cast_codes_into(const float* codes, std::size_t count, float hi, int bits,
+                     ActCodes& out, const util::ExecContext& exec) {
+  if (bits < 1 || bits > 16) {
+    throw std::invalid_argument("cast_codes: bits must be in [1, 16]");
+  }
+  if (hi <= 0.0f) {
+    throw std::invalid_argument("cast_codes: activation range must be positive");
+  }
+  out.bits = bits;
+  const int levels = quant::levels_for_bits(bits);
+  out.scale = hi / static_cast<float>(levels - 1);
+  out.codes.resize(count);
+  std::int32_t* dst = out.codes.data();
+  exec.parallel_for(0, static_cast<std::int64_t>(count),
+                    [=](std::int64_t lo, std::int64_t hi_i) {
+    for (std::int64_t i = lo; i < hi_i; ++i) {
+      dst[i] = static_cast<std::int32_t>(codes[i]);
+    }
+  });
+}
+
 tensor::Tensor integer_linear_forward(const IntegerLayer& layer, const ActCodes& acts,
                                       int batch, int in_features,
                                       const util::ExecContext& exec) {

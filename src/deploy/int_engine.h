@@ -66,6 +66,17 @@ void encode_activations_into(const float* activations, std::size_t count, float 
                              int bits, ActCodes& out,
                              const util::ExecContext& exec = {});
 
+/// Adopts activations that already *are* grid codes — integers stored
+/// as floats by a producer's ep_encode epilogue (all <= 65535, so the
+/// float representation is exact) — as an ActCodes buffer for the same
+/// [0, hi] x bits grid: one cast per element instead of the
+/// clamp/scale/round of a re-encode. By construction this yields the
+/// identical codes (and scale) encode_activations_into would have
+/// produced from the decoded values, which is what makes
+/// quantized-domain propagation byte-exact.
+void cast_codes_into(const float* codes, std::size_t count, float hi, int bits,
+                     ActCodes& out, const util::ExecContext& exec = {});
+
 /// Executes y[n,k] = s_w(k) * s_a * sum_j (2*q_w - (levels-1)) * q_a / 2
 /// + bias[k] over a [N, weights_per_filter] activation-code matrix
 /// with pure integer accumulation (std::int64_t, no wrap). This is the

@@ -1,0 +1,117 @@
+#include <cstddef>
+#include <utility>
+#include <vector>
+
+#include "deploy/passes/passes.h"
+
+namespace cq::deploy {
+
+namespace {
+
+/// Number of ops reading `slot` (in0 and in1 occurrences both count).
+std::size_t use_count(const std::vector<PlanOp>& ops, int slot) {
+  std::size_t uses = 0;
+  for (const PlanOp& op : ops) {
+    uses += static_cast<std::size_t>(op.in0 == slot);
+    uses += static_cast<std::size_t>(op.in1 == slot);
+  }
+  return uses;
+}
+
+/// Index of the op writing `slot`, or -1 (the plan input / not found).
+int def_index(const std::vector<PlanOp>& ops, int slot) {
+  for (std::size_t i = 0; i < ops.size(); ++i) {
+    if (ops[i].out == slot) return static_cast<int>(i);
+  }
+  return -1;
+}
+
+/// Can `tail` legally fold into compute op `x`? Epilogues execute in
+/// the fixed order BN -> Add -> Relu -> encode, so each stage may only
+/// be added while no later stage is present; ep_encode is terminal.
+bool can_fuse(const PlanOp& x, const PlanOp& tail) {
+  if (!is_compute_op(x.kind) || x.ep_encode) return false;
+  switch (tail.kind) {
+    case OpKind::BatchNorm:
+      // Per-channel over [C, H, W]: conv outputs only, matching width.
+      return !x.ep_bn && !x.ep_add && !x.ep_relu &&
+             (x.kind == OpKind::IntConv || x.kind == OpKind::FloatConv) &&
+             tail.in_c == x.out_c && tail.in_h == x.out_h &&
+             tail.in_w == x.out_w;
+    case OpKind::Add:
+      // Only the main path (in0) preserves the += accumulation order.
+      return !x.ep_add && !x.ep_relu && tail.in0 == x.out && tail.in1 >= 0 &&
+             tail.in1 != x.out;
+    case OpKind::Relu:
+      return !x.ep_relu;
+    default:
+      return false;
+  }
+}
+
+}  // namespace
+
+std::size_t pass_fuse_epilogue(ExecutionPlan& plan) {
+  PlanRewriter rw(plan);
+  std::vector<PlanOp>& ops = rw.ops();
+  std::size_t fused = 0;
+
+  // Fixpoint over single fusions: each round folds one elementwise tail
+  // into its producer and restarts, so chained tails (conv -> bn ->
+  // relu) collapse over successive rounds. Plans are ~1e2 ops; the
+  // quadratic restart is immaterial next to compile itself.
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    for (std::size_t y = 0; y < ops.size(); ++y) {
+      const PlanOp& tail = ops[y];
+      if (tail.kind != OpKind::BatchNorm && tail.kind != OpKind::Relu &&
+          tail.kind != OpKind::Add) {
+        continue;
+      }
+      const int x = def_index(ops, tail.in0);
+      if (x < 0 || !can_fuse(ops[static_cast<std::size_t>(x)], tail)) continue;
+      // The producer's value must be consumed by the tail alone — any
+      // other reader (or the plan output) still needs the pre-tail
+      // value, which the fused op no longer materializes.
+      if (ops[static_cast<std::size_t>(x)].out == rw.output_slot() ||
+          use_count(ops, ops[static_cast<std::size_t>(x)].out) != 1) {
+        continue;
+      }
+
+      // Merge: the compute op takes over the tail's position (sinking
+      // past any intervening ops is sound — none of them read its
+      // output, and slots are SSA) and writes the tail's slot. A live
+      // residual operand defined between x and y therefore stays
+      // intact: it is read at the fused op's (later) index.
+      PlanOp merged = std::move(ops[static_cast<std::size_t>(x)]);
+      merged.out = tail.out;
+      switch (tail.kind) {
+        case OpKind::BatchNorm:
+          merged.ep_bn = true;
+          merged.bn_mean = tail.bn_mean;
+          merged.bn_inv_std = tail.bn_inv_std;
+          merged.bn_gamma = tail.bn_gamma;
+          merged.bn_beta = tail.bn_beta;
+          break;
+        case OpKind::Add:
+          merged.ep_add = true;
+          merged.in1 = tail.in1;
+          break;
+        default:  // Relu, by can_fuse
+          merged.ep_relu = true;
+          break;
+      }
+      ops[y] = std::move(merged);
+      ops.erase(ops.begin() + x);
+      ++fused;
+      changed = true;
+      break;
+    }
+  }
+
+  if (fused > 0) pass_replan_arena(plan);
+  return fused;
+}
+
+}  // namespace cq::deploy

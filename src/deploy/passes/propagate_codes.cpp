@@ -1,0 +1,124 @@
+#include <cstddef>
+#include <vector>
+
+#include "deploy/passes/passes.h"
+
+namespace cq::deploy {
+
+namespace {
+
+/// The consumer closure of `root_slot` under code-transparency:
+/// follows MaxPool / Flatten (max commutes with the monotone encode; a
+/// flatten is a copy) and collects the integer ops that terminate each
+/// chain. The closure is propagation-legal when every terminal is an
+/// IntConv/IntLinear reading via in0 on one common activation grid, no
+/// closure slot is read as a residual operand (in1 needs real values)
+/// or is the plan output, and no float/AvgPool consumer appears.
+struct CodeClosure {
+  bool legal = false;
+  float hi = 0.0f;  ///< the common grid's clip bound
+  int bits = 0;     ///< the common grid's bit-width
+  std::vector<std::size_t> terminals;  ///< op indices of the Int consumers
+};
+
+CodeClosure code_closure(const std::vector<PlanOp>& ops, int root_slot,
+                         int output_slot) {
+  CodeClosure closure;
+  std::vector<int> frontier{root_slot};
+  bool have_grid = false;
+  while (!frontier.empty()) {
+    const int slot = frontier.back();
+    frontier.pop_back();
+    if (slot == output_slot) return closure;  // output must hold real values
+    bool consumed = false;
+    for (std::size_t j = 0; j < ops.size(); ++j) {
+      const PlanOp& op = ops[j];
+      if (op.in1 == slot) return closure;  // residual operand: blocked
+      if (op.in0 != slot) continue;
+      consumed = true;
+      if (op.kind == OpKind::MaxPool || op.kind == OpKind::Flatten) {
+        frontier.push_back(op.out);
+        continue;
+      }
+      const bool integer_op =
+          op.kind == OpKind::IntConv || op.kind == OpKind::IntLinear;
+      if (!integer_op || op.in_codes) return closure;
+      if (have_grid) {
+        if (op.act_hi != closure.hi || op.act_bits != closure.bits) {
+          return closure;  // mixed grids: composition is not exact
+        }
+      } else {
+        closure.hi = op.act_hi;
+        closure.bits = op.act_bits;
+        have_grid = true;
+      }
+      closure.terminals.push_back(j);
+    }
+    if (!consumed) return closure;  // dead transparent chain: leave it be
+  }
+  closure.legal = have_grid;
+  return closure;
+}
+
+}  // namespace
+
+std::size_t pass_propagate_codes(ExecutionPlan& plan) {
+  PlanRewriter rw(plan);
+  std::vector<PlanOp>& ops = rw.ops();
+  std::size_t changes = 0;
+
+  // Step 1: delete EncodeAct ops whose whole closure re-encodes on the
+  // identical grid. The consumers then encode the raw activations
+  // themselves; encode(quantize(x)) == encode(x) (quantize is monotone
+  // and scale * to_code rounds back to the same integer code), so the
+  // codes — and therefore every downstream byte — are unchanged.
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    for (std::size_t e = 0; e < ops.size(); ++e) {
+      if (ops[e].kind != OpKind::EncodeAct) continue;
+      const CodeClosure closure =
+          code_closure(ops, ops[e].out, rw.output_slot());
+      if (!closure.legal || closure.hi != ops[e].act_hi ||
+          closure.bits != ops[e].act_bits) {
+        continue;
+      }
+      const int from = ops[e].out;
+      const int to = ops[e].in0;
+      ops.erase(ops.begin() + static_cast<std::ptrdiff_t>(e));
+      for (PlanOp& op : ops) {
+        if (op.in0 == from) op.in0 = to;  // in1 uses blocked the closure
+      }
+      ++changes;
+      changed = true;
+      break;
+    }
+  }
+
+  // Step 2: where a compute op's closure feeds only integer consumers
+  // on one grid, emit grid codes from its epilogue (ep_encode uses the
+  // consumers' own clamp/scale/round expression) and cast on the
+  // consumer side (in_codes). Codes are integers <= 65535 stored in
+  // floats — exactly representable — so the cast returns the identical
+  // ActCodes the consumer's own encode would have produced.
+  for (std::size_t p = 0; p < ops.size(); ++p) {
+    PlanOp& producer = ops[p];
+    if (!is_compute_op(producer.kind) || producer.ep_encode) continue;
+    if (producer.out == rw.output_slot()) continue;
+    const CodeClosure closure =
+        code_closure(ops, producer.out, rw.output_slot());
+    if (!closure.legal) continue;
+    producer.ep_encode = true;
+    producer.out_hi = closure.hi;
+    producer.out_bits = closure.bits;
+    for (const std::size_t t : closure.terminals) {
+      ops[t].in_codes = true;
+    }
+    ++changes;
+  }
+
+  if (changes > 0) pass_replan_arena(plan);
+  return changes;
+}
+
+}  // namespace cq::deploy

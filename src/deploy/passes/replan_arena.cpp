@@ -1,0 +1,59 @@
+#include <cstddef>
+#include <vector>
+
+#include "deploy/arena.h"
+#include "deploy/passes/passes.h"
+
+namespace cq::deploy {
+
+std::size_t pass_replan_arena(ExecutionPlan& plan) {
+  PlanRewriter rw(plan);
+  std::vector<PlanOp>& ops = rw.ops();
+  std::vector<PlanSlot>& slots = rw.slots();
+  const std::size_t before = slots.size();
+
+  std::vector<char> used(slots.size(), 0);
+  const auto mark = [&](int slot) {
+    if (slot >= 0 && slot < static_cast<int>(used.size())) {
+      used[static_cast<std::size_t>(slot)] = 1;
+    }
+  };
+  mark(rw.input_slot());
+  mark(rw.output_slot());
+  for (const PlanOp& op : ops) {
+    mark(op.in0);
+    mark(op.in1);
+    mark(op.out);
+  }
+
+  // Renumber surviving slots in order; op deletion leaves orphaned slot
+  // records behind, and stale intervals would trip arena-bounds once
+  // the arena shrinks below them.
+  std::vector<int> remap(slots.size(), -1);
+  std::vector<PlanSlot> compact;
+  compact.reserve(slots.size());
+  for (std::size_t s = 0; s < slots.size(); ++s) {
+    if (used[s] == 0) continue;
+    remap[s] = static_cast<int>(compact.size());
+    compact.push_back(slots[s]);
+  }
+  const auto renumber = [&](int& slot) {
+    if (slot >= 0 && slot < static_cast<int>(remap.size())) {
+      slot = remap[static_cast<std::size_t>(slot)];
+    }
+  };
+  for (PlanOp& op : ops) {
+    renumber(op.in0);
+    renumber(op.in1);
+    renumber(op.out);
+  }
+  renumber(rw.input_slot());
+  renumber(rw.output_slot());
+  slots = std::move(compact);
+
+  rw.arena_floats() =
+      plan_arena(ops, slots, rw.input_slot(), rw.output_slot());
+  return before - slots.size();
+}
+
+}  // namespace cq::deploy

@@ -8,6 +8,7 @@
 #include <unordered_map>
 #include <utility>
 
+#include "deploy/arena.h"
 #include "deploy/verify.h"
 
 #include "nn/act_quant.h"
@@ -37,6 +38,15 @@ const char* op_kind_name(OpKind kind) {
     case OpKind::Add: return "add";
   }
   return "?";
+}
+
+std::string epilogue_suffix(const PlanOp& op) {
+  std::string suffix;
+  if (op.ep_bn) suffix += "+bn";
+  if (op.ep_add) suffix += "+add";
+  if (op.ep_relu) suffix += "+relu";
+  if (op.ep_encode) suffix += "->codes";
+  return suffix;
 }
 
 namespace {
@@ -410,113 +420,25 @@ class PlanCompiler {
     return emit(std::move(op));
   }
 
-  /// Maps values onto arena intervals: linear scan over the op
-  /// program, first-fit allocation from a coalescing free list, inputs
-  /// released at their last use. Elementwise ops whose input dies at
-  /// the op run in place (output aliases the input interval); Flatten
-  /// aliases for free. Offsets are per sample — scaling every offset
-  /// and size by the batch preserves disjointness, which is why one
-  /// compile-time layout serves every batch size.
+  /// Maps values onto arena intervals via the shared lifetime-based
+  /// first-fit planner (deploy/arena.h) — the same allocator optimizer
+  /// passes re-run after op deletion, so compile-time and rewritten
+  /// layouts obey identical rules.
   void plan_datalayout() {
-    const int num_ops = static_cast<int>(plan_.ops_.size());
-    std::vector<int> last_use(shapes_.size(), -1);
-    for (int i = 0; i < num_ops; ++i) {
-      const PlanOp& op = plan_.ops_[static_cast<std::size_t>(i)];
-      if (op.in0 >= 0) last_use[static_cast<std::size_t>(op.in0)] = i;
-      if (op.in1 >= 0) last_use[static_cast<std::size_t>(op.in1)] = i;
-    }
-    // The program output stays live past the last op.
-    last_use[static_cast<std::size_t>(plan_.output_slot_)] = num_ops;
-
     plan_.slots_.resize(shapes_.size());
     for (std::size_t s = 0; s < shapes_.size(); ++s) {
       plan_.slots_[s].shape = shapes_[s];
       plan_.slots_[s].numel = tensor::shape_numel(shapes_[s]);
     }
-
-    const auto place = [&](int value) {
-      PlanSlot& slot = plan_.slots_[static_cast<std::size_t>(value)];
-      slot.offset = alloc(slot.numel);
-    };
-    place(plan_.input_slot_);
-
-    for (int i = 0; i < num_ops; ++i) {
-      PlanOp& op = plan_.ops_[static_cast<std::size_t>(i)];
-      const bool elementwise = op.kind == OpKind::Relu || op.kind == OpKind::EncodeAct ||
-                               op.kind == OpKind::BatchNorm || op.kind == OpKind::Add ||
-                               op.kind == OpKind::Flatten;
-      const bool in0_dies = op.in0 >= 0 && last_use[static_cast<std::size_t>(op.in0)] == i;
-      PlanSlot& out = plan_.slots_[static_cast<std::size_t>(op.out)];
-      bool aliased = false;
-      if (elementwise && in0_dies) {
-        // Same element count by construction for every elementwise op.
-        out.offset = plan_.slots_[static_cast<std::size_t>(op.in0)].offset;
-        aliased = true;
-      } else {
-        out.offset = alloc(out.numel);
-      }
-      for (const int in : {op.in0, op.in1}) {
-        if (in < 0 || last_use[static_cast<std::size_t>(in)] != i) continue;
-        if (aliased && in == op.in0) continue;  // interval lives on as `out`
-        const PlanSlot& dead = plan_.slots_[static_cast<std::size_t>(in)];
-        release(dead.offset, dead.numel);
-      }
-    }
+    plan_.arena_floats_ = plan_arena(plan_.ops_, plan_.slots_,
+                                     plan_.input_slot_, plan_.output_slot_);
   }
-
-  std::size_t alloc(std::size_t size) {
-    for (std::size_t i = 0; i < free_.size(); ++i) {
-      if (free_[i].size < size) continue;
-      const std::size_t offset = free_[i].offset;
-      free_[i].offset += size;
-      free_[i].size -= size;
-      if (free_[i].size == 0) free_.erase(free_.begin() + static_cast<std::ptrdiff_t>(i));
-      return offset;
-    }
-    const std::size_t offset = end_;
-    end_ += size;
-    // arena_floats_ is the high-water mark: it only ever grows, so
-    // every offset handed out so far stays inside the arena.
-    plan_.arena_floats_ = std::max(plan_.arena_floats_, end_);
-    return offset;
-  }
-
-  void release(std::size_t offset, std::size_t size) {
-    if (size == 0) return;
-    auto it = std::lower_bound(free_.begin(), free_.end(), offset,
-                               [](const Interval& iv, std::size_t off) {
-                                 return iv.offset < off;
-                               });
-    it = free_.insert(it, Interval{offset, size});
-    // Coalesce with the next and previous neighbours.
-    if (it + 1 != free_.end() && it->offset + it->size == (it + 1)->offset) {
-      it->size += (it + 1)->size;
-      free_.erase(it + 1);
-    }
-    if (it != free_.begin() && (it - 1)->offset + (it - 1)->size == it->offset) {
-      (it - 1)->size += it->size;
-      it = free_.erase(it) - 1;
-    }
-    // A free block touching the frontier retreats it (the space can be
-    // handed out again); the high-water mark is unaffected.
-    if (it->offset + it->size == end_) {
-      end_ = it->offset;
-      free_.erase(it);
-    }
-  }
-
-  struct Interval {
-    std::size_t offset = 0;
-    std::size_t size = 0;
-  };
 
   const QuantizedArtifact& artifact_;
   std::unique_ptr<nn::Model> model_;
   std::unordered_map<const nn::Module*, int> integer_index_;
   std::vector<PlanOp> ops_;
   std::vector<tensor::Shape> shapes_;  ///< per-sample shape of each value
-  std::vector<Interval> free_;         ///< sorted, coalesced free intervals
-  std::size_t end_ = 0;                ///< allocation frontier (may retreat)
   ExecutionPlan plan_;
 };
 

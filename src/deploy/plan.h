@@ -63,8 +63,38 @@ struct PlanOp {
   // Frozen batch-norm state, precomputed per channel.
   std::vector<float> bn_mean, bn_inv_std, bn_gamma, bn_beta;
 
+  // Epilogue stage (optimizer-written; the compiler never sets these).
+  // A compute op (IntConv/IntLinear/FloatConv/FloatLinear) may carry a
+  // fused elementwise tail executed in place on its output, in the
+  // fixed order BatchNorm -> Add -> Relu -> encode — exactly the
+  // per-element expressions of the standalone ops, so fusion is
+  // byte-exact. ep_add reads the residual operand from in1.
+  bool ep_bn = false;      ///< fused frozen BatchNorm (bn_* vectors, out_c channels)
+  bool ep_add = false;     ///< fused residual add: out[i] += in1[i]
+  bool ep_relu = false;    ///< fused max(0, x)
+  // Quantized-domain propagation (optimizer-written): ep_encode makes
+  // the op emit activation codes on the (out_hi, out_bits) grid as
+  // float values (integral, <= 65535 — exactly representable); a
+  // consumer with in_codes casts them back instead of re-encoding,
+  // which deletes the decode -> EncodeAct round-trip bit-exactly.
+  bool ep_encode = false;  ///< quantize output onto (out_hi, out_bits) grid codes
+  float out_hi = 0.0f;     ///< output grid clip bound (ep_encode only)
+  int out_bits = 0;        ///< output grid bit-width (ep_encode only)
+  bool in_codes = false;   ///< in0 already holds grid codes for (act_hi, act_bits)
+
   std::string label;  ///< originating layer name, for listings
 };
+
+/// True when the op kind can carry epilogue fields (a MAC compute op
+/// whose backends run the fused tail inside the rescale stage).
+inline bool is_compute_op(OpKind kind) {
+  return kind == OpKind::IntConv || kind == OpKind::IntLinear ||
+         kind == OpKind::FloatConv || kind == OpKind::FloatLinear;
+}
+
+/// Compact "+bn+add+relu->codes" suffix for listings; empty when the
+/// op carries no epilogue.
+std::string epilogue_suffix(const PlanOp& op);
 
 /// One tensor slot: a per-sample interval of the execution arena. The
 /// buffer planner reuses intervals whose lifetimes do not overlap (and

@@ -18,6 +18,7 @@
 #include <algorithm>
 #include <string>
 
+#include "deploy/arena.h"
 #include "deploy/overflow.h"
 #include "quant/uniform.h"
 
@@ -36,6 +37,8 @@ const char* verify_rule_name(VerifyRule rule) {
     case VerifyRule::IntLayer: return "int-layer";
     case VerifyRule::CodeRange: return "code-range";
     case VerifyRule::Overflow: return "overflow";
+    case VerifyRule::Epilogue: return "epilogue";
+    case VerifyRule::CodeDomain: return "code-domain";
   }
   return "?";
 }
@@ -47,7 +50,8 @@ const std::vector<VerifyRule>& all_verify_rules() {
       VerifyRule::Shape,        VerifyRule::ArenaBounds,
       VerifyRule::ArenaOverlap, VerifyRule::Alias,
       VerifyRule::IntLayer,     VerifyRule::CodeRange,
-      VerifyRule::Overflow,
+      VerifyRule::Overflow,     VerifyRule::Epilogue,
+      VerifyRule::CodeDomain,
   };
   return rules;
 }
@@ -76,13 +80,10 @@ std::string format_diagnostics(const VerifyReport& report) {
 namespace {
 
 /// The ops the buffer planner may run in place (output interval ==
-/// in0 interval). Must stay in sync with plan_datalayout's set; the
+/// in0 interval) — the shared deploy/arena.h definition the planner
+/// itself allocates with, so planner and proof cannot diverge. The
 /// contract is "reads element i strictly before writing element i".
-bool elementwise_alias_legal(OpKind kind) {
-  return kind == OpKind::Relu || kind == OpKind::EncodeAct ||
-         kind == OpKind::BatchNorm || kind == OpKind::Add ||
-         kind == OpKind::Flatten;
-}
+bool elementwise_alias_legal(OpKind kind) { return arena_alias_legal(kind); }
 
 std::string shape_str(const tensor::Shape& shape) {
   return tensor::shape_to_string(shape);
@@ -100,6 +101,8 @@ class Verifier {
     check_shapes();
     check_arena();
     check_integer_path();
+    check_epilogue();
+    check_code_domain();
     return std::move(report_);
   }
 
@@ -136,16 +139,21 @@ class Verifier {
     for (int i = 0; i < num_ops_; ++i) {
       const PlanOp& op = plan_.ops()[static_cast<std::size_t>(i)];
       check_use(i, op.in0, "in0");
-      if (op.kind == OpKind::Add) {
+      // in1 is the residual operand: present exactly on Add ops and on
+      // compute ops carrying a fused ep_add epilogue.
+      if (op.kind == OpKind::Add || op.ep_add) {
         if (op.in1 < 0) {
           add(VerifyRule::DanglingIn1, i, op.in1,
-              "Add op is missing its second input");
+              op.kind == OpKind::Add
+                  ? "Add op is missing its second input"
+                  : "ep_add epilogue is missing its residual operand");
         } else {
           check_use(i, op.in1, "in1");
         }
       } else if (op.in1 >= 0) {
         add(VerifyRule::DanglingIn1, i, op.in1,
-            std::string("in1 set on a non-Add op (") + op_kind_name(op.kind) + ")");
+            std::string("in1 set on an op that is neither Add nor ep_add (") +
+                op_kind_name(op.kind) + ")");
       }
       if (!slot_ok(op.out)) {
         add(VerifyRule::SingleAssignment, i, op.out,
@@ -554,6 +562,122 @@ class Verifier {
                 " terms) is not certified to fit int64");
       }
       report_.certificates.push_back(cert);
+    }
+  }
+
+  /// Rule 5: epilogue legality. Fused flags live only on compute ops;
+  /// each stage's preconditions mirror the standalone op it replaces
+  /// (ep_bn is per-channel over the conv output, ep_add needs a
+  /// shape-matched residual operand, ep_encode a well-formed grid).
+  void check_epilogue() {
+    for (int i = 0; i < num_ops_; ++i) {
+      const PlanOp& op = plan_.ops()[static_cast<std::size_t>(i)];
+      if (!is_compute_op(op.kind)) {
+        if (op.ep_bn || op.ep_add || op.ep_relu || op.ep_encode ||
+            op.in_codes) {
+          add(VerifyRule::Epilogue, i, -1,
+              std::string("epilogue/in_codes flags on non-compute op ") +
+                  op_kind_name(op.kind));
+        }
+        continue;
+      }
+      if (op.ep_bn) {
+        if (op.kind != OpKind::IntConv && op.kind != OpKind::FloatConv) {
+          add(VerifyRule::Epilogue, i, -1,
+              "ep_bn on a linear op — batch-norm is per-channel over [C, H, W]");
+        } else {
+          const auto channels = static_cast<std::size_t>(op.out_c);
+          if (op.bn_mean.size() != channels ||
+              op.bn_inv_std.size() != channels ||
+              op.bn_gamma.size() != channels ||
+              op.bn_beta.size() != channels) {
+            add(VerifyRule::Epilogue, i, -1,
+                "ep_bn per-channel vectors do not all have " +
+                    std::to_string(op.out_c) + " entries");
+          }
+        }
+      }
+      if (op.ep_add && slot_ok(op.in1) && slot_ok(op.out) &&
+          slot(op.in1).shape != slot(op.out).shape) {
+        add(VerifyRule::Epilogue, i, op.in1,
+            "ep_add residual operand shape " + shape_str(slot(op.in1).shape) +
+                " does not match the output shape " +
+                shape_str(slot(op.out).shape));
+      }
+      if (op.ep_encode) {
+        if (op.out_bits < 1 || op.out_bits > 16) {
+          add(VerifyRule::Epilogue, i, -1,
+              "ep_encode output bits " + std::to_string(op.out_bits) +
+                  " outside the encodable [1, 16]");
+        }
+        if (!(op.out_hi > 0.0f)) {
+          add(VerifyRule::Epilogue, i, -1,
+              "ep_encode output clip bound is not positive");
+        }
+      }
+    }
+  }
+
+  /// Rule 6: code-domain typing. An ep_encode output holds integer
+  /// grid codes (stored as floats); the typing flows through the
+  /// code-transparent MaxPool/Flatten and must be consumed exclusively
+  /// by in_codes integer ops whose activation grid matches exactly —
+  /// anything else would read codes as real values (or re-encode
+  /// already-encoded data) and silently change inference bytes.
+  void check_code_domain() {
+    struct SlotGrid {
+      float hi = 0.0f;
+      int bits = 0;
+      bool codes = false;
+    };
+    std::vector<SlotGrid> domain(static_cast<std::size_t>(num_slots_));
+    for (int i = 0; i < num_ops_; ++i) {
+      const PlanOp& op = plan_.ops()[static_cast<std::size_t>(i)];
+      const bool integer_op =
+          op.kind == OpKind::IntConv || op.kind == OpKind::IntLinear;
+      if (slot_ok(op.in0)) {
+        const SlotGrid in = domain[static_cast<std::size_t>(op.in0)];
+        const bool transparent =
+            op.kind == OpKind::MaxPool || op.kind == OpKind::Flatten;
+        if (in.codes) {
+          if (integer_op && op.in_codes) {
+            if (in.hi != op.act_hi || in.bits != op.act_bits) {
+              add(VerifyRule::CodeDomain, i, op.in0,
+                  "code-typed input grid (" + std::to_string(in.hi) + ", " +
+                      std::to_string(in.bits) +
+                      "b) does not match the op's activation grid (" +
+                      std::to_string(op.act_hi) + ", " +
+                      std::to_string(op.act_bits) + "b)");
+            }
+          } else if (!transparent) {
+            add(VerifyRule::CodeDomain, i, op.in0,
+                std::string("code-typed slot consumed by ") +
+                    op_kind_name(op.kind) +
+                    " which expects real activation values");
+          }
+        } else if (integer_op && op.in_codes) {
+          add(VerifyRule::CodeDomain, i, op.in0,
+              "in_codes set but in0 does not hold grid codes");
+        }
+      }
+      if (slot_ok(op.in1) && domain[static_cast<std::size_t>(op.in1)].codes) {
+        add(VerifyRule::CodeDomain, i, op.in1,
+            "code-typed slot used as a residual operand");
+      }
+      if (!slot_ok(op.out)) continue;
+      SlotGrid out;
+      if (is_compute_op(op.kind) && op.ep_encode) {
+        out = {op.out_hi, op.out_bits, true};
+      } else if ((op.kind == OpKind::MaxPool || op.kind == OpKind::Flatten) &&
+                 slot_ok(op.in0)) {
+        out = domain[static_cast<std::size_t>(op.in0)];
+      }
+      domain[static_cast<std::size_t>(op.out)] = out;
+    }
+    const int output = plan_.output_slot();
+    if (slot_ok(output) && domain[static_cast<std::size_t>(output)].codes) {
+      add(VerifyRule::CodeDomain, -1, output,
+          "the plan output slot holds grid codes, not class scores");
     }
   }
 

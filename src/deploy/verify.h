@@ -15,7 +15,7 @@ namespace cq::deploy {
 enum class VerifyRule {
   DefBeforeUse,      ///< every operand slot is defined before the op reads it
   SingleAssignment,  ///< each slot is written by at most one op (SSA values)
-  DanglingIn1,       ///< in1 is present exactly on Add ops
+  DanglingIn1,       ///< in1 is present exactly on Add ops and ep_add epilogues
   IoSlots,           ///< plan input/output slots exist, are reachable, match
                      ///  sample_shape / num_classes
   Shape,             ///< each op's output shape re-derives from its inputs
@@ -31,6 +31,13 @@ enum class VerifyRule {
                      ///  (the premise of the overflow bound); pruned rows zero
   Overflow,          ///< the recomputed accumulator bound certifies int64
                      ///  safety (and fixes the int32 fast-path decision)
+  Epilogue,          ///< fused epilogue flags only on compute ops, with legal
+                     ///  stages (ep_bn conv-only with out_c channel vectors,
+                     ///  ep_add shape-matched, ep_encode a well-formed grid)
+  CodeDomain,        ///< slots holding grid codes (ep_encode outputs, tracked
+                     ///  through MaxPool/Flatten) are consumed only by
+                     ///  in_codes integer ops on the identical grid — the
+                     ///  rescale-composition exactness propagation relies on
 };
 
 /// Stable kebab-case rule mnemonic ("def-before-use", "arena-overlap",

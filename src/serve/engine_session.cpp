@@ -5,6 +5,7 @@
 #include <stdexcept>
 #include <utility>
 
+#include "deploy/passes/passes.h"
 #include "deploy/verify.h"
 #include "tensor/ops.h"
 
@@ -31,15 +32,25 @@ int required_contexts(int contexts) {
   return contexts;
 }
 
+/// Compile, then (at kO1) run the optimizer pass pipeline. Every pass
+/// is byte-exact and re-verified, so the session's outputs are
+/// independent of the opt level.
+deploy::ExecutionPlan compile_session_plan(const deploy::QuantizedArtifact& artifact,
+                                           PlanOpt opt) {
+  deploy::ExecutionPlan plan = deploy::compile_plan(artifact);
+  if (opt == PlanOpt::kO1) deploy::optimize_plan(plan);
+  return plan;
+}
+
 }  // namespace
 
 EngineSession::EngineSession(const deploy::QuantizedArtifact& artifact, int contexts,
                              util::ExecContext exec,
                              std::unique_ptr<deploy::Backend> backend,
-                             PlanCheck check)
+                             PlanCheck check, PlanOpt opt)
     : EngineSession((required_contexts(contexts),
                      std::make_shared<const deploy::ExecutionPlan>(
-                         deploy::compile_plan(artifact))),
+                         compile_session_plan(artifact, opt))),
                     contexts, exec, std::move(backend), check) {}
 
 EngineSession::EngineSession(deploy::ExecutionPlan plan, int contexts,

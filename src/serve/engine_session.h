@@ -25,6 +25,16 @@ namespace cq::serve {
 /// pass through rewriting stages.
 enum class PlanCheck { kNone, kStrict };
 
+/// Whether the artifact constructor runs deploy::optimize_plan over
+/// the freshly compiled plan before serving it. kO1 (the default)
+/// applies the full pass pipeline — epilogue fusion, quantized-domain
+/// propagation, arena re-planning — which is byte-exact, so outputs
+/// are identical either way. kO0 serves the plan exactly as
+/// deploy::compile_plan emitted it: the escape hatch, and the baseline
+/// side of A/B perf comparisons. The pre-compiled-plan constructors
+/// never optimize — a handed-over plan's shape belongs to the caller.
+enum class PlanOpt { kO0, kO1 };
+
 /// Inference session interpreting a compiled deploy::ExecutionPlan.
 ///
 /// An EngineSession is the servable unit of the deployment story. The
@@ -59,15 +69,17 @@ enum class PlanCheck { kNone, kStrict };
 /// to serial execution at any thread count.
 class EngineSession {
  public:
-  /// Compiles the artifact internally and builds the session with
-  /// `contexts` concurrent execution contexts (>= 1), an intra-op
-  /// execution context (default: serial kernels), and a kernel backend
-  /// (default: the scalar reference). Throws deploy::ArtifactError on
-  /// malformed artifacts.
+  /// Compiles the artifact internally — and, at the default PlanOpt::kO1,
+  /// runs the deploy::optimize_plan pass pipeline over the result — and
+  /// builds the session with `contexts` concurrent execution contexts
+  /// (>= 1), an intra-op execution context (default: serial kernels),
+  /// and a kernel backend (default: the scalar reference). Throws
+  /// deploy::ArtifactError on malformed artifacts.
   explicit EngineSession(const deploy::QuantizedArtifact& artifact, int contexts = 1,
                          util::ExecContext exec = {},
                          std::unique_ptr<deploy::Backend> backend = nullptr,
-                         PlanCheck check = PlanCheck::kNone);
+                         PlanCheck check = PlanCheck::kNone,
+                         PlanOpt opt = PlanOpt::kO1);
 
   /// Interprets a pre-compiled plan (compile once, build sessions
   /// cheaply — e.g. one per shard of a fleet). PlanCheck::kStrict

@@ -32,7 +32,7 @@ Server::Server(const deploy::QuantizedArtifact& artifact, ServerConfig config)
                       : nullptr),
       session_(artifact, config_.workers,
                util::ExecContext{intra_pool_.get(), config_.intra_threads},
-               deploy::make_backend(config_.backend)),
+               deploy::make_backend(config_.backend), PlanCheck::kNone, config_.opt),
       scheduler_(scheduler_config(config_)),
       pool_(config_.workers),
       submitted_(metrics_.counter("requests_submitted", "requests accepted by submit()")),

@@ -33,6 +33,11 @@ struct ServerConfig {
   /// blocked/packed integer backend. Both are byte-identical, so this
   /// only trades execution speed.
   deploy::BackendKind backend = deploy::BackendKind::Scalar;
+  /// Plan optimization level for the compiled artifact: PlanOpt::kO1
+  /// (default) runs the deploy::optimize_plan pipeline — byte-exact, so
+  /// it only trades execution speed; PlanOpt::kO0 serves the plan as
+  /// compiled (escape hatch / A-B baseline).
+  PlanOpt opt = PlanOpt::kO1;
   int max_batch = 16;           ///< micro-batch flush size
   long max_wait_us = 200;       ///< micro-batch flush age
   std::size_t queue_capacity = 1024;  ///< bounded request queue depth

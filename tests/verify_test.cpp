@@ -22,6 +22,7 @@
 
 #include "deploy/backend.h"
 #include "deploy/overflow.h"
+#include "deploy/passes/passes.h"
 #include "deploy/plan.h"
 #include "deploy/verify.h"
 #include "quant/uniform.h"
@@ -208,6 +209,73 @@ TEST(PlanVerify, InvalidActBitsFailOverflowCertification) {
   // accumulator bound fire on the same op.
   EXPECT_TRUE(has_finding(report, VerifyRule::IntLayer, linear));
   EXPECT_TRUE(has_finding(report, VerifyRule::Overflow, linear));
+}
+
+TEST(PlanVerify, EpilogueFlagOnNonComputeOpIsEpilogue) {
+  ExecutionPlan plan = vgg_plan();
+  PlanRewriter rw(plan);
+  const int relu = find_op(plan, OpKind::Relu);
+  ASSERT_GE(relu, 0);
+  // Epilogue stages only exist on compute ops; a Relu claiming one is
+  // optimizer-pass output the backends would silently ignore.
+  rw.ops()[static_cast<std::size_t>(relu)].ep_relu = true;
+  EXPECT_TRUE(has_finding(verify_plan(plan), VerifyRule::Epilogue, relu));
+}
+
+TEST(PlanVerify, FusedBnVectorSizeMismatchIsEpilogue) {
+  ExecutionPlan plan = resnet_plan();
+  optimize_plan(plan);
+  PlanRewriter rw(plan);
+  int fused = -1;
+  for (std::size_t i = 0; i < plan.ops().size(); ++i) {
+    if (plan.ops()[i].ep_bn) fused = static_cast<int>(i);
+  }
+  ASSERT_GE(fused, 0) << "optimizer produced no BN epilogues on ResNet20";
+  rw.ops()[static_cast<std::size_t>(fused)].bn_gamma.pop_back();
+  EXPECT_TRUE(has_finding(verify_plan(plan), VerifyRule::Epilogue, fused));
+}
+
+TEST(PlanVerify, InCodesWithoutCodeProducerIsCodeDomain) {
+  ExecutionPlan plan = vgg_plan();
+  PlanRewriter rw(plan);
+  const int conv = find_op(plan, OpKind::IntConv);
+  ASSERT_GE(conv, 0);
+  // The unoptimized plan's conv inputs are quantized *activations*
+  // (EncodeAct output), not integer codes; adopting them as codes
+  // would silently mis-scale the whole layer.
+  rw.ops()[static_cast<std::size_t>(conv)].in_codes = true;
+  EXPECT_TRUE(has_finding(verify_plan(plan), VerifyRule::CodeDomain, conv));
+}
+
+TEST(PlanVerify, CodeConsumerGridMismatchIsCodeDomain) {
+  ExecutionPlan plan = resnet_plan();
+  optimize_plan(plan);
+  PlanRewriter rw(plan);
+  int consumer = -1;
+  for (std::size_t i = 0; i < plan.ops().size(); ++i) {
+    if (plan.ops()[i].in_codes) consumer = static_cast<int>(i);
+  }
+  ASSERT_GE(consumer, 0) << "optimizer propagated no codes on ResNet20";
+  // The consumer now decodes on a different grid than its producer
+  // encoded on — exactly the inexact-rescale case propagation must
+  // never produce.
+  ++rw.ops()[static_cast<std::size_t>(consumer)].act_bits;
+  EXPECT_TRUE(has_finding(verify_plan(plan), VerifyRule::CodeDomain, consumer));
+}
+
+TEST(PlanVerify, CodeTypedSlotConsumedRawIsCodeDomain) {
+  ExecutionPlan plan = resnet_plan();
+  optimize_plan(plan);
+  PlanRewriter rw(plan);
+  int consumer = -1;
+  for (std::size_t i = 0; i < plan.ops().size(); ++i) {
+    if (plan.ops()[i].in_codes) consumer = static_cast<int>(i);
+  }
+  ASSERT_GE(consumer, 0);
+  // The producer still writes integer codes; a consumer treating them
+  // as raw activations would re-encode the code values themselves.
+  rw.ops()[static_cast<std::size_t>(consumer)].in_codes = false;
+  EXPECT_TRUE(has_finding(verify_plan(plan), VerifyRule::CodeDomain, consumer));
 }
 
 TEST(PlanVerify, StrictSessionServesCleanPlans) {

@@ -4,15 +4,21 @@
 // deployment-side counterpart of examples/export_and_deploy.
 //
 // Usage: cqar_info <model.cqar> [--verify] [--plan] [--profile]
-//                               [--backend=NAME] [--runs=N] [--batch=N]
+//                               [--optimize=0|1] [--backend=NAME]
+//                               [--runs=N] [--batch=N]
 //   --verify   additionally instantiate the model (full structural
 //              check), compile the ExecutionPlan, and run the static
-//              plan verifier (deploy/verify.h) — any invariant finding
-//              prints as a diagnostic table and fails the run
+//              plan verifier (deploy/verify.h) over both the compiled
+//              and the optimized plan — any invariant finding prints
+//              as a diagnostic table and fails the run
 //   --plan     compile the deployment ExecutionPlan and print its op
-//              listing (kind, shapes, bits, slots, arena offsets, and
-//              which kernel implementation the selected backend
-//              dispatches each op to) plus the planned arena size
+//              listing (kind, shapes, bits, slots, arena offsets,
+//              fused epilogue stages, and which kernel implementation
+//              the selected backend dispatches each op to) plus the
+//              planned arena size. With --optimize (the default) the
+//              deploy::optimize_plan pass pipeline runs first and the
+//              per-pass log + op-count/arena deltas print after the
+//              listing; --optimize=0 shows the plan as compiled
 //   --profile  compile the plan, run `runs` random batches of `batch`
 //              samples through a profiled serving session
 //              (obs::PlanProfiler) and print where the wall time goes:
@@ -32,6 +38,7 @@
 
 #include "deploy/artifact.h"
 #include "deploy/backend.h"
+#include "deploy/passes/passes.h"
 #include "deploy/plan.h"
 #include "deploy/verify.h"
 #include "nn/models/model.h"
@@ -80,7 +87,8 @@ int main(int argc, char** argv) {
   if (argc < 2 || argv[1][0] == '-') {
     std::fprintf(stderr,
                  "usage: cqar_info <model.cqar> [--verify] [--plan] [--profile] "
-                 "[--backend=scalar|blocked] [--runs=16] [--batch=8]\n");
+                 "[--optimize=0|1] [--backend=scalar|blocked] [--runs=16] "
+                 "[--batch=8]\n");
     return 2;
   }
   const std::string path = argv[1];
@@ -146,13 +154,19 @@ int main(int argc, char** argv) {
     return 2;  // usage error, not a corrupted artifact
   }
 
+  const bool optimize = cli.get_bool("optimize", true);
+
   if (cli.get_bool("plan", false)) {
     try {
-      const deploy::ExecutionPlan plan = deploy::compile_plan(artifact);
+      deploy::ExecutionPlan plan = deploy::compile_plan(artifact);
+      const std::size_t ops_compiled = plan.ops().size();
+      const std::size_t arena_compiled = plan.arena_bytes();
+      deploy::OptimizeReport opt;
+      if (optimize) opt = deploy::optimize_plan(plan);
       const auto backend = deploy::make_backend(backend_kind);
       backend->prepare(plan);
       util::Table ops({"#", "op", "layer", "slots", "out shape", "bits",
-                       "arena off", "backend"});
+                       "epilogue", "arena off", "backend"});
       for (std::size_t i = 0; i < plan.ops().size(); ++i) {
         const deploy::PlanOp& op = plan.ops()[i];
         const deploy::PlanSlot& out = plan.slots()[static_cast<std::size_t>(op.out)];
@@ -162,14 +176,35 @@ int main(int argc, char** argv) {
         const bool has_bits = op.kind == deploy::OpKind::EncodeAct ||
                               op.kind == deploy::OpKind::IntConv ||
                               op.kind == deploy::OpKind::IntLinear;
+        // Fused epilogue stages plus the input domain: "codes>" marks
+        // an op adopting pre-encoded grid codes from its producer.
+        std::string fused = deploy::epilogue_suffix(op);
+        if (op.in_codes) fused = "codes>" + fused;
         ops.add_row({std::to_string(i), deploy::op_kind_name(op.kind),
                      op.label.empty() ? "-" : op.label, slots,
                      cq::tensor::shape_to_string(out.shape),
                      has_bits ? std::to_string(op.act_bits) : "-",
-                     std::to_string(out.offset), backend->dispatch(op)});
+                     fused.empty() ? "-" : fused, std::to_string(out.offset),
+                     backend->dispatch(op)});
       }
-      std::printf("\nexecution plan (backend %s)\n%s\n", backend->name(),
-                  ops.render().c_str());
+      std::printf("\nexecution plan (backend %s, %s)\n%s\n", backend->name(),
+                  optimize ? "optimized" : "as compiled", ops.render().c_str());
+      if (optimize) {
+        util::Table passes({"pass", "ops", "arena floats/sample", "changes"});
+        for (const deploy::PassResult& p : opt.passes) {
+          passes.add_row({p.name,
+                          std::to_string(p.ops_before) + " -> " +
+                              std::to_string(p.ops_after),
+                          std::to_string(p.arena_before) + " -> " +
+                              std::to_string(p.arena_after),
+                          std::to_string(p.changes)});
+        }
+        std::printf("optimizer passes\n%s\n", passes.render().c_str());
+        std::printf("optimizer    : %zu -> %zu ops (%zu removed), arena "
+                    "%zu -> %zu B/sample\n",
+                    ops_compiled, plan.ops().size(), opt.ops_removed(),
+                    arena_compiled, plan.arena_bytes());
+      }
       std::printf("plan         : %zu ops, %d slots, %zu integer layers, "
                   "arena %zu B/sample\n",
                   plan.ops().size(), plan.slot_count(), plan.integer_layers().size(),
@@ -259,29 +294,38 @@ int main(int argc, char** argv) {
       return 1;
     }
     // Static plan verification: compile the IR and prove the invariant
-    // catalog (dataflow, shapes, arena lifetimes, overflow bounds).
+    // catalog (dataflow, shapes, arena lifetimes, overflow bounds) —
+    // over the plan as compiled and again after the optimizer pass
+    // pipeline, since serving defaults to the optimized plan.
     try {
-      const deploy::ExecutionPlan plan = deploy::compile_plan(artifact);
-      const deploy::VerifyReport report = deploy::verify_plan(plan);
-      if (!report.clean()) {
-        util::Table findings({"op", "rule", "slot", "message"});
-        for (const deploy::PlanDiagnostic& d : report.diagnostics) {
-          findings.add_row({d.op >= 0 ? std::to_string(d.op) : "-",
-                            deploy::verify_rule_name(d.rule),
-                            d.slot >= 0 ? std::to_string(d.slot) : "-", d.message});
+      deploy::ExecutionPlan plan = deploy::compile_plan(artifact);
+      const auto verify_one = [](const char* which,
+                                 const deploy::ExecutionPlan& p) -> bool {
+        const deploy::VerifyReport report = deploy::verify_plan(p);
+        if (!report.clean()) {
+          util::Table findings({"op", "rule", "slot", "message"});
+          for (const deploy::PlanDiagnostic& d : report.diagnostics) {
+            findings.add_row({d.op >= 0 ? std::to_string(d.op) : "-",
+                              deploy::verify_rule_name(d.rule),
+                              d.slot >= 0 ? std::to_string(d.slot) : "-", d.message});
+          }
+          std::printf("plan verify  : FAILED (%s) — %zu finding(s)\n%s\n", which,
+                      report.diagnostics.size(), findings.render().c_str());
+          return false;
         }
-        std::printf("plan verify  : FAILED — %zu finding(s)\n%s\n",
-                    report.diagnostics.size(), findings.render().c_str());
-        return 1;
-      }
-      int narrow = 0;
-      for (const deploy::IntOpCertificate& cert : report.certificates) {
-        narrow += cert.int32_fast_path ? 1 : 0;
-      }
-      std::printf("plan verify  : OK — %zu rules checked, %zu integer ops "
-                  "certified (int32 fast path on %d)\n",
-                  deploy::all_verify_rules().size(), report.certificates.size(),
-                  narrow);
+        int narrow = 0;
+        for (const deploy::IntOpCertificate& cert : report.certificates) {
+          narrow += cert.int32_fast_path ? 1 : 0;
+        }
+        std::printf("plan verify  : OK (%s) — %zu rules checked, %zu integer "
+                    "ops certified (int32 fast path on %d)\n",
+                    which, deploy::all_verify_rules().size(),
+                    report.certificates.size(), narrow);
+        return true;
+      };
+      if (!verify_one("as compiled", plan)) return 1;
+      deploy::optimize_plan(plan);
+      if (!verify_one("optimized", plan)) return 1;
     } catch (const std::exception& e) {
       std::fprintf(stderr, "cqar_info: plan verification failed — %s\n", e.what());
       return 1;

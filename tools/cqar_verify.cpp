@@ -8,12 +8,16 @@
 // diagnostic table and turns the exit status nonzero, so CI can gate
 // the model zoo on "plans verify clean" the same way it gates tests.
 //
-// Usage: cqar_verify [--zoo] [--certs] [<model.cqar>...]
-//   --zoo    also verify the three built-in zoo models (VggSmall,
-//            Mlp, ResNet20 — fabricated in process, the same fixtures
-//            the plan/backend test suites pin byte-identity against)
-//   --certs  print the per-integer-op overflow certificates (bound,
-//            accumulator width, int32 fast-path decision)
+// Usage: cqar_verify [--zoo] [--certs] [--optimize] [<model.cqar>...]
+//   --zoo       also verify the three built-in zoo models (VggSmall,
+//               Mlp, ResNet20 — fabricated in process, the same fixtures
+//               the plan/backend test suites pin byte-identity against)
+//   --certs     print the per-integer-op overflow certificates (bound,
+//               accumulator width, int32 fast-path decision)
+//   --optimize  additionally run the deploy::optimize_plan pass
+//               pipeline over each plan and verify the optimized plan
+//               too (shown as "<name> +opt") — the shape serving
+//               actually defaults to
 //
 // Exit status: 0 when every plan verifies clean, 1 on any finding or
 // unloadable/uncompilable artifact, 2 for usage errors.
@@ -23,6 +27,7 @@
 #include <vector>
 
 #include "deploy/artifact.h"
+#include "deploy/passes/passes.h"
 #include "deploy/plan.h"
 #include "deploy/verify.h"
 #include "serve_fixtures.h"
@@ -72,7 +77,26 @@ bool verify_one(const std::string& name, const deploy::ExecutionPlan& plan,
   return report.clean();
 }
 
-bool verify_artifact(const std::string& path, bool print_certs) {
+/// Verifies the compiled plan and, when `optimize` is set, runs the
+/// optimizer pass pipeline on it and verifies the result as
+/// "<name> +opt". Returns true only when every verified shape is
+/// clean; an optimizer throw (a pass left the plan failing
+/// verification) counts as a failure, not a crash.
+bool verify_plan_shapes(const std::string& name, deploy::ExecutionPlan plan,
+                        bool print_certs, bool optimize) {
+  bool clean = verify_one(name, plan, print_certs);
+  if (!optimize) return clean;
+  try {
+    deploy::optimize_plan(plan);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "cqar_verify: %s: optimizer failed — %s\n", name.c_str(),
+                 e.what());
+    return false;
+  }
+  return verify_one(name + " +opt", plan, print_certs) && clean;
+}
+
+bool verify_artifact(const std::string& path, bool print_certs, bool optimize) {
   deploy::QuantizedArtifact artifact;
   try {
     artifact = deploy::load_artifact(path);
@@ -81,7 +105,8 @@ bool verify_artifact(const std::string& path, bool print_certs) {
     return false;
   }
   try {
-    return verify_one(path, deploy::compile_plan(artifact), print_certs);
+    return verify_plan_shapes(path, deploy::compile_plan(artifact), print_certs,
+                              optimize);
   } catch (const std::exception& e) {
     std::fprintf(stderr, "cqar_verify: %s: plan compilation failed — %s\n",
                  path.c_str(), e.what());
@@ -95,6 +120,7 @@ int main(int argc, char** argv) {
   const util::Cli cli(argc, argv);
   const bool zoo = cli.get_bool("zoo", false);
   const bool certs = cli.get_bool("certs", false);
+  const bool optimize = cli.get_bool("optimize", false);
 
   std::vector<std::string> paths;
   for (int i = 1; i < argc; ++i) {
@@ -103,29 +129,32 @@ int main(int argc, char** argv) {
     paths.push_back(arg);
   }
   if (paths.empty() && !zoo) {
-    std::fprintf(stderr, "usage: cqar_verify [--zoo] [--certs] [<model.cqar>...]\n");
+    std::fprintf(stderr,
+                 "usage: cqar_verify [--zoo] [--certs] [--optimize] "
+                 "[<model.cqar>...]\n");
     return 2;
   }
 
   bool all_clean = true;
   for (const std::string& path : paths) {
-    all_clean = verify_artifact(path, certs) && all_clean;
+    all_clean = verify_artifact(path, certs, optimize) && all_clean;
   }
   if (zoo) {
     // The same fabricated zoo the plan/backend byte-identity suites
     // run; a compiler change that breaks an invariant for any of the
     // three architectures fails here without needing artifact files.
-    all_clean =
-        verify_one("zoo:vgg_small",
-                   deploy::compile_plan(serve::tiny_vgg_artifact()), certs) &&
-        all_clean;
-    all_clean = verify_one("zoo:mlp", deploy::compile_plan(serve::tiny_mlp_artifact()),
-                           certs) &&
+    all_clean = verify_plan_shapes("zoo:vgg_small",
+                                   deploy::compile_plan(serve::tiny_vgg_artifact()),
+                                   certs, optimize) &&
                 all_clean;
-    all_clean =
-        verify_one("zoo:resnet20",
-                   deploy::compile_plan(serve::tiny_resnet_artifact()), certs) &&
-        all_clean;
+    all_clean = verify_plan_shapes("zoo:mlp",
+                                   deploy::compile_plan(serve::tiny_mlp_artifact()),
+                                   certs, optimize) &&
+                all_clean;
+    all_clean = verify_plan_shapes("zoo:resnet20",
+                                   deploy::compile_plan(serve::tiny_resnet_artifact()),
+                                   certs, optimize) &&
+                all_clean;
   }
   return all_clean ? 0 : 1;
 }
