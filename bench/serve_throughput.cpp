@@ -243,11 +243,12 @@ int main(int argc, char** argv) {
                    "\"p50_us\": %.0f, \"p95_us\": %.0f, \"p99_us\": %.0f, "
                    "\"mean_batch\": %.2f, \"p50_queue_us\": %.0f, "
                    "\"p95_queue_us\": %.0f, \"p50_exec_us\": %.0f, "
-                   "\"p95_exec_us\": %.0f}%s\n",
+                   "\"p95_exec_us\": %.0f, \"failed\": %zu, \"shed\": %zu}%s\n",
                    row.combo.workers, row.combo.intra, row.r.rps, row.r.stats.p50_us,
                    row.r.stats.p95_us, row.r.stats.p99_us, row.r.stats.mean_batch,
                    row.r.stats.p50_queue_us, row.r.stats.p95_queue_us,
                    row.r.stats.p50_exec_us, row.r.stats.p95_exec_us,
+                   row.r.stats.failed, row.r.stats.shed,
                    i + 1 == sweep_rows.size() ? "" : ",");
     }
     std::fprintf(f, "  ],\n  \"profile\": %s\n}\n", profile.to_json().c_str());

@@ -1,0 +1,65 @@
+#include "net/client.h"
+
+#include <utility>
+
+namespace cq::net {
+
+Frame Client::call(Frame request) {
+  request.request_id = next_id_++;
+  send_frame(socket_, request);
+  Frame reply;
+  if (!recv_frame(socket_, decoder_, reply)) {
+    throw NetError("net: server closed the connection before replying");
+  }
+  if (reply.request_id != request.request_id) {
+    throw ProtocolError("net: reply id " + std::to_string(reply.request_id) +
+                        " does not match request id " +
+                        std::to_string(request.request_id));
+  }
+  return reply;
+}
+
+Client::InferResult Client::infer(const std::string& model,
+                                  const tensor::Tensor& sample) {
+  Frame request;
+  request.type = FrameType::kInfer;
+  request.model = model;
+  request.tensor = sample;
+  Frame reply = call(std::move(request));
+
+  InferResult result;
+  switch (reply.type) {
+    case FrameType::kResult:
+      result.admitted = true;
+      result.logits = std::move(reply.tensor);
+      return result;
+    case FrameType::kBusy:
+      result.admitted = false;
+      result.reason = std::move(reply.message);
+      return result;
+    case FrameType::kError:
+      throw RemoteError(reply.message);
+    default:
+      throw ProtocolError(std::string("net: unexpected ") +
+                          frame_type_name(reply.type) + " reply to infer");
+  }
+}
+
+Client::ModelInfo Client::info(const std::string& model) {
+  Frame request;
+  request.type = FrameType::kInfo;
+  request.model = model;
+  Frame reply = call(std::move(request));
+  if (reply.type == FrameType::kError) throw RemoteError(reply.message);
+  if (reply.type != FrameType::kInfoReply) {
+    throw ProtocolError(std::string("net: unexpected ") +
+                        frame_type_name(reply.type) + " reply to info");
+  }
+  ModelInfo info;
+  info.sample_shape = std::move(reply.sample_shape);
+  info.num_classes = reply.num_classes;
+  info.version = reply.model_version;
+  return info;
+}
+
+}  // namespace cq::net

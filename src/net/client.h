@@ -1,0 +1,63 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "net/socket.h"
+#include "tensor/tensor.h"
+
+namespace cq::net {
+
+/// Server answered kError: the request can not succeed as posed
+/// (unknown model, malformed request, execution failure). Distinct
+/// from kBusy, which is a retryable load-shed and is reported in-band
+/// through InferResult rather than thrown.
+class RemoteError : public std::runtime_error {
+ public:
+  explicit RemoteError(const std::string& what) : std::runtime_error(what) {}
+};
+
+/// Blocking protocol client over one connection: the remote face of
+/// serve::ModelRegistry. One request is in flight at a time per
+/// Client; drive several Clients for concurrency (cq_serve_bench
+/// --connect opens one per submitter thread). Not thread-safe.
+class Client {
+ public:
+  Client(const std::string& host, std::uint16_t port)
+      : socket_(tcp_connect(host, port)) {}
+
+  /// Input contract of one served model, as the server reports it.
+  struct ModelInfo {
+    tensor::Shape sample_shape;
+    int num_classes = 0;
+    int version = 0;  ///< registry hot-swap version currently serving
+  };
+
+  /// Outcome of one inference round trip. `admitted` is false when the
+  /// server shed the request (kBusy) — `reason` says why and the
+  /// request may be retried; on admission `logits` holds the
+  /// [num_classes] response row.
+  struct InferResult {
+    bool admitted = false;
+    tensor::Tensor logits;
+    std::string reason;
+  };
+
+  /// Round-trips one sample. Throws RemoteError on a kError reply,
+  /// NetError/ProtocolError on transport trouble.
+  InferResult infer(const std::string& model, const tensor::Tensor& sample);
+
+  /// Asks for a model's input shape / class count / serving version.
+  ModelInfo info(const std::string& model);
+
+ private:
+  /// Sends `request` (stamping a fresh id) and blocks for the matching
+  /// reply; throws ProtocolError if the server echoes the wrong id.
+  Frame call(Frame request);
+
+  Socket socket_;
+  FrameDecoder decoder_;
+  std::uint64_t next_id_ = 1;
+};
+
+}  // namespace cq::net

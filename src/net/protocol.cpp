@@ -1,0 +1,348 @@
+#include "net/protocol.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <cstring>
+
+namespace cq::net {
+
+namespace {
+
+// Explicit little-endian serialization: the wire format is defined in
+// bytes, not in whatever the host happens to store, and byte-wise
+// loads/stores are also immune to alignment traps on strict targets.
+
+void put_u16(std::vector<std::uint8_t>& out, std::uint16_t v) {
+  out.push_back(static_cast<std::uint8_t>(v & 0xffu));
+  out.push_back(static_cast<std::uint8_t>((v >> 8) & 0xffu));
+}
+
+void put_u32(std::vector<std::uint8_t>& out, std::uint32_t v) {
+  for (int i = 0; i < 4; ++i) {
+    out.push_back(static_cast<std::uint8_t>((v >> (8 * i)) & 0xffu));
+  }
+}
+
+void put_u64(std::vector<std::uint8_t>& out, std::uint64_t v) {
+  for (int i = 0; i < 8; ++i) {
+    out.push_back(static_cast<std::uint8_t>((v >> (8 * i)) & 0xffu));
+  }
+}
+
+void put_f32(std::vector<std::uint8_t>& out, float v) {
+  std::uint32_t bits = 0;
+  std::memcpy(&bits, &v, sizeof(bits));
+  put_u32(out, bits);
+}
+
+/// Bounded big-endian-free reader over one frame's bytes; every read
+/// checks the remaining length so a lying header can never run past
+/// the buffer.
+class Reader {
+ public:
+  Reader(const std::uint8_t* data, std::size_t size) : data_(data), size_(size) {}
+
+  std::size_t remaining() const { return size_ - pos_; }
+
+  std::uint16_t u16() {
+    require(2, "u16");
+    const std::uint16_t v = static_cast<std::uint16_t>(
+        static_cast<std::uint16_t>(data_[pos_]) |
+        static_cast<std::uint16_t>(data_[pos_ + 1]) << 8);
+    pos_ += 2;
+    return v;
+  }
+
+  std::uint32_t u32() {
+    require(4, "u32");
+    std::uint32_t v = 0;
+    for (int i = 0; i < 4; ++i) {
+      v |= static_cast<std::uint32_t>(data_[pos_ + static_cast<std::size_t>(i)])
+           << (8 * i);
+    }
+    pos_ += 4;
+    return v;
+  }
+
+  std::uint64_t u64() {
+    require(8, "u64");
+    std::uint64_t v = 0;
+    for (int i = 0; i < 8; ++i) {
+      v |= static_cast<std::uint64_t>(data_[pos_ + static_cast<std::size_t>(i)])
+           << (8 * i);
+    }
+    pos_ += 8;
+    return v;
+  }
+
+  float f32() {
+    const std::uint32_t bits = u32();
+    float v = 0.0f;
+    std::memcpy(&v, &bits, sizeof(v));
+    return v;
+  }
+
+  std::string bytes(std::size_t n, const char* what) {
+    require(n, what);
+    std::string s(reinterpret_cast<const char*>(data_ + pos_), n);
+    pos_ += n;
+    return s;
+  }
+
+ private:
+  void require(std::size_t n, const char* what) const {
+    if (size_ - pos_ < n) {
+      throw ProtocolError(std::string("net: truncated frame body reading ") + what);
+    }
+  }
+
+  const std::uint8_t* data_;
+  std::size_t size_;
+  std::size_t pos_ = 0;
+};
+
+std::string read_name(Reader& r) {
+  const std::size_t len = r.u16();
+  if (len == 0 || len > kMaxModelName) {
+    throw ProtocolError("net: model name length " + std::to_string(len) +
+                        " outside [1, " + std::to_string(kMaxModelName) + "]");
+  }
+  return r.bytes(len, "model name");
+}
+
+std::string read_message(Reader& r) {
+  const std::size_t len = r.u16();
+  if (len > kMaxMessage) {
+    throw ProtocolError("net: message length " + std::to_string(len) + " exceeds " +
+                        std::to_string(kMaxMessage));
+  }
+  return r.bytes(len, "message");
+}
+
+tensor::Shape read_shape(Reader& r) {
+  const std::size_t rank = r.bytes(1, "rank")[0] & 0xffu;
+  if (rank == 0 || rank > kMaxRank) {
+    throw ProtocolError("net: tensor rank " + std::to_string(rank) + " outside [1, " +
+                        std::to_string(kMaxRank) + "]");
+  }
+  tensor::Shape shape;
+  shape.reserve(rank);
+  for (std::size_t i = 0; i < rank; ++i) {
+    const std::uint32_t dim = r.u32();
+    if (dim == 0 || dim > kMaxDim) {
+      throw ProtocolError("net: tensor dim " + std::to_string(dim) + " outside [1, " +
+                          std::to_string(kMaxDim) + "]");
+    }
+    shape.push_back(static_cast<int>(dim));
+  }
+  return shape;
+}
+
+tensor::Tensor read_tensor(Reader& r) {
+  const tensor::Shape shape = read_shape(r);
+  const std::size_t numel = tensor::shape_numel(shape);
+  // The frame length already passed the kMaxFrameBytes gate, so this
+  // check is exact bookkeeping, not a size cap: the remaining bytes
+  // must be precisely the declared payload.
+  if (r.remaining() != numel * 4) {
+    throw ProtocolError("net: tensor payload is " + std::to_string(r.remaining()) +
+                        " bytes but shape " + tensor::shape_to_string(shape) +
+                        " requires " + std::to_string(numel * 4));
+  }
+  std::vector<float> values(numel);
+  for (float& v : values) v = r.f32();
+  return {shape, std::move(values)};
+}
+
+void write_name(std::vector<std::uint8_t>& out, const std::string& name) {
+  if (name.empty() || name.size() > kMaxModelName) {
+    throw ProtocolError("net: model name length " + std::to_string(name.size()) +
+                        " outside [1, " + std::to_string(kMaxModelName) + "]");
+  }
+  put_u16(out, static_cast<std::uint16_t>(name.size()));
+  out.insert(out.end(), name.begin(), name.end());
+}
+
+void write_message(std::vector<std::uint8_t>& out, const std::string& message) {
+  // Truncate rather than reject: a reason string is advisory, and an
+  // over-long exception message must not make the reply unsendable.
+  const std::size_t len = std::min(message.size(), kMaxMessage);
+  put_u16(out, static_cast<std::uint16_t>(len));
+  out.insert(out.end(), message.begin(), message.begin() + static_cast<long>(len));
+}
+
+void write_shape(std::vector<std::uint8_t>& out, const tensor::Shape& shape) {
+  if (shape.empty() || shape.size() > kMaxRank) {
+    throw ProtocolError("net: tensor rank " + std::to_string(shape.size()) +
+                        " outside [1, " + std::to_string(kMaxRank) + "]");
+  }
+  out.push_back(static_cast<std::uint8_t>(shape.size()));
+  for (const int dim : shape) {
+    if (dim <= 0 || static_cast<std::uint32_t>(dim) > kMaxDim) {
+      throw ProtocolError("net: tensor dim " + std::to_string(dim) + " outside [1, " +
+                          std::to_string(kMaxDim) + "]");
+    }
+    put_u32(out, static_cast<std::uint32_t>(dim));
+  }
+}
+
+void write_tensor(std::vector<std::uint8_t>& out, const tensor::Tensor& tensor) {
+  write_shape(out, tensor.shape());
+  for (const float v : tensor.span()) put_f32(out, v);
+}
+
+}  // namespace
+
+bool frame_type_known(std::uint16_t value) {
+  return value >= static_cast<std::uint16_t>(FrameType::kInfer) &&
+         value <= static_cast<std::uint16_t>(FrameType::kInfoReply);
+}
+
+const char* frame_type_name(FrameType type) {
+  switch (type) {
+    case FrameType::kInfer: return "infer";
+    case FrameType::kResult: return "result";
+    case FrameType::kError: return "error";
+    case FrameType::kBusy: return "busy";
+    case FrameType::kInfo: return "info";
+    case FrameType::kInfoReply: return "info_reply";
+  }
+  return "unknown";
+}
+
+std::vector<std::uint8_t> encode_frame(const Frame& frame) {
+  std::vector<std::uint8_t> out;
+  out.reserve(64 + frame.tensor.numel() * 4);
+  put_u32(out, 0);  // length placeholder, patched below
+  put_u32(out, kMagic);
+  put_u16(out, kVersion);
+  put_u16(out, static_cast<std::uint16_t>(frame.type));
+  put_u64(out, frame.request_id);
+  switch (frame.type) {
+    case FrameType::kInfer:
+      write_name(out, frame.model);
+      write_tensor(out, frame.tensor);
+      break;
+    case FrameType::kResult:
+      write_tensor(out, frame.tensor);
+      break;
+    case FrameType::kError:
+    case FrameType::kBusy:
+      write_message(out, frame.message);
+      break;
+    case FrameType::kInfo:
+      write_name(out, frame.model);
+      break;
+    case FrameType::kInfoReply:
+      write_shape(out, frame.sample_shape);
+      put_u32(out, static_cast<std::uint32_t>(frame.num_classes));
+      put_u32(out, static_cast<std::uint32_t>(frame.model_version));
+      break;
+  }
+  const std::size_t length = out.size() - 4;
+  if (length > kMaxFrameBytes) {
+    throw ProtocolError("net: frame of " + std::to_string(length) +
+                        " bytes exceeds kMaxFrameBytes");
+  }
+  for (int i = 0; i < 4; ++i) {
+    out[static_cast<std::size_t>(i)] =
+        static_cast<std::uint8_t>((length >> (8 * i)) & 0xffu);
+  }
+  return out;
+}
+
+void FrameDecoder::feed(const std::uint8_t* data, std::size_t size) {
+  if (failed_) return;  // poisoned; the connection should be closing
+  // Reclaim the parsed prefix before growing, so a long-lived
+  // connection's buffer stays proportional to one frame, not the
+  // session history.
+  if (consumed_ > 0) {
+    buffer_.erase(buffer_.begin(), buffer_.begin() + static_cast<long>(consumed_));
+    consumed_ = 0;
+  }
+  buffer_.insert(buffer_.end(), data, data + size);
+}
+
+bool FrameDecoder::next(Frame& out) {
+  if (failed_) throw ProtocolError("net: decoder already failed");
+  const std::size_t avail = buffer_.size() - consumed_;
+  if (avail < 4) return false;
+  const std::uint8_t* p = buffer_.data() + consumed_;
+  std::uint32_t length = 0;
+  for (int i = 0; i < 4; ++i) {
+    length |= static_cast<std::uint32_t>(p[i]) << (8 * i);
+  }
+  try {
+    // The length word is validated *before* waiting for the body: an
+    // oversized or undersized claim is rejected on its first 4 bytes,
+    // so garbage can never make the decoder buffer unboundedly.
+    if (length > kMaxFrameBytes) {
+      throw ProtocolError("net: frame length " + std::to_string(length) +
+                          " exceeds kMaxFrameBytes (" +
+                          std::to_string(kMaxFrameBytes) + ")");
+    }
+    if (length < 16) {
+      throw ProtocolError("net: frame length " + std::to_string(length) +
+                          " shorter than the fixed header");
+    }
+    if (avail - 4 < length) return false;  // partial frame: wait for more bytes
+
+    Reader r(p + 4, length);
+    const std::uint32_t magic = r.u32();
+    if (magic != kMagic) {
+      throw ProtocolError("net: bad magic 0x" + [magic] {
+        char buf[16];
+        std::snprintf(buf, sizeof(buf), "%08x", magic);
+        return std::string(buf);
+      }());
+    }
+    const std::uint16_t version = r.u16();
+    if (version != kVersion) {
+      throw ProtocolError("net: unsupported protocol version " +
+                          std::to_string(version) + " (expected " +
+                          std::to_string(kVersion) + ")");
+    }
+    const std::uint16_t type = r.u16();
+    if (!frame_type_known(type)) {
+      throw ProtocolError("net: unknown frame type " + std::to_string(type));
+    }
+
+    Frame frame;
+    frame.type = static_cast<FrameType>(type);
+    frame.request_id = r.u64();
+    switch (frame.type) {
+      case FrameType::kInfer:
+        frame.model = read_name(r);
+        frame.tensor = read_tensor(r);
+        break;
+      case FrameType::kResult:
+        frame.tensor = read_tensor(r);
+        break;
+      case FrameType::kError:
+      case FrameType::kBusy:
+        frame.message = read_message(r);
+        break;
+      case FrameType::kInfo:
+        frame.model = read_name(r);
+        break;
+      case FrameType::kInfoReply:
+        frame.sample_shape = read_shape(r);
+        frame.num_classes = static_cast<std::int32_t>(r.u32());
+        frame.model_version = static_cast<std::int32_t>(r.u32());
+        break;
+    }
+    if (r.remaining() != 0) {
+      throw ProtocolError("net: frame carries " + std::to_string(r.remaining()) +
+                          " trailing bytes after its " +
+                          std::string(frame_type_name(frame.type)) + " body");
+    }
+    consumed_ += 4 + static_cast<std::size_t>(length);
+    out = std::move(frame);
+    return true;
+  } catch (const ProtocolError&) {
+    failed_ = true;
+    throw;
+  }
+}
+
+}  // namespace cq::net

@@ -1,0 +1,115 @@
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "tensor/tensor.h"
+
+namespace cq::net {
+
+/// Thrown for any malformed frame: bad magic, unsupported version,
+/// unknown type, oversized or inconsistent lengths, payload that does
+/// not match its declared shape. A stream that raised ProtocolError
+/// cannot be resynchronized (framing is length-prefixed, and a corrupt
+/// length word poisons everything after it) — the connection must be
+/// closed.
+class ProtocolError : public std::runtime_error {
+ public:
+  explicit ProtocolError(const std::string& what) : std::runtime_error(what) {}
+};
+
+/// Frame types of the cq serving protocol, version 1.
+///
+/// The client sends kInfer (one sample for one named model) and kInfo
+/// (ask for a model's input contract); the server answers kResult
+/// (logits), kBusy (load shed — the request was *not* executed and may
+/// be retried), kError (the request cannot succeed as posed: unknown
+/// model, malformed frame, execution failure), or kInfoReply.
+enum class FrameType : std::uint16_t {
+  kInfer = 1,
+  kResult = 2,
+  kError = 3,
+  kBusy = 4,
+  kInfo = 5,
+  kInfoReply = 6,
+};
+
+/// True for the six types above; decode rejects everything else.
+bool frame_type_known(std::uint16_t value);
+const char* frame_type_name(FrameType type);
+
+/// One protocol frame, either direction. Wire layout (all integers
+/// little-endian):
+///
+///   u32 length     bytes that follow this word (header + body)
+///   u32 magic      0x43514E31 ("CQN1")
+///   u16 version    1
+///   u16 type       FrameType
+///   u64 request_id echoed verbatim in the reply to the request
+///   ...body        per-type, see below
+///
+/// Bodies:
+///   kInfer:     u16 name_len, name bytes, u8 rank, u32 dim[rank], f32 data[]
+///   kResult:    u8 rank, u32 dim[rank], f32 data[]
+///   kError:     u16 message_len, message bytes
+///   kBusy:      u16 message_len, message bytes
+///   kInfo:      u16 name_len, name bytes
+///   kInfoReply: u8 rank, u32 dim[rank], i32 num_classes, i32 model_version
+///
+/// The payload of kInfer/kResult must satisfy: rank in [1, kMaxRank],
+/// every dim in [1, kMaxDim], and the float payload exactly
+/// numel * 4 bytes — a frame whose length disagrees with its declared
+/// shape is rejected, never partially accepted.
+struct Frame {
+  FrameType type = FrameType::kError;
+  std::uint64_t request_id = 0;
+  std::string model;           ///< kInfer / kInfo: target model name
+  tensor::Tensor tensor;       ///< kInfer: sample; kResult: logits
+  std::string message;         ///< kError / kBusy: reason
+  tensor::Shape sample_shape;  ///< kInfoReply: per-sample input shape
+  std::int32_t num_classes = 0;    ///< kInfoReply
+  std::int32_t model_version = 0;  ///< kInfoReply: registry version serving
+};
+
+inline constexpr std::uint32_t kMagic = 0x43514E31;  // "CQN1"
+inline constexpr std::uint16_t kVersion = 1;
+/// Hard cap on one frame (length word), shared by encoder and decoder:
+/// an adversarial or corrupt length can never make a peer buffer more
+/// than this before the frame is rejected.
+inline constexpr std::size_t kMaxFrameBytes = std::size_t{16} << 20;  // 16 MiB
+inline constexpr std::size_t kMaxModelName = 256;
+inline constexpr std::size_t kMaxMessage = 4096;
+inline constexpr std::size_t kMaxRank = 8;
+inline constexpr std::uint32_t kMaxDim = 1u << 24;
+
+/// Serializes one frame (validating the same limits decode enforces;
+/// throws ProtocolError when the frame cannot be represented).
+std::vector<std::uint8_t> encode_frame(const Frame& frame);
+
+/// Incremental frame parser over a byte stream. feed() appends raw
+/// bytes in whatever chunks the transport delivered them; next() yields
+/// complete frames in order and returns false while the buffered prefix
+/// is still partial. Malformed input throws ProtocolError and poisons
+/// the decoder (failed() stays true; next() keeps throwing) — close the
+/// connection, nothing after a framing error can be trusted.
+class FrameDecoder {
+ public:
+  void feed(const std::uint8_t* data, std::size_t size);
+  bool next(Frame& out);
+
+  bool failed() const { return failed_; }
+  /// Bytes buffered but not yet consumed by next().
+  std::size_t pending_bytes() const { return buffer_.size() - consumed_; }
+  /// True when no partial frame is buffered — a clean stream end.
+  bool at_frame_boundary() const { return pending_bytes() == 0; }
+
+ private:
+  std::vector<std::uint8_t> buffer_;
+  std::size_t consumed_ = 0;  ///< fully parsed prefix, reclaimed lazily
+  bool failed_ = false;
+};
+
+}  // namespace cq::net

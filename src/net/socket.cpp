@@ -1,0 +1,175 @@
+#include "net/socket.h"
+
+#include <arpa/inet.h>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+namespace cq::net {
+
+namespace {
+
+std::string errno_message(const std::string& what) {
+  return what + ": " + std::strerror(errno);
+}
+
+}  // namespace
+
+Socket& Socket::operator=(Socket&& other) noexcept {
+  if (this != &other) {
+    close();
+    fd_ = other.fd_;
+    other.fd_ = -1;
+  }
+  return *this;
+}
+
+void Socket::close() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+void Socket::set_nonblocking(bool enabled) {
+  const int flags = ::fcntl(fd_, F_GETFL, 0);
+  if (flags < 0) throw NetError(errno_message("net: fcntl(F_GETFL)"));
+  const int next = enabled ? (flags | O_NONBLOCK) : (flags & ~O_NONBLOCK);
+  if (::fcntl(fd_, F_SETFL, next) < 0) {
+    throw NetError(errno_message("net: fcntl(F_SETFL)"));
+  }
+}
+
+void Socket::send_all(const void* data, std::size_t size) {
+  const char* p = static_cast<const char*>(data);
+  std::size_t sent = 0;
+  while (sent < size) {
+    // MSG_NOSIGNAL: a vanished peer must surface as EPIPE here, not as
+    // a process-killing SIGPIPE.
+    const ssize_t n = ::send(fd_, p + sent, size - sent, MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      throw NetError(errno_message("net: send"));
+    }
+    sent += static_cast<std::size_t>(n);
+  }
+}
+
+std::size_t Socket::send_some(const void* data, std::size_t size) {
+  for (;;) {
+    const ssize_t n = ::send(fd_, data, size, MSG_NOSIGNAL);
+    if (n >= 0) return static_cast<std::size_t>(n);
+    if (errno == EINTR) continue;
+    if (errno == EAGAIN || errno == EWOULDBLOCK) return kAgain;
+    throw NetError(errno_message("net: send"));
+  }
+}
+
+std::size_t Socket::recv_some(void* data, std::size_t size) {
+  for (;;) {
+    const ssize_t n = ::recv(fd_, data, size, 0);
+    if (n >= 0) return static_cast<std::size_t>(n);
+    if (errno == EINTR) continue;
+    if (errno == EAGAIN || errno == EWOULDBLOCK) return kAgain;
+    throw NetError(errno_message("net: recv"));
+  }
+}
+
+Listener::Listener(std::uint16_t port, bool loopback_only, int backlog) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) throw NetError(errno_message("net: socket"));
+  socket_ = Socket(fd);
+
+  const int one = 1;
+  ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  addr.sin_addr.s_addr = htonl(loopback_only ? INADDR_LOOPBACK : INADDR_ANY);
+  if (::bind(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) < 0) {
+    throw NetError(errno_message("net: bind port " + std::to_string(port)));
+  }
+  if (::listen(fd, backlog) < 0) throw NetError(errno_message("net: listen"));
+
+  sockaddr_in bound{};
+  socklen_t len = sizeof(bound);
+  if (::getsockname(fd, reinterpret_cast<sockaddr*>(&bound), &len) < 0) {
+    throw NetError(errno_message("net: getsockname"));
+  }
+  port_ = ntohs(bound.sin_port);
+}
+
+Socket Listener::accept() {
+  for (;;) {
+    const int fd = ::accept(socket_.fd(), nullptr, nullptr);
+    if (fd >= 0) {
+      Socket conn(fd);
+      const int one = 1;
+      // Request/response framing is latency-bound; never Nagle-delay a
+      // reply that fits one segment.
+      ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+      return conn;
+    }
+    if (errno == EINTR) continue;
+    if (errno == EAGAIN || errno == EWOULDBLOCK || errno == ECONNABORTED) {
+      return Socket{};
+    }
+    throw NetError(errno_message("net: accept"));
+  }
+}
+
+Socket tcp_connect(const std::string& host, std::uint16_t port) {
+  const std::string node = (host == "localhost") ? "127.0.0.1" : host;
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  if (::inet_pton(AF_INET, node.c_str(), &addr.sin_addr) != 1) {
+    throw NetError("net: cannot parse IPv4 address '" + host + "'");
+  }
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) throw NetError(errno_message("net: socket"));
+  Socket conn(fd);
+  for (;;) {
+    if (::connect(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) == 0) {
+      break;
+    }
+    if (errno == EINTR) continue;
+    throw NetError(errno_message("net: connect " + host + ":" + std::to_string(port)));
+  }
+  const int one = 1;
+  ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+  return conn;
+}
+
+void send_frame(Socket& socket, const Frame& frame) {
+  const std::vector<std::uint8_t> bytes = encode_frame(frame);
+  socket.send_all(bytes.data(), bytes.size());
+}
+
+bool recv_frame(Socket& socket, FrameDecoder& decoder, Frame& out) {
+  if (decoder.next(out)) return true;  // a buffered frame from a prior read
+  std::uint8_t chunk[4096];
+  for (;;) {
+    const std::size_t n = socket.recv_some(chunk, sizeof(chunk));
+    if (n == Socket::kAgain) {
+      // Blocking-socket contract; a nonblocking caller uses the
+      // decoder directly from its event loop instead.
+      throw NetError("net: recv_frame on a nonblocking socket would block");
+    }
+    if (n == 0) {
+      if (decoder.at_frame_boundary()) return false;  // clean EOF
+      throw NetError("net: peer disconnected mid-frame (" +
+                     std::to_string(decoder.pending_bytes()) + " bytes pending)");
+    }
+    decoder.feed(chunk, n);
+    if (decoder.next(out)) return true;
+  }
+}
+
+}  // namespace cq::net

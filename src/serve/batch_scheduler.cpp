@@ -28,6 +28,17 @@ bool BatchScheduler::push(Request& request) {
   return true;
 }
 
+BatchScheduler::PushResult BatchScheduler::try_push(Request& request) {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (closed_) return PushResult::kClosed;
+    if (queue_.size() >= config_.capacity) return PushResult::kFull;
+    queue_.push_back(std::move(request));
+  }
+  not_empty_.notify_one();
+  return PushResult::kOk;
+}
+
 bool BatchScheduler::pop_batch(std::vector<Request>& batch) {
   batch.clear();
   std::unique_lock<std::mutex> lock(mutex_);

@@ -55,6 +55,15 @@ class BatchScheduler {
   /// closed; the caller owns the rejection.
   bool push(Request& request);
 
+  /// Non-blocking admission variant: kOk moves the request into the
+  /// queue; kFull (queue at capacity) and kClosed leave it untouched —
+  /// the caller owns the shed/reject decision. This is the primitive
+  /// load shedding is built on: where push() applies backpressure by
+  /// blocking the producer, try_push turns a full queue into an
+  /// immediate, explicit signal.
+  enum class PushResult { kOk, kFull, kClosed };
+  PushResult try_push(Request& request);
+
   /// Fills `batch` with 1..max_batch requests. Returns false when the
   /// scheduler is closed and fully drained — consumers exit on that.
   bool pop_batch(std::vector<Request>& batch);

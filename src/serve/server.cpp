@@ -38,6 +38,8 @@ Server::Server(const deploy::QuantizedArtifact& artifact, ServerConfig config)
       submitted_(metrics_.counter("requests_submitted", "requests accepted by submit()")),
       failed_(metrics_.counter("requests_failed",
                                "requests answered with an exception")),
+      shed_(metrics_.counter("requests_shed",
+                             "requests refused by try_submit (queue at capacity)")),
       latency_us_(metrics_.histogram("latency_us",
                                      "submit to promise fulfillment, microseconds")),
       queue_wait_us_(metrics_.histogram(
@@ -48,6 +50,38 @@ Server::Server(const deploy::QuantizedArtifact& artifact, ServerConfig config)
       batch_size_(metrics_.histogram("batch_size", "coalesced micro-batch sizes")),
       queue_depth_(metrics_.gauge("queue_depth", "requests waiting in the scheduler")),
       started_(std::chrono::steady_clock::now()) {
+  start_workers();
+}
+
+Server::Server(std::shared_ptr<const deploy::ExecutionPlan> plan, ServerConfig config)
+    : config_(normalized(config)),
+      intra_pool_(config_.intra_threads > 1
+                      ? std::make_unique<util::ThreadPool>(config_.intra_threads - 1)
+                      : nullptr),
+      session_(std::move(plan), config_.workers,
+               util::ExecContext{intra_pool_.get(), config_.intra_threads},
+               deploy::make_backend(config_.backend), PlanCheck::kNone),
+      scheduler_(scheduler_config(config_)),
+      pool_(config_.workers),
+      submitted_(metrics_.counter("requests_submitted", "requests accepted by submit()")),
+      failed_(metrics_.counter("requests_failed",
+                               "requests answered with an exception")),
+      shed_(metrics_.counter("requests_shed",
+                             "requests refused by try_submit (queue at capacity)")),
+      latency_us_(metrics_.histogram("latency_us",
+                                     "submit to promise fulfillment, microseconds")),
+      queue_wait_us_(metrics_.histogram(
+          "queue_wait_us", "submit to leaving the scheduler queue, microseconds")),
+      execute_us_(metrics_.histogram("execute_us",
+                                     "EngineSession::run wall time per batch, "
+                                     "microseconds")),
+      batch_size_(metrics_.histogram("batch_size", "coalesced micro-batch sizes")),
+      queue_depth_(metrics_.gauge("queue_depth", "requests waiting in the scheduler")),
+      started_(std::chrono::steady_clock::now()) {
+  start_workers();
+}
+
+void Server::start_workers() {
   metrics_.gauge("backend_prepared_bytes",
                  "bytes of backend-owned packed state built by prepare()")
       .set(static_cast<double>(session_.backend().prepared_bytes()));
@@ -72,6 +106,34 @@ std::future<tensor::Tensor> Server::submit(tensor::Tensor sample) {
   }
   return future;
 }
+
+Server::SubmitResult Server::try_submit(tensor::Tensor& sample,
+                                        std::future<tensor::Tensor>& out) {
+  Request request;
+  request.sample = std::move(sample);
+  request.submitted = std::chrono::steady_clock::now();
+  request.id = next_request_id_.fetch_add(1, std::memory_order_relaxed);
+  std::future<tensor::Tensor> future = request.result.get_future();
+  switch (scheduler_.try_push(request)) {
+    case BatchScheduler::PushResult::kOk:
+      submitted_.inc();
+      out = std::move(future);
+      return SubmitResult::kAdmitted;
+    case BatchScheduler::PushResult::kFull:
+      shed_.inc();
+      sample = std::move(request.sample);  // hand the sample back untouched
+      return SubmitResult::kShed;
+    case BatchScheduler::PushResult::kClosed:
+      // Not a shed: the server is draining, the caller retries against
+      // its successor (ModelRegistry mid-swap) or rejects on its own
+      // terms.
+      sample = std::move(request.sample);
+      return SubmitResult::kClosed;
+  }
+  return SubmitResult::kClosed;  // unreachable
+}
+
+std::size_t Server::queue_depth() const { return scheduler_.depth(); }
 
 void Server::shutdown() {
   {
@@ -194,6 +256,7 @@ ServerStats Server::stats() const {
   }
   s.completed = latency.count;
   s.failed = failed_.value();
+  s.shed = shed_.value();
   s.batches = batches.count;
   s.mean_batch = batches.mean();
   s.max_batch = static_cast<std::size_t>(batches.max);

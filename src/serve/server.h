@@ -54,6 +54,11 @@ struct ServerConfig {
 struct ServerStats {
   std::size_t completed = 0;      ///< requests answered
   std::size_t failed = 0;         ///< requests answered with an exception
+  /// Requests refused by try_submit() because the bounded queue was at
+  /// capacity (the load-shedding path — the caller answered BUSY, the
+  /// engine never saw the sample). Distinct from `failed`: a shed
+  /// request is an explicit, retryable rejection, not an error.
+  std::size_t shed = 0;
   std::size_t batches = 0;        ///< micro-batches executed
   double mean_batch = 0.0;        ///< average coalesced batch size
   std::size_t max_batch = 0;      ///< largest coalesced batch seen
@@ -97,6 +102,16 @@ struct ServerStats {
 class Server {
  public:
   explicit Server(const deploy::QuantizedArtifact& artifact, ServerConfig config = {});
+
+  /// Serves a pre-compiled (and pre-optimized, if the caller ran the
+  /// pass pipeline) plan shared read-only with any number of other
+  /// servers/sessions — serve::ModelRegistry compiles each artifact
+  /// version once and builds the server on the shared plan, so a
+  /// hot-swap never recompiles what the registry already has.
+  /// ServerConfig::opt does not apply here: a handed-over plan's shape
+  /// belongs to the caller. Throws std::invalid_argument on null.
+  Server(std::shared_ptr<const deploy::ExecutionPlan> plan, ServerConfig config = {});
+
   /// Shuts down (drains queued requests) and joins the workers.
   ~Server();
 
@@ -108,7 +123,23 @@ class Server {
   /// silently produce wrong logits) and returns a future for its
   /// [num_classes] logits row. Thread-safe. Shape mismatches and
   /// submits after shutdown() surface as exceptions on the future.
+  /// Blocks while the queue is full (backpressure); callers that must
+  /// not block use try_submit.
   std::future<tensor::Tensor> submit(tensor::Tensor sample);
+
+  /// Non-blocking admission: kAdmitted moves the sample in and sets
+  /// `out`; kShed (bounded queue at capacity — counted in
+  /// ServerStats::shed and the requests_shed metric) and kClosed
+  /// (shutdown in progress; the ModelRegistry retries on the successor
+  /// version mid-swap) leave `sample` intact and `out` untouched.
+  /// Never blocks and never silently drops: every non-admitted sample
+  /// is reported to the caller, which owes the client an explicit BUSY.
+  enum class SubmitResult { kAdmitted, kShed, kClosed };
+  SubmitResult try_submit(tensor::Tensor& sample, std::future<tensor::Tensor>& out);
+
+  /// Requests currently waiting in the scheduler queue — the signal
+  /// admission control keys on.
+  std::size_t queue_depth() const;
 
   /// Stops accepting requests, drains the queue and joins the workers.
   /// Idempotent; the destructor calls it.
@@ -146,6 +177,7 @@ class Server {
   const ServerConfig& config() const { return config_; }
 
  private:
+  void start_workers();
   void worker_loop(int worker);
 
   ServerConfig config_;
@@ -171,6 +203,7 @@ class Server {
   obs::Registry metrics_;
   obs::Counter& submitted_;
   obs::Counter& failed_;
+  obs::Counter& shed_;
   obs::LatencyHistogram& latency_us_;
   obs::LatencyHistogram& queue_wait_us_;
   obs::LatencyHistogram& execute_us_;
