@@ -15,13 +15,21 @@
 // --assert-speedup gates thread scaling of the named scalar case;
 // --assert-backend-speedup gates the blocked backend's win over the
 // scalar kernels on the same case at --assert-threads (requires both
-// backends in the sweep). Exit codes: 0 ok, 1 assertion failed,
-// 2 output mismatch vs the scalar reference.
+// backends in the sweep). --assert-simd-speedup /
+// --assert-simd-portable-speedup gate the simd backend's win over
+// *blocked* on the same case: the binary applies the first on runners
+// whose resolved SIMD tier is avx2 and the second elsewhere, so one CI
+// command line gates every runner at the bar its ISA can meet. Exit
+// codes: 0 ok, 1 assertion failed, 2 output mismatch vs the scalar
+// reference.
 //
 // Other knobs: --threads=1,2,4 (thread counts), --repeat=N (timed runs
 // per point; best-of is reported to shed scheduler noise),
-// --backends=scalar,blocked (kernel backends to sweep; blocked cases
-// are named <case>@blocked and always verified against scalar).
+// --backends=scalar,blocked,simd (kernel backends to sweep; blocked /
+// simd cases are named <case>@blocked / <case>@simd and always
+// verified byte-identical against scalar before timing). The JSON
+// carries a "cpu" object (CPUID features + the resolved SIMD tier) so
+// perf artifacts say what machine produced them.
 
 #include <cstdio>
 #include <cstring>
@@ -139,22 +147,47 @@ int main(int argc, char** argv) {
   const int assert_threads = static_cast<int>(cli.get_int("assert-threads", 4));
   const double assert_speedup = cli.get_double("assert-speedup", 0.0);
   const double assert_backend_speedup = cli.get_double("assert-backend-speedup", 0.0);
+  const double assert_simd_speedup = cli.get_double("assert-simd-speedup", 0.0);
+  const double assert_simd_portable_speedup =
+      cli.get_double("assert-simd-portable-speedup", 0.0);
   const bool want_scalar = contains(backends, "scalar");
   const bool want_blocked = contains(backends, "blocked");
+  // The simd cases run at the tier this machine resolves (CPUID +
+  // CQ_SIMD); tier scalar means the explicit kernels are disabled, so
+  // the cases would only throw — skip them and say so.
+  const deploy::SimdTier simd_tier = deploy::resolve_simd_tier();
+  const bool want_simd =
+      contains(backends, "simd") && simd_tier != deploy::SimdTier::kScalar;
+  if (contains(backends, "simd") && !want_simd) {
+    std::fprintf(stderr,
+                 "kernel_scaling: simd backend requested but the resolved tier "
+                 "is 'scalar' (CQ_SIMD=off?) — skipping @simd cases\n");
+  }
 
   util::Rng rng(42);
   std::vector<Case> cases;
 
   /// Registers a scalar integer case plus (per --backends) its blocked
-  /// twin running the packed kernels over the same layer and codes.
+  /// and simd twins running the packed kernels over the same layer and
+  /// codes; both twins are byte-verified against the scalar serial run
+  /// before any timing.
   const auto add_integer_case =
       [&](const std::string& name, const std::string& desc, long long macs,
           std::function<std::vector<float>(const util::ExecContext&)> scalar_run,
-          std::function<std::vector<float>(const util::ExecContext&)> blocked_run) {
+          std::function<std::vector<float>(const util::ExecContext&)> blocked_run,
+          std::function<std::vector<float>(const util::ExecContext&)> simd_run) {
         if (want_scalar) cases.push_back({name, desc, "scalar", macs, scalar_run, {}});
         if (want_blocked) {
           cases.push_back({name + "@blocked", desc + " (blocked backend)", "blocked",
                            macs, blocked_run,
+                           [scalar_run] { return scalar_run({}); }});
+        }
+        if (want_simd) {
+          cases.push_back({name + "@simd",
+                           desc + " (simd backend, " +
+                               std::string(deploy::simd_tier_name(simd_tier)) +
+                               " tier)",
+                           "simd", macs, simd_run,
                            [scalar_run] { return scalar_run({}); }});
         }
       };
@@ -168,6 +201,8 @@ int main(int argc, char** argv) {
         fabricate_integer_layer(filters, per_filter, rng));
     auto packed = std::make_shared<deploy::blocked::PackedCodes>(
         deploy::blocked::pack_codes(*layer));
+    auto spacked = std::make_shared<deploy::simd::PackedSimd>(
+        deploy::simd::pack_simd(*layer));
     auto acts = std::make_shared<deploy::ActCodes>(fabricate_act_codes(
         static_cast<std::size_t>(batch) * in_c * hw * hw, 3, rng));
     add_integer_case(
@@ -184,6 +219,16 @@ int main(int argc, char** argv) {
           deploy::blocked::conv_forward_into(*packed, *acts, batch, in_c, hw, hw,
                                              kernel, 1, 1, out.data(), cols, exec);
           return out;
+        },
+        [=](const util::ExecContext& exec) {
+          std::vector<float> out(static_cast<std::size_t>(batch) * filters * hw * hw);
+          std::vector<std::int32_t> cols;
+          std::vector<std::int16_t> cols16;
+          std::vector<std::uint8_t> cols8;
+          deploy::simd::conv_forward_into(simd_tier, *spacked, *acts, batch, in_c,
+                                          hw, hw, kernel, 1, 1, out.data(), cols,
+                                          cols16, cols8, exec);
+          return out;
         });
   }
 
@@ -195,6 +240,8 @@ int main(int argc, char** argv) {
         fabricate_integer_layer(filters, per_filter, rng));
     auto packed = std::make_shared<deploy::blocked::PackedCodes>(
         deploy::blocked::pack_codes(*layer));
+    auto spacked = std::make_shared<deploy::simd::PackedSimd>(
+        deploy::simd::pack_simd(*layer));
     auto acts = std::make_shared<deploy::ActCodes>(fabricate_act_codes(
         static_cast<std::size_t>(batch) * in_c * hw * hw, 3, rng));
     add_integer_case(
@@ -211,6 +258,16 @@ int main(int argc, char** argv) {
           deploy::blocked::conv_forward_into(*packed, *acts, batch, in_c, hw, hw,
                                              kernel, 1, 1, out.data(), cols, exec);
           return out;
+        },
+        [=](const util::ExecContext& exec) {
+          std::vector<float> out(static_cast<std::size_t>(batch) * filters * hw * hw);
+          std::vector<std::int32_t> cols;
+          std::vector<std::int16_t> cols16;
+          std::vector<std::uint8_t> cols8;
+          deploy::simd::conv_forward_into(simd_tier, *spacked, *acts, batch, in_c,
+                                          hw, hw, kernel, 1, 1, out.data(), cols,
+                                          cols16, cols8, exec);
+          return out;
         });
   }
 
@@ -221,6 +278,8 @@ int main(int argc, char** argv) {
         fabricate_integer_layer(filters, in_features, rng));
     auto packed = std::make_shared<deploy::blocked::PackedCodes>(
         deploy::blocked::pack_codes(*layer));
+    auto spacked = std::make_shared<deploy::simd::PackedSimd>(
+        deploy::simd::pack_simd(*layer));
     auto acts = std::make_shared<deploy::ActCodes>(fabricate_act_codes(
         static_cast<std::size_t>(batch) * in_features, 4, rng));
     add_integer_case(
@@ -235,6 +294,15 @@ int main(int argc, char** argv) {
           std::vector<float> out(static_cast<std::size_t>(batch) * filters);
           deploy::blocked::linear_forward_into(*packed, *acts, batch, in_features,
                                                out.data(), exec);
+          return out;
+        },
+        [=](const util::ExecContext& exec) {
+          std::vector<float> out(static_cast<std::size_t>(batch) * filters);
+          std::vector<std::int16_t> acts16;
+          std::vector<std::uint8_t> acts8;
+          deploy::simd::linear_forward_into(simd_tier, *spacked, *acts, batch,
+                                            in_features, out.data(), acts16, acts8,
+                                            exec);
           return out;
         });
   }
@@ -341,8 +409,11 @@ int main(int argc, char** argv) {
       std::fprintf(stderr, "kernel_scaling: cannot write %s\n", json_path.c_str());
       return 1;
     }
-    std::fprintf(f, "{\n  \"hardware_threads\": %u,\n  \"repeat\": %d,\n  \"cases\": [\n",
-                 std::thread::hardware_concurrency(), repeat);
+    std::fprintf(f,
+                 "{\n  \"hardware_threads\": %u,\n  \"repeat\": %d,\n"
+                 "  \"cpu\": %s,\n  \"cases\": [\n",
+                 std::thread::hardware_concurrency(), repeat,
+                 deploy::cpu_features_json().c_str());
     for (std::size_t i = 0; i < results.size(); ++i) {
       const CaseResult& r = results[i];
       std::fprintf(f,
@@ -414,6 +485,34 @@ int main(int argc, char** argv) {
                    "(need >= %.2fx) — %s\n",
                    assert_case.c_str(), assert_threads, ratio, assert_backend_speedup,
                    ok ? "PASS" : "FAIL");
+      failed = failed || !ok;
+    }
+  }
+  if (assert_simd_speedup > 0.0 || assert_simd_portable_speedup > 0.0) {
+    // One command line, every runner: the avx2 gate applies where the
+    // intrinsic kernels resolved, the (lower) portable gate elsewhere.
+    // A gate of 0 for the resolved tier means "not asserted here".
+    const bool avx2 = simd_tier == deploy::SimdTier::kAvx2;
+    const double need = avx2 ? assert_simd_speedup : assert_simd_portable_speedup;
+    double blocked_ms = 0.0, simd_ms = 0.0;
+    if (need <= 0.0) {
+      std::fprintf(stderr, "assert: no simd gate configured for tier '%s' — skipped\n",
+                   deploy::simd_tier_name(simd_tier));
+    } else if (!best_ms_at(assert_case + "@blocked", assert_threads, &blocked_ms) ||
+               !best_ms_at(assert_case + "@simd", assert_threads, &simd_ms)) {
+      std::fprintf(stderr,
+                   "assert: simd comparison needs '%s' under blocked and simd at "
+                   "%d threads (run with --backends=scalar,blocked,simd)\n",
+                   assert_case.c_str(), assert_threads);
+      failed = true;
+    } else {
+      const double ratio = simd_ms > 0.0 ? blocked_ms / simd_ms : 0.0;
+      const bool ok = ratio >= need;
+      std::fprintf(stderr,
+                   "assert: %s simd (%s tier) vs blocked at %d threads: %.2fx "
+                   "(need >= %.2fx) — %s\n",
+                   assert_case.c_str(), deploy::simd_tier_name(simd_tier),
+                   assert_threads, ratio, need, ok ? "PASS" : "FAIL");
       failed = failed || !ok;
     }
   }

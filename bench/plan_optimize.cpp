@@ -17,7 +17,7 @@
 // Exit codes: 0 ok, 1 assertion failed, 2 optimized output not
 // byte-identical to the unoptimized plan's.
 //
-// Other knobs: --backend=scalar|blocked (kernel backend for both
+// Other knobs: --backend=scalar|blocked|simd (kernel backend for both
 // sessions), --threads=N (intra-op threads), --batch=N (samples per
 // run), --repeat=N (timed runs per session; best-of reported).
 

@@ -17,7 +17,7 @@
 // arrangement and a forward-pass activation calibration before export.
 //
 // Run: ./serve_throughput [--fast] [--requests=N] [--threads=N]
-//                         [--backend=scalar|blocked]  (kernel backend, all sections)
+//                         [--backend=scalar|blocked|simd]  (kernel backend, all sections)
 //                         [--json=sweep.json]   (section 3, machine-readable;
 //                          records the backend so artifacts from different
 //                          backends stay distinguishable in the trajectory.
@@ -233,9 +233,11 @@ int main(int argc, char** argv) {
     }
     std::fprintf(f,
                  "{\n  \"hardware_threads\": %u,\n  \"requests\": %ld,\n"
-                 "  \"submitters\": %ld,\n  \"backend\": \"%s\",\n  \"sweep\": [\n",
+                 "  \"submitters\": %ld,\n  \"backend\": \"%s\",\n"
+                 "  \"cpu\": %s,\n  \"sweep\": [\n",
                  std::thread::hardware_concurrency(), requests, threads,
-                 deploy::backend_kind_name(backend));
+                 deploy::backend_kind_name(backend),
+                 deploy::cpu_features_json().c_str());
     for (std::size_t i = 0; i < sweep_rows.size(); ++i) {
       const SweepRow& row = sweep_rows[i];
       std::fprintf(f,

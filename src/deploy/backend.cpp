@@ -128,26 +128,39 @@ const char* backend_kind_name(BackendKind kind) {
       return "scalar";
     case BackendKind::Blocked:
       return "blocked";
+    case BackendKind::Simd:
+      return "simd";
   }
   return "?";
 }
 
 const std::vector<BackendKind>& all_backend_kinds() {
-  static const std::vector<BackendKind> kinds = {BackendKind::Scalar,
-                                                 BackendKind::Blocked};
+  static const std::vector<BackendKind> kinds = {
+      BackendKind::Scalar, BackendKind::Blocked, BackendKind::Simd};
   return kinds;
 }
 
-BackendKind parse_backend_kind(const std::string& name) {
-  for (const BackendKind kind : all_backend_kinds()) {
-    if (name == backend_kind_name(kind)) return kind;
-  }
+namespace {
+
+/// "scalar, blocked, simd" — the `known:` clause every selection error
+/// carries so a typo'd --backend or a stale config names its options.
+std::string known_backend_kinds() {
   std::string known;
   for (const BackendKind kind : all_backend_kinds()) {
     if (!known.empty()) known += ", ";
     known += backend_kind_name(kind);
   }
-  throw std::invalid_argument("unknown backend '" + name + "' (known: " + known + ")");
+  return known;
+}
+
+}  // namespace
+
+BackendKind parse_backend_kind(const std::string& name) {
+  for (const BackendKind kind : all_backend_kinds()) {
+    if (name == backend_kind_name(kind)) return kind;
+  }
+  throw std::invalid_argument("unknown backend '" + name +
+                              "' (known: " + known_backend_kinds() + ")");
 }
 
 std::unique_ptr<Backend> make_backend(BackendKind kind) {
@@ -156,8 +169,12 @@ std::unique_ptr<Backend> make_backend(BackendKind kind) {
       return std::make_unique<ScalarBackend>();
     case BackendKind::Blocked:
       return std::make_unique<BlockedBackend>();
+    case BackendKind::Simd:
+      return std::make_unique<SimdBackend>();
   }
-  throw std::invalid_argument("make_backend: unknown kind");
+  throw std::invalid_argument("make_backend: unknown backend kind " +
+                              std::to_string(static_cast<int>(kind)) +
+                              " (known: " + known_backend_kinds() + ")");
 }
 
 }  // namespace cq::deploy

@@ -5,6 +5,7 @@
 #include <string>
 #include <vector>
 
+#include "deploy/cpu_features.h"
 #include "deploy/int_engine.h"
 #include "deploy/plan.h"
 #include "util/exec_context.h"
@@ -30,6 +31,11 @@ struct BackendScratch {
   ActCodes codes;
   std::vector<std::int32_t> int_cols;
   std::vector<float> float_cols;
+  /// SimdBackend's narrowed activation layouts: pair-interleaved int16
+  /// and quad-interleaved uint8 rewrites of the int32 code matrix,
+  /// rebuilt per op from `codes`/`int_cols` (capacity retained).
+  std::vector<std::int16_t> simd_cols16;
+  std::vector<std::uint8_t> simd_cols8;
 };
 
 /// Kernel-dispatch seam of the deployment runtime.
@@ -108,9 +114,9 @@ void apply_epilogue(const PlanOp& op, const BackendIo& io,
                     const util::ExecContext& exec = {});
 
 /// The registered backend implementations.
-enum class BackendKind { Scalar, Blocked };
+enum class BackendKind { Scalar, Blocked, Simd };
 
-/// Stable name of a kind ("scalar", "blocked").
+/// Stable name of a kind ("scalar", "blocked", "simd").
 const char* backend_kind_name(BackendKind kind);
 
 /// Parses a backend name; throws std::invalid_argument naming the
@@ -210,6 +216,118 @@ class BlockedBackend : public ScalarBackend {
   /// Identity of the plan prepare() packed for; run() refuses any
   /// other plan (same-sized layer lists would otherwise silently
   /// execute with the wrong weights).
+  const ExecutionPlan* prepared_for_ = nullptr;
+};
+
+namespace simd {
+
+/// Backend-owned explicit-SIMD layout of one IntegerLayer. Two
+/// reduction-interleaved views of the same centered doubled codes the
+/// blocked panels hold, shaped for the multiply-accumulate
+/// instructions instead of for cache lines:
+///
+///  - pair_panels (int16): kFilterTile filters x adjacent reduction
+///    *pairs* — pair_panels[tile][j/2][f] is the 32-bit lane
+///    (w[f][j], w[f][j+1]) a madd_epi16-style instruction multiplies
+///    against an interleaved activation pair in one step. Odd
+///    reduction tails are zero-padded (exact: 0 * anything = 0).
+///  - quad_panels (int8): the same for reduction *quads*, feeding the
+///    maddubs_epi16 u8 x s8 path; built only when every centered code
+///    fits int8.
+///  - lane_panels (int16): the blocked backend's [j][lane] panel shape
+///    (one row of kFilterTile filters per reduction index), which the
+///    portable tier's generic GCC-vector-extension kernels (non-x86
+///    builds, or 16-bit activation codes) widen and multiply directly;
+///    on x86-64 the portable tier rides pair_panels via baseline-SSE2
+///    pmaddwd instead.
+struct PackedSimd {
+  std::int32_t num_filters = 0;
+  std::int64_t weights_per_filter = 0;
+  /// False when some filter's centered codes exceed int16 (bits > 15);
+  /// the layer then stays on the blocked/scalar kernels entirely.
+  bool usable = false;
+  /// True when max|centered code| <= 127 so the quad panels exist; the
+  /// per-dispatch int8 decision additionally needs the activation
+  /// grid, via int_reduction_fits_int8_madd (deploy/overflow.h).
+  bool int8_usable = false;
+  std::int32_t max_abs_weight = 0;  ///< shared overflow-bound input
+  std::vector<std::int16_t> lane_panels;  ///< [tiles][J][tile]
+  std::vector<std::int16_t> pair_panels;  ///< [tiles][ceil(J/2)][tile][2]
+  std::vector<std::int8_t> quad_panels;   ///< [tiles][ceil(J/4)][tile][4]
+  std::vector<float> weight_scales;       ///< per-filter; 0 if pruned
+  std::vector<float> out_bias;            ///< per-filter; forced 0 if pruned
+};
+
+/// Packs an IntegerLayer into the SIMD layouts (prepare() time only).
+PackedSimd pack_simd(const IntegerLayer& layer);
+
+/// Explicit-SIMD integer convolution. Requires packed.usable, a tier
+/// above kScalar, and a reduction that provably fits int32
+/// (deploy/overflow.h) — callers below the bound delegate to the
+/// blocked int64 kernels instead. Same im2col and final rescale
+/// expressions as the scalar kernel, so outputs are byte-identical at
+/// every tier and thread count. cols_scratch holds the int32 im2col
+/// matrix; cols16/cols8 the interleaved narrowed copies (int8 used
+/// only when int_reduction_fits_int8_madd proves it exact).
+void conv_forward_into(SimdTier tier, const PackedSimd& packed, const ActCodes& acts,
+                       int batch, int in_c, int height, int width, int kernel,
+                       int stride, int pad, float* out,
+                       std::vector<std::int32_t>& cols_scratch,
+                       std::vector<std::int16_t>& cols16_scratch,
+                       std::vector<std::uint8_t>& cols8_scratch,
+                       const util::ExecContext& exec = {});
+
+/// Explicit-SIMD fully-connected kernel; same requirements and
+/// byte-identity contract as conv_forward_into. acts16/acts8 hold the
+/// narrowed activation matrices (padded to the pair/quad boundary).
+void linear_forward_into(SimdTier tier, const PackedSimd& packed, const ActCodes& acts,
+                         int batch, int in_features, float* out,
+                         std::vector<std::int16_t>& acts16_scratch,
+                         std::vector<std::uint8_t>& acts8_scratch,
+                         const util::ExecContext& exec = {});
+
+}  // namespace simd
+
+/// Explicit-SIMD integer backend over the packed panel layouts:
+/// IntConv/IntLinear run hand-scheduled AVX2 kernels
+/// (_mm256_madd_epi16 int16 pairs; _mm256_maddubs_epi16 int8 quads
+/// when the shared overflow bound proves saturation impossible) on
+/// CPUs that have AVX2, portable kernels everywhere else
+/// (baseline-SSE2 pmaddwd on x86-64, GCC vector extensions
+/// otherwise),
+/// and delegate to the blocked/scalar kernels when the int32
+/// accumulator is not certified or explicit SIMD is disabled
+/// (CQ_SIMD=off). The tier is resolved by runtime CPUID at
+/// construction — one binary, every x86 — and every tier is
+/// byte-identical to ScalarBackend (backend_test pins each reachable
+/// tier).
+class SimdBackend : public BlockedBackend {
+ public:
+  SimdBackend() : tier_(resolve_simd_tier()) {}
+
+  const char* name() const override { return "simd"; }
+  void prepare(const ExecutionPlan& plan) override;
+  void run(const PlanOp& op, const ExecutionPlan& plan, const BackendIo& io,
+           BackendScratch& scratch, const util::ExecContext& exec) const override;
+  /// "simd/avx2-i8", "simd/avx2", "simd/portable", or the delegated
+  /// implementation's label ("blocked"/"scalar") — the resolved ISA
+  /// cqar_info's dispatch column and the plan profiler rows show.
+  const char* dispatch(const PlanOp& op) const override;
+  /// Blocked panels plus the pair/quad SIMD panels.
+  std::size_t prepared_bytes() const override;
+
+  /// The tier this instance resolved at construction.
+  SimdTier tier() const { return tier_; }
+
+ private:
+  /// Which implementation run()/dispatch() pick for an integer op —
+  /// one decision procedure so the label can never lie about the
+  /// kernel.
+  enum class Path { kDelegate, kPortable, kAvx2, kAvx2Int8 };
+  Path resolve_path(const PlanOp& op) const;
+
+  SimdTier tier_;
+  std::vector<simd::PackedSimd> packed_;  ///< by PlanOp::layer
   const ExecutionPlan* prepared_for_ = nullptr;
 };
 

@@ -76,6 +76,31 @@ inline bool int_reduction_fits_int32(std::int32_t max_abs_weight, int act_bits,
          std::numeric_limits<std::int32_t>::max();
 }
 
+/// True when the SIMD backend's int8 multiply path
+/// (_mm256_maddubs_epi16-style: unsigned-8-bit activations x signed
+/// 8-bit weights, adjacent pairs summed into a *saturating* int16,
+/// then widened into the int32 accumulator) is provably exact:
+///   - every activation code fits u8 (act_bits <= 8),
+///   - every centered weight code fits s8 (max|w| <= 127),
+///   - the adjacent-pair sum 2 * max|w| * act_max cannot reach the
+///     int16 saturation boundary (the one lossy step of the
+///     instruction), and
+///   - the whole reduction fits the int32 accumulator.
+/// SimdBackend's dispatch and verify_plan's certificate both call this
+/// helper, so the backend's kernel choice and the verifier's
+/// `int8_fast_path` record agree structurally.
+inline bool int_reduction_fits_int8_madd(std::int32_t max_abs_weight, int act_bits,
+                                         std::int64_t terms) {
+  if (act_bits < 1 || act_bits > 8) return false;
+  if (max_abs_weight < 0 || max_abs_weight > 127) return false;
+  const std::int64_t act_max = quant::levels_for_bits(act_bits) - 1;
+  if (2 * static_cast<std::int64_t>(max_abs_weight) * act_max >
+      std::numeric_limits<std::int16_t>::max()) {
+    return false;
+  }
+  return int_reduction_fits_int32(max_abs_weight, act_bits, terms);
+}
+
 /// True when the bound fits the int64 accumulator the scalar reference
 /// kernels always use — the safety certificate verify_plan demands for
 /// every integer op (saturation means "not provable", hence false).

@@ -554,6 +554,11 @@ class Verifier {
       cert.int32_fast_path =
           packable &&
           int_reduction_fits_int32(cert.max_abs_weight, op.act_bits, cert.terms);
+      // Same helper SimdBackend::resolve_path calls, so this record is
+      // by construction the backend's maddubs-eligibility decision.
+      cert.int8_fast_path =
+          packable &&
+          int_reduction_fits_int8_madd(cert.max_abs_weight, op.act_bits, cert.terms);
       if (!cert.fits_int64) {
         add(VerifyRule::Overflow, i, -1,
             "accumulator bound " + std::to_string(cert.bound) +

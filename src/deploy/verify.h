@@ -67,6 +67,10 @@ struct IntOpCertificate {
   std::int64_t bound = 0;          ///< worst-case |accumulator| (saturated)
   bool fits_int64 = false;         ///< scalar kernels' accumulator is exact
   bool int32_fast_path = false;    ///< blocked kernels take the narrow path
+  /// SimdBackend's maddubs int8 path is proven exact for this op
+  /// (int_reduction_fits_int8_madd — the saturating pair sum cannot be
+  /// reached); implies int32_fast_path.
+  bool int8_fast_path = false;
 };
 
 struct VerifyReport {

@@ -10,12 +10,15 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <cstdlib>
 #include <cstring>
 #include <memory>
+#include <string>
 #include <thread>
 #include <vector>
 
 #include "deploy/backend.h"
+#include "deploy/cpu_features.h"
 #include "deploy/int_engine.h"
 #include "deploy/plan.h"
 #include "serve/engine_session.h"
@@ -252,12 +255,27 @@ TEST(BackendFactory, NamesParseAndConstruct) {
     const auto backend = make_backend(kind);
     EXPECT_STREQ(backend_kind_name(kind), backend->name());
   }
-  EXPECT_THROW(parse_backend_kind("simd"), std::invalid_argument);
+  EXPECT_THROW(parse_backend_kind("turbo"), std::invalid_argument);
   try {
-    parse_backend_kind("simd");
+    parse_backend_kind("turbo");
   } catch (const std::invalid_argument& e) {
+    // A typo'd --backend must name every valid option.
     EXPECT_NE(std::string(e.what()).find("scalar"), std::string::npos);
     EXPECT_NE(std::string(e.what()).find("blocked"), std::string::npos);
+    EXPECT_NE(std::string(e.what()).find("simd"), std::string::npos);
+  }
+}
+
+TEST(BackendFactory, UnknownKindErrorNamesValidKinds) {
+  try {
+    // 3 is inside the enum's value range but names no backend.
+    make_backend(static_cast<BackendKind>(3));
+    FAIL() << "unknown BackendKind accepted";
+  } catch (const std::invalid_argument& e) {
+    const std::string what = e.what();
+    for (const BackendKind kind : all_backend_kinds()) {
+      EXPECT_NE(what.find(backend_kind_name(kind)), std::string::npos) << what;
+    }
   }
 }
 
@@ -297,6 +315,339 @@ TEST(BackendFactory, RunWithoutPrepareThrows) {
     return;
   }
   FAIL() << "MLP plan has no IntLinear op";
+}
+
+// --- SIMD backend ----------------------------------------------------
+
+/// Explicit-kernel tiers executable on this machine: portable always,
+/// avx2 when CPUID licenses it. Never the (throwing) kScalar.
+std::vector<SimdTier> reachable_simd_tiers() {
+  std::vector<SimdTier> tiers = {SimdTier::kPortable};
+  if (max_supported_simd_tier() == SimdTier::kAvx2) {
+    tiers.push_back(SimdTier::kAvx2);
+  }
+  return tiers;
+}
+
+/// RAII pin of resolve_simd_tier() for tests constructing SimdBackend.
+struct ForcedTier {
+  explicit ForcedTier(SimdTier tier) { force_simd_tier(tier); }
+  ~ForcedTier() { clear_forced_simd_tier(); }
+  ForcedTier(const ForcedTier&) = delete;
+  ForcedTier& operator=(const ForcedTier&) = delete;
+};
+
+// Same shape grid as the blocked suite, swept additionally over every
+// reachable tier and over activation widths that land on different
+// kernels: 3-bit codes ride the int8 maddubs path on avx2 (the shared
+// bound proves it exact for these layers), 9-bit codes exceed the u8
+// eligibility and ride the int16 pair path.
+TEST(BackendIdentity, SimdConvMatchesScalarAtEveryTier) {
+  struct Shape {
+    int in_c, hw, filters, kernel, stride, pad;
+  };
+  const Shape shapes[] = {
+      {3, 9, 5, 3, 1, 1},    // tiny, tail tile only
+      {8, 12, 16, 3, 1, 1},  // exact tile multiple
+      {6, 10, 17, 3, 2, 0},  // one past a tile boundary, strided, no pad
+      {4, 7, 13, 5, 1, 2},   // odd everything, large kernel
+  };
+  util::Rng rng(505);
+  for (const Shape& s : shapes) {
+    const std::int64_t per_filter =
+        static_cast<std::int64_t>(s.in_c) * s.kernel * s.kernel;
+    const IntegerLayer layer = random_integer_layer(s.filters, per_filter, rng);
+    const simd::PackedSimd packed = simd::pack_simd(layer);
+    ASSERT_TRUE(packed.usable);
+    ASSERT_TRUE(packed.int8_usable);  // pattern bits <= 4 -> |w| <= 15
+    for (const int act_bits : {3, 9}) {
+      for (const int batch : {1, 3, 8}) {
+        const ActCodes acts = random_act_codes(
+            static_cast<std::size_t>(batch) * s.in_c * s.hw * s.hw, act_bits, rng);
+        const Tensor reference = integer_conv_forward(
+            layer, acts, batch, s.in_c, s.hw, s.hw, s.kernel, s.stride, s.pad);
+        for (const SimdTier tier : reachable_simd_tiers()) {
+          for (const int threads : {1, 2, 8}) {
+            ThreadedExec te(threads);
+            std::vector<float> out(reference.numel());
+            std::vector<std::int32_t> cols;
+            std::vector<std::int16_t> cols16;
+            std::vector<std::uint8_t> cols8;
+            simd::conv_forward_into(tier, packed, acts, batch, s.in_c, s.hw, s.hw,
+                                    s.kernel, s.stride, s.pad, out.data(), cols,
+                                    cols16, cols8, te.exec);
+            expect_bytes_equal(out.data(), reference.data(), reference.numel(),
+                               std::string("simd conv tier=") +
+                                   simd_tier_name(tier) +
+                                   " act_bits=" + std::to_string(act_bits) +
+                                   " filters=" + std::to_string(s.filters) +
+                                   " batch=" + std::to_string(batch) +
+                                   " threads=" + std::to_string(threads));
+          }
+        }
+      }
+    }
+  }
+}
+
+TEST(BackendIdentity, SimdLinearMatchesScalarAtEveryTier) {
+  util::Rng rng(606);
+  for (const int filters : {1, 8, 13, 24, 33}) {
+    const int in_features = 50 + filters;
+    const IntegerLayer layer = random_integer_layer(filters, in_features, rng);
+    const simd::PackedSimd packed = simd::pack_simd(layer);
+    ASSERT_TRUE(packed.usable);
+    for (const int act_bits : {4, 10}) {  // u8-eligible / int16-pair path
+      for (const int batch : {1, 3, 8}) {
+        const ActCodes acts = random_act_codes(
+            static_cast<std::size_t>(batch) * in_features, act_bits, rng);
+        const Tensor reference =
+            integer_linear_forward(layer, acts, batch, in_features);
+        for (const SimdTier tier : reachable_simd_tiers()) {
+          for (const int threads : {1, 2, 8}) {
+            ThreadedExec te(threads);
+            std::vector<float> out(reference.numel());
+            std::vector<std::int16_t> acts16;
+            std::vector<std::uint8_t> acts8;
+            simd::linear_forward_into(tier, packed, acts, batch, in_features,
+                                      out.data(), acts16, acts8, te.exec);
+            expect_bytes_equal(out.data(), reference.data(), reference.numel(),
+                               std::string("simd linear tier=") +
+                                   simd_tier_name(tier) +
+                                   " act_bits=" + std::to_string(act_bits) +
+                                   " filters=" + std::to_string(filters) +
+                                   " batch=" + std::to_string(batch) +
+                                   " threads=" + std::to_string(threads));
+          }
+        }
+      }
+    }
+  }
+}
+
+TEST(BackendIdentity, SimdPrunedRowsAreHardZero) {
+  util::Rng rng(707);
+  IntegerLayer layer = random_integer_layer(9, 18, rng);
+  std::fill(layer.filter_bits.begin(), layer.filter_bits.end(), std::uint8_t{0});
+  std::fill(layer.codes.begin(), layer.codes.end(), 0);
+  const simd::PackedSimd packed = simd::pack_simd(layer);
+  const ActCodes acts = random_act_codes(3 * 18, 4, rng);
+  for (const SimdTier tier : reachable_simd_tiers()) {
+    std::vector<float> out(3 * 9, -1.0f);
+    std::vector<std::int16_t> acts16;
+    std::vector<std::uint8_t> acts8;
+    simd::linear_forward_into(tier, packed, acts, 3, 18, out.data(), acts16, acts8);
+    for (const float v : out) {
+      EXPECT_EQ(0.0f, v);
+      EXPECT_FALSE(std::signbit(v));  // hard +0.0f, matching the scalar kernels
+    }
+  }
+}
+
+TEST(BackendIdentity, SimdHighBitLayersAreNotPackable) {
+  util::Rng rng(808);
+  IntegerLayer layer = random_integer_layer(4, 10, rng);
+  layer.filter_bits[2] = 16;  // centered codes would overflow int16
+  const simd::PackedSimd packed = simd::pack_simd(layer);
+  EXPECT_FALSE(packed.usable);
+  const ActCodes acts = random_act_codes(10, 4, rng);
+  std::vector<float> out(4);
+  std::vector<std::int16_t> acts16;
+  std::vector<std::uint8_t> acts8;
+  EXPECT_THROW(simd::linear_forward_into(SimdTier::kPortable, packed, acts, 1, 10,
+                                         out.data(), acts16, acts8),
+               std::logic_error);
+}
+
+TEST(BackendIdentity, SimdKernelsRefuseScalarTier) {
+  util::Rng rng(909);
+  const IntegerLayer layer = random_integer_layer(4, 10, rng);
+  const simd::PackedSimd packed = simd::pack_simd(layer);
+  ASSERT_TRUE(packed.usable);
+  const ActCodes acts = random_act_codes(10, 4, rng);
+  std::vector<float> out(4);
+  std::vector<std::int16_t> acts16;
+  std::vector<std::uint8_t> acts8;
+  EXPECT_THROW(simd::linear_forward_into(SimdTier::kScalar, packed, acts, 1, 10,
+                                         out.data(), acts16, acts8),
+               std::logic_error);
+}
+
+/// The zoo acceptance gate extended to the simd backend: byte-identical
+/// logits to the scalar session at every reachable tier, batch size,
+/// and thread count — proving the runtime dispatch ("same binary,
+/// different tier") preserves the contract.
+TEST(BackendIdentity, ZooPlansSimdByteIdenticalAtEveryTier) {
+  const deploy::QuantizedArtifact artifacts[] = {serve::tiny_vgg_artifact(),
+                                                 serve::tiny_mlp_artifact(),
+                                                 serve::tiny_resnet_artifact()};
+  for (const SimdTier tier : reachable_simd_tiers()) {
+    ForcedTier forced(tier);
+    for (const deploy::QuantizedArtifact& artifact : artifacts) {
+      const auto plan =
+          std::make_shared<const ExecutionPlan>(compile_plan(artifact));
+      for (const int threads : {1, 2, 8}) {
+        ThreadedExec te(threads);
+        serve::EngineSession scalar(plan, 2, te.exec,
+                                    make_backend(BackendKind::Scalar));
+        serve::EngineSession simd_session(plan, 2, te.exec,
+                                          make_backend(BackendKind::Simd));
+        for (const int batch : {1, 3, 8}) {
+          const Tensor input = serve::random_batch(
+              plan->sample_shape(), batch,
+              2000 + static_cast<std::uint64_t>(batch) * 7 + threads);
+          const Tensor a = scalar.run(input);
+          const Tensor b = simd_session.run(input);
+          ASSERT_EQ(a.shape(), b.shape());
+          expect_bytes_equal(a.data(), b.data(), a.numel(),
+                             artifact.arch.kind + " tier=" +
+                                 simd_tier_name(tier) +
+                                 " batch=" + std::to_string(batch) +
+                                 " threads=" + std::to_string(threads));
+        }
+      }
+    }
+  }
+}
+
+/// Concurrent SimdBackend execution for the TSan lane: the prepare()-
+/// built pair/quad panels are shared read-only state across sessions'
+/// worker threads.
+TEST(BackendIdentity, ConcurrentSimdRunsMatchScalar) {
+  const deploy::QuantizedArtifact artifact = serve::tiny_resnet_artifact();
+  const auto plan = std::make_shared<const ExecutionPlan>(compile_plan(artifact));
+  serve::EngineSession scalar(plan, 1);
+  serve::EngineSession simd_session(plan, 3, {}, make_backend(BackendKind::Simd));
+  constexpr int kSubmitters = 6;
+  constexpr int kRounds = 4;
+  std::vector<Tensor> inputs, expected;
+  for (int i = 0; i < kSubmitters; ++i) {
+    inputs.push_back(serve::random_batch(plan->sample_shape(), 3,
+                                         900 + static_cast<std::uint64_t>(i)));
+    expected.push_back(scalar.run(inputs.back()));
+  }
+  std::vector<int> mismatches(kSubmitters, 0);
+  {
+    std::vector<std::jthread> threads;
+    for (int i = 0; i < kSubmitters; ++i) {
+      threads.emplace_back([&, i] {
+        for (int r = 0; r < kRounds; ++r) {
+          const Tensor out = simd_session.run(inputs[static_cast<std::size_t>(i)]);
+          if (std::memcmp(out.data(), expected[static_cast<std::size_t>(i)].data(),
+                          out.numel() * sizeof(float)) != 0) {
+            ++mismatches[static_cast<std::size_t>(i)];
+          }
+        }
+      });
+    }
+  }
+  for (int i = 0; i < kSubmitters; ++i) {
+    EXPECT_EQ(0, mismatches[static_cast<std::size_t>(i)]) << "submitter " << i;
+  }
+}
+
+/// dispatch() surfaces the resolved ISA: integer ops label simd/<isa>,
+/// everything else delegates — the labels cqar_info's dispatch column
+/// and the plan profiler rows carry.
+TEST(BackendFactory, SimdDispatchNamesResolvedIsa) {
+  const ExecutionPlan plan = compile_plan(serve::tiny_vgg_artifact());
+  for (const SimdTier tier : reachable_simd_tiers()) {
+    ForcedTier forced(tier);
+    const auto backend = make_backend(BackendKind::Simd);
+    backend->prepare(plan);
+    bool saw_integer = false;
+    for (const PlanOp& op : plan.ops()) {
+      const std::string label = backend->dispatch(op);
+      if (op.kind == OpKind::IntConv || op.kind == OpKind::IntLinear) {
+        saw_integer = true;
+        if (tier == SimdTier::kPortable) {
+          EXPECT_EQ("simd/portable", label);
+        } else {
+          EXPECT_TRUE(label == "simd/avx2" || label == "simd/avx2-i8") << label;
+        }
+      } else {
+        EXPECT_EQ("scalar", label);
+      }
+    }
+    EXPECT_TRUE(saw_integer);
+  }
+}
+
+/// CQ_SIMD=off / force_simd_tier(kScalar) retires the explicit kernels:
+/// the backend constructs at tier scalar, every integer op delegates to
+/// the blocked implementation (the dispatch label says so), and outputs
+/// stay byte-identical.
+TEST(BackendFactory, SimdForcedFallbackDelegates) {
+  ForcedTier forced(SimdTier::kScalar);
+  const auto plan = std::make_shared<const ExecutionPlan>(
+      compile_plan(serve::tiny_vgg_artifact()));
+  const auto backend = make_backend(BackendKind::Simd);
+  backend->prepare(*plan);
+  for (const PlanOp& op : plan->ops()) {
+    if (op.kind == OpKind::IntConv || op.kind == OpKind::IntLinear) {
+      EXPECT_STREQ("blocked", backend->dispatch(op));
+    } else {
+      EXPECT_STREQ("scalar", backend->dispatch(op));
+    }
+  }
+  serve::EngineSession scalar(plan, 1);
+  serve::EngineSession fallback(plan, 1, {}, make_backend(BackendKind::Simd));
+  const Tensor input = serve::random_batch(plan->sample_shape(), 3, 42);
+  const Tensor a = scalar.run(input);
+  const Tensor b = fallback.run(input);
+  expect_bytes_equal(a.data(), b.data(), a.numel(), "forced scalar-tier fallback");
+}
+
+TEST(CpuFeatures, EnvAndForceResolveTiers) {
+  const char* prev = std::getenv("CQ_SIMD");
+  const std::string saved = prev != nullptr ? prev : "";
+  const bool had = prev != nullptr;
+
+  ::setenv("CQ_SIMD", "off", 1);
+  EXPECT_EQ(SimdTier::kScalar, resolve_simd_tier());
+  ::setenv("CQ_SIMD", "scalar", 1);
+  EXPECT_EQ(SimdTier::kScalar, resolve_simd_tier());
+  ::setenv("CQ_SIMD", "portable", 1);
+  EXPECT_EQ(SimdTier::kPortable, resolve_simd_tier());
+  // "avx2", "auto", and typos all resolve to the fastest tier the CPU
+  // supports — a misspelled override degrades, never crashes.
+  ::setenv("CQ_SIMD", "avx2", 1);
+  EXPECT_EQ(max_supported_simd_tier(), resolve_simd_tier());
+  ::setenv("CQ_SIMD", "definitely-a-typo", 1);
+  EXPECT_EQ(max_supported_simd_tier(), resolve_simd_tier());
+  // The forced override outranks the environment.
+  force_simd_tier(SimdTier::kPortable);
+  EXPECT_EQ(SimdTier::kPortable, resolve_simd_tier());
+  clear_forced_simd_tier();
+
+  if (had) {
+    ::setenv("CQ_SIMD", saved.c_str(), 1);
+  } else {
+    ::unsetenv("CQ_SIMD");
+  }
+  // The supported ceiling is exactly what CPUID reported.
+  EXPECT_EQ(cpu_features().avx2 ? SimdTier::kAvx2 : SimdTier::kPortable,
+            max_supported_simd_tier());
+}
+
+TEST(CpuFeatures, JsonNamesArchAndTier) {
+  const std::string json = cpu_features_json();
+  EXPECT_NE(json.find("\"arch\""), std::string::npos) << json;
+  EXPECT_NE(json.find("\"avx2\""), std::string::npos) << json;
+  EXPECT_NE(json.find("\"tier\""), std::string::npos) << json;
+  EXPECT_NE(json.find(simd_tier_name(resolve_simd_tier())), std::string::npos)
+      << json;
+}
+
+TEST(BackendFactory, SimdPreparedBytesCoverBothLayouts) {
+  const ExecutionPlan plan = compile_plan(serve::tiny_vgg_artifact());
+  const auto blocked_backend = make_backend(BackendKind::Blocked);
+  const auto simd_backend = make_backend(BackendKind::Simd);
+  blocked_backend->prepare(plan);
+  simd_backend->prepare(plan);
+  // The simd backend holds the blocked panels plus its own
+  // lane/pair/quad layouts, so it must report strictly more.
+  EXPECT_GT(simd_backend->prepared_bytes(), blocked_backend->prepared_bytes());
 }
 
 TEST(EngineSessionValidation, RejectsBadBatchesUpFront) {

@@ -74,6 +74,15 @@ TEST(PlanVerify, ZooPlansVerifyClean) {
     for (const IntOpCertificate& cert : report.certificates) {
       EXPECT_TRUE(cert.fits_int64);
       EXPECT_GT(cert.bound, 0);
+      // The int8 claim must be exactly the shared helper SimdBackend's
+      // resolve_path evaluates, and can never outrank the int32 one.
+      const PlanOp& op = plan.ops()[static_cast<std::size_t>(cert.op)];
+      EXPECT_EQ(cert.int8_fast_path,
+                int_reduction_fits_int8_madd(cert.max_abs_weight, op.act_bits,
+                                             cert.terms));
+      if (cert.int8_fast_path) {
+        EXPECT_TRUE(cert.int32_fast_path);
+      }
     }
   }
 }
@@ -374,6 +383,23 @@ TEST(OverflowBound, RandomReductionsStayBelowBound) {
     EXPECT_EQ(int_reduction_fits_int32(max_abs, act_bits, terms),
               bound <= std::numeric_limits<std::int32_t>::max());
   }
+}
+
+TEST(OverflowBound, Int8MaddEligibilityPinsEveryEdge) {
+  // Comfortably inside every bound: maddubs pair sums stay exact.
+  EXPECT_TRUE(int_reduction_fits_int8_madd(15, 3, 1024));
+  // The pair-sum bound itself: 2 * max|w| * act_max <= 32767.
+  // max|w| = 127, act_bits = 8 -> 2*127*255 = 64770 > 32767: refused.
+  EXPECT_FALSE(int_reduction_fits_int8_madd(127, 8, 8));
+  // ...but 127 with 7-bit acts is 2*127*127 = 32258 <= 32767: allowed.
+  EXPECT_TRUE(int_reduction_fits_int8_madd(127, 7, 8));
+  // Weights must fit the signed int8 operand of maddubs.
+  EXPECT_FALSE(int_reduction_fits_int8_madd(128, 3, 8));
+  // Activations must fit the unsigned 8-bit operand.
+  EXPECT_FALSE(int_reduction_fits_int8_madd(15, 9, 8));
+  EXPECT_FALSE(int_reduction_fits_int8_madd(15, 0, 8));
+  // The int32 accumulator bound still applies to the full reduction.
+  EXPECT_FALSE(int_reduction_fits_int8_madd(127, 7, std::int64_t{1} << 40));
 }
 
 TEST(OverflowBound, SaturatesInsteadOfWrapping) {

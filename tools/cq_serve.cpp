@@ -12,7 +12,7 @@
 //
 //   <name> <artifact.cqar> [key=value ...]   # per-model overrides
 //
-// with keys workers, intra_threads, backend (scalar|blocked),
+// with keys workers, intra_threads, backend (scalar|blocked|simd),
 // max_batch, max_wait_us, queue_capacity, admit_depth, budget_mb,
 // opt (0|1); '#' starts a comment. Positional name=path arguments
 // load additional models with the flag-level defaults, and --zoo
@@ -29,7 +29,7 @@
 // path; exit status reports the verdict.
 //
 // Usage: cq_serve [--manifest=FILE] [name=path...] [--zoo] [--port=N]
-//                 [--workers=N] [--intra_threads=N] [--backend=scalar|blocked]
+//                 [--workers=N] [--intra_threads=N] [--backend=scalar|blocked|simd]
 //                 [--max_batch=N] [--max_wait_us=N] [--queue_capacity=N]
 //                 [--admit_depth=N] [--budget_mb=N] [--opt=0|1]
 //                 [--max_inflight=N] [--responders=N] [--max_connections=N]
@@ -79,9 +79,7 @@ serve::ModelConfig config_from_flags(const util::Cli& cli) {
   serve::ModelConfig config;
   config.server.workers = static_cast<int>(cli.get_int("workers", 2));
   config.server.intra_threads = static_cast<int>(cli.get_int("intra_threads", 1));
-  config.server.backend = cli.get("backend", "blocked") == "scalar"
-                              ? deploy::BackendKind::Scalar
-                              : deploy::BackendKind::Blocked;
+  config.server.backend = deploy::parse_backend_kind(cli.get("backend", "blocked"));
   config.server.max_batch = static_cast<int>(cli.get_int("max_batch", 16));
   config.server.max_wait_us = cli.get_int("max_wait_us", 200);
   config.server.queue_capacity =
@@ -102,8 +100,7 @@ bool apply_override(serve::ModelConfig& config, const std::string& key,
   } else if (key == "intra_threads") {
     config.server.intra_threads = static_cast<int>(n);
   } else if (key == "backend") {
-    config.server.backend = value == "scalar" ? deploy::BackendKind::Scalar
-                                              : deploy::BackendKind::Blocked;
+    config.server.backend = deploy::parse_backend_kind(value);
   } else if (key == "max_batch") {
     config.server.max_batch = static_cast<int>(n);
   } else if (key == "max_wait_us") {

@@ -25,7 +25,7 @@
 //              per op, per op kind, per layer, plus the fraction of
 //              end-to-end time the profiler attributes to ops
 //   --backend  backend --plan's dispatch column reflects and --profile
-//              executes on: scalar | blocked (default scalar)
+//              executes on: scalar | blocked | simd (default scalar)
 //   --runs     profiled runs for --profile (default 16)
 //   --batch    samples per profiled run (default 8)
 //
@@ -87,7 +87,7 @@ int main(int argc, char** argv) {
   if (argc < 2 || argv[1][0] == '-') {
     std::fprintf(stderr,
                  "usage: cqar_info <model.cqar> [--verify] [--plan] [--profile] "
-                 "[--optimize=0|1] [--backend=scalar|blocked] [--runs=16] "
+                 "[--optimize=0|1] [--backend=scalar|blocked|simd] [--runs=16] "
                  "[--batch=8]\n");
     return 2;
   }
@@ -209,6 +209,9 @@ int main(int argc, char** argv) {
                   "arena %zu B/sample\n",
                   plan.ops().size(), plan.slot_count(), plan.integer_layers().size(),
                   plan.arena_bytes());
+      // What the dispatch column's simd/* labels resolved against on
+      // this machine (runtime CPUID + CQ_SIMD override).
+      std::printf("cpu          : %s\n", deploy::cpu_features_json().c_str());
     } catch (const std::exception& e) {
       std::fprintf(stderr, "cqar_info: plan compilation failed — %s\n", e.what());
       return 1;

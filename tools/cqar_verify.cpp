@@ -13,7 +13,8 @@
 //               Mlp, ResNet20 — fabricated in process, the same fixtures
 //               the plan/backend test suites pin byte-identity against)
 //   --certs     print the per-integer-op overflow certificates (bound,
-//               accumulator width, int32 fast-path decision)
+//               narrowest certified accumulator: int8 = the SIMD
+//               backend's maddubs path, int32 = the blocked fast path)
 //   --optimize  additionally run the deploy::optimize_plan pass
 //               pipeline over each plan and verify the optimized plan
 //               too (shown as "<name> +opt") — the shape serving
@@ -67,10 +68,15 @@ bool verify_one(const std::string& name, const deploy::ExecutionPlan& plan,
   if (print_certs && !report.certificates.empty()) {
     util::Table certs({"op", "layer", "max|w|", "terms", "bound", "acc"});
     for (const deploy::IntOpCertificate& cert : report.certificates) {
+      // Narrowest certified accumulator: int8 is the SIMD backend's
+      // maddubs path (implies int32), int32 the blocked fast path.
+      const char* acc = cert.int8_fast_path    ? "int8"
+                        : cert.int32_fast_path ? "int32"
+                                               : "int64";
       certs.add_row({std::to_string(cert.op), std::to_string(cert.layer),
                      std::to_string(cert.max_abs_weight),
                      std::to_string(cert.terms), std::to_string(cert.bound),
-                     cert.int32_fast_path ? "int32" : "int64"});
+                     acc});
     }
     std::printf("%s\n", certs.render().c_str());
   }
